@@ -1,0 +1,22 @@
+package main
+
+import (
+	"fmt"
+	"rmssd/internal/core"
+	"rmssd/internal/engine"
+	"rmssd/internal/model"
+)
+
+func main() {
+	cfg, _ := model.ConfigByName("WnD")
+	cfg.RowsPerTable = cfg.RowsForBudget(64 << 20)
+	r := core.MustNew(cfg, core.Options{Design: engine.DesignSearched})
+	fmt.Println("NBatch", r.NBatch())
+	for _, s := range r.StageTimes(r.NBatch()) {
+		fmt.Println(s.Name, s.Time)
+	}
+	for _, k := range r.MLP().Kernels() {
+		fmt.Printf("%s %dx%d dram=%v cyc=%d\n", k.Layer, k.Kr, k.Kc, k.InDRAM, k.Cycles)
+	}
+	fmt.Println("QPS", r.SteadyStateQPS(r.NBatch()))
+}

@@ -1,0 +1,79 @@
+// Command rmbench regenerates the paper's tables and figures from the
+// simulated systems.
+//
+// Usage:
+//
+//	rmbench -exp fig12                # one experiment
+//	rmbench -exp all                  # everything, paper order
+//	rmbench -list                     # list experiments
+//	rmbench -exp fig2 -iters 200 -table-mb 1024
+//
+// Results are deterministic for a given seed; the simulated clock, not the
+// wall clock, produces every number.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rmssd/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		iters   = flag.Int("iters", 0, "measured iterations per cell (0 = default)")
+		tableMB = flag.Int64("table-mb", 0, "embedding table budget in MiB (0 = paper's 30 GB)")
+		seed    = flag.Uint64("seed", 0, "trace seed (0 = default)")
+		k       = flag.Float64("k", 0, "trace locality K: 0.3 default; 0, 1, 2 per Fig. 14")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+
+	opts := bench.Options{
+		Iterations: *iters,
+		TableBytes: *tableMB << 20,
+		Seed:       *seed,
+		LocalityK:  *k,
+	}
+
+	run := func(e bench.Experiment) {
+		start := time.Now()
+		for _, t := range e.Run(opts) {
+			if *csvOut {
+				fmt.Printf("# %s\n", t.Title)
+				if err := t.RenderCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			} else {
+				t.Render(os.Stdout)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v wall time]\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			run(e)
+		}
+		return
+	}
+	e, err := bench.Find(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	run(e)
+}

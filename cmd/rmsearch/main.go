@@ -1,0 +1,81 @@
+// Command rmsearch runs the MLP Acceleration Engine's kernel search for a
+// model and prints the Table V / Table VI style results: chosen batch size,
+// per-layer kernels, stage times and FPGA resource consumption.
+//
+// Usage:
+//
+//	rmsearch -model RMC3
+//	rmsearch -model RMC1 -part XC7A200T -design naive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rmssd/internal/engine"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "RMC1", "model (RMC1/RMC2/RMC3/NCF/WnD)")
+		partName  = flag.String("part", "XCVU9P", "FPGA part (XCVU9P or XC7A200T)")
+		designStr = flag.String("design", "searched", "MLP mapping: naive, default or searched")
+	)
+	flag.Parse()
+
+	cfg, err := model.ConfigByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var part params.FPGAPart
+	switch *partName {
+	case "XCVU9P":
+		part = params.XCVU9P
+	case "XC7A200T":
+		part = params.XC7A200T
+	default:
+		fmt.Fprintf(os.Stderr, "unknown part %q (XCVU9P or XC7A200T)\n", *partName)
+		os.Exit(1)
+	}
+	var design engine.Design
+	switch *designStr {
+	case "naive":
+		design = engine.DesignNaive
+	case "default":
+		design = engine.DesignDefault
+	case "searched":
+		design = engine.DesignSearched
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q (naive, default, searched)\n", *designStr)
+		os.Exit(1)
+	}
+
+	m := model.MustBuild(cfg)
+	e, err := engine.NewMLPEngineGeo(m, design, part, params.NumChannels, params.DiesPerChannel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "search failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model %s on %s, design %s\n", cfg.Name, part.Name, design)
+	fmt.Printf("device batch size (Rule Three): %d\n\n", e.NBatch)
+	fmt.Printf("%-8s %-7s %-6s %10s\n", "layer", "kernel", "where", "cycles")
+	for _, k := range e.Kernels() {
+		loc := "BRAM"
+		if k.InDRAM {
+			loc = "DRAM"
+		}
+		fmt.Printf("%-8s %2dx%-4d %-6s %10d\n", k.Layer, k.Kr, k.Kc, loc, k.Cycles)
+	}
+	emb, bot, top := e.StageTimes(e.NBatch, params.NumChannels, params.DiesPerChannel)
+	fmt.Printf("\nstage times at batch %d: emb'=%v bot'=%v top'=%v\n", e.NBatch, emb, bot, top)
+	fmt.Printf("steady-state device throughput: %.0f QPS\n", float64(e.NBatch)/emb.Seconds())
+
+	r := e.Resources()
+	fmt.Printf("\nresources: %s\n", r)
+	fmt.Printf("fits %s: %v (utilization %.1f%%)\n", part.Name, r.FitsIn(part), 100*r.Utilization(part))
+}

@@ -1,0 +1,171 @@
+// Command rmserve exposes a simulated RM-SSD behind an HTTP API: a
+// self-contained playground for exploring the device interactively.
+//
+//	rmserve -model RMC1 -table-mb 256 -addr :8080
+//
+// Endpoints:
+//
+//	GET  /info             device and model configuration
+//	GET  /qps?batch=N      steady-state throughput at a device batch size
+//	POST /infer            {"batch": N} -> CTR predictions + simulated timing
+//	GET  /stats            flash traffic counters
+//
+// All timing in responses is simulated; the server itself is just a thin
+// shell around the deterministic library.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"rmssd"
+)
+
+// server wraps the device with a lock: the simulator is single-threaded by
+// design (virtual time is global to the device).
+type server struct {
+	mu  sync.Mutex
+	dev *rmssd.Device
+	gen *rmssd.TraceGenerator
+	cfg rmssd.ModelConfig
+	now time.Duration // device-side simulated clock
+	seq int
+}
+
+func main() {
+	var (
+		modelName = flag.String("model", "RMC1", "model to host (RMC1/RMC2/RMC3/NCF/WnD)")
+		tableMB   = flag.Int64("table-mb", 256, "embedding table budget in MiB")
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Uint64("seed", 1, "trace seed")
+	)
+	flag.Parse()
+
+	cfg, err := rmssd.ModelByName(*modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.RowsPerTable = cfg.RowsForBudget(*tableMB << 20)
+	log.Printf("building RM-SSD for %s (%d MiB tables)...", cfg.Name, *tableMB)
+	dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: *seed,
+	})
+	s := &server{dev: dev, gen: gen, cfg: cfg}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/info", s.handleInfo)
+	mux.HandleFunc("/qps", s.handleQPS)
+	mux.HandleFunc("/infer", s.handleInfer)
+	mux.HandleFunc("/stats", s.handleStats)
+	log.Printf("serving on %s (device batch %d, steady-state %.0f QPS)",
+		*addr, dev.NBatch(), dev.SteadyStateQPS(dev.NBatch()))
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"model":        s.cfg.Name,
+		"tables":       s.cfg.Tables,
+		"lookups":      s.cfg.Lookups,
+		"evDim":        s.cfg.EVDim,
+		"rowsPerTable": s.cfg.RowsPerTable,
+		"tableBytes":   s.cfg.TableBytes(),
+		"deviceBatch":  s.dev.NBatch(),
+	})
+}
+
+func (s *server) handleQPS(w http.ResponseWriter, r *http.Request) {
+	batch := 1
+	if b := r.URL.Query().Get("batch"); b != "" {
+		v, err := strconv.Atoi(b)
+		if err != nil || v < 1 || v > 4096 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "batch must be in [1,4096]"})
+			return
+		}
+		batch = v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"batch":          batch,
+		"steadyStateQPS": s.dev.SteadyStateQPS(batch),
+		"batchLatency":   s.dev.Latency(batch).String(),
+	})
+}
+
+// inferRequest is /infer's body; Batch defaults to 1.
+type inferRequest struct {
+	Batch int `json:"batch"`
+}
+
+func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if req.Batch <= 0 {
+		req.Batch = 1
+	}
+	if req.Batch > 256 {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "batch too large (max 256)"})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	denses := make([]rmssd.Vector, req.Batch)
+	for i := range denses {
+		denses[i] = s.gen.DenseInput(s.seq+i, s.cfg.DenseDim)
+	}
+	sparses := s.gen.Batch(req.Batch)
+	s.seq += req.Batch
+	outs, done, bd := s.dev.InferBatch(s.now, denses, sparses)
+	latency := done - s.now
+	s.now = done
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"predictions":      outs,
+		"simulatedLatency": latency.String(),
+		"breakdown": map[string]string{
+			"send": bd.Send.String(),
+			"emb":  bd.Emb.String(),
+			"bot":  bd.Bot.String(),
+			"top":  bd.Top.String(),
+			"read": bd.Read.String(),
+		},
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs := s.dev.Device().Array().Stats()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"vectorReads":      fs.VectorReads,
+		"pageReads":        fs.PageReads,
+		"bytesTransferred": fs.BytesTransferred,
+		"inferences":       s.dev.Inferences(),
+	})
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rmssd"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	cfg := rmssd.RMC1()
+	cfg.RowsPerTable = cfg.RowsForBudget(16 << 20)
+	dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 1,
+	})
+	return &server{dev: dev, gen: gen, cfg: cfg}
+}
+
+func TestHandleInfo(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleInfo(rec, httptest.NewRequest(http.MethodGet, "/info", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body map[string]interface{}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["model"] != "RMC1" || body["tables"].(float64) != 8 {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestHandleQPS(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	s.handleQPS(rec, httptest.NewRequest(http.MethodGet, "/qps?batch=4", nil))
+	var body map[string]interface{}
+	json.NewDecoder(rec.Body).Decode(&body)
+	if body["steadyStateQPS"].(float64) <= 0 {
+		t.Fatal("no QPS reported")
+	}
+	// Invalid batch rejected.
+	rec = httptest.NewRecorder()
+	s.handleQPS(rec, httptest.NewRequest(http.MethodGet, "/qps?batch=0", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d for bad batch", rec.Code)
+	}
+}
+
+func TestHandleInfer(t *testing.T) {
+	s := testServer(t)
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(`{"batch":2}`))
+	s.handleInfer(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Predictions      []float64         `json:"predictions"`
+		SimulatedLatency string            `json:"simulatedLatency"`
+		Breakdown        map[string]string `json:"breakdown"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Predictions) != 2 {
+		t.Fatalf("predictions = %v", body.Predictions)
+	}
+	for _, p := range body.Predictions {
+		if p <= 0 || p >= 1 {
+			t.Fatalf("CTR %v out of range", p)
+		}
+	}
+	if _, err := time.ParseDuration(body.SimulatedLatency); err != nil {
+		t.Fatalf("latency %q: %v", body.SimulatedLatency, err)
+	}
+	if len(body.Breakdown) != 5 {
+		t.Fatalf("breakdown = %v", body.Breakdown)
+	}
+	// GET rejected.
+	rec = httptest.NewRecorder()
+	s.handleInfer(rec, httptest.NewRequest(http.MethodGet, "/infer", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /infer status %d", rec.Code)
+	}
+	// Oversized batch rejected.
+	rec = httptest.NewRecorder()
+	s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(`{"batch":9999}`)))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("huge batch status %d", rec.Code)
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	s := testServer(t)
+	// Run one inference so counters move.
+	rec := httptest.NewRecorder()
+	s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(`{}`)))
+	rec = httptest.NewRecorder()
+	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var body map[string]interface{}
+	json.NewDecoder(rec.Body).Decode(&body)
+	if body["vectorReads"].(float64) <= 0 {
+		t.Fatal("no vector reads counted")
+	}
+	if body["pageReads"].(float64) != 0 {
+		t.Fatal("RM-SSD inference must not issue page reads")
+	}
+}

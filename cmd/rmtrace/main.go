@@ -1,0 +1,143 @@
+// Command rmtrace generates synthetic embedding-lookup traces and prints
+// Fig. 4-style access statistics.
+//
+// Usage:
+//
+//	rmtrace -model RMC1 -inferences 5000
+//	rmtrace -rows 1000000 -tables 1 -lookups 80 -k 2 -dump 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rmssd/internal/model"
+	"rmssd/internal/trace"
+)
+
+func main() {
+	var (
+		modelName  = flag.String("model", "RMC1", "built-in model whose shape to use (RMC1/RMC2/RMC3/NCF/WnD)")
+		rows       = flag.Int64("rows", 0, "rows per table (0 = model default at 30 GB)")
+		tables     = flag.Int("tables", 0, "number of tables (0 = model default)")
+		lookups    = flag.Int("lookups", 0, "lookups per table (0 = model default)")
+		inferences = flag.Int("inferences", 2000, "inferences to generate")
+		k          = flag.Float64("k", 0.3, "locality K (0, 0.3, 1, 2)")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		table      = flag.Int("table", 0, "table to analyse (-1 = all)")
+		topK       = flag.Int("topk", 10000, "K for the top-K lookup share")
+		dump       = flag.Int("dump", 0, "print the first N inferences' indices")
+		criteoOut  = flag.String("criteo-out", "", "write N synthetic records in Kaggle Criteo TSV format to this file and exit")
+		criteoIn   = flag.String("criteo-in", "", "analyse a Criteo-format TSV file instead of generating a trace")
+	)
+	flag.Parse()
+
+	cfg, err := model.ConfigByName(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tc := trace.Config{
+		Tables:  cfg.Tables,
+		Rows:    cfg.RowsPerTable,
+		Lookups: cfg.Lookups,
+		Seed:    *seed,
+	}
+	if *tables > 0 {
+		tc.Tables = *tables
+	}
+	if *rows > 0 {
+		tc.Rows = *rows
+	}
+	if *lookups > 0 {
+		tc.Lookups = *lookups
+	}
+	tc = tc.Default()
+	if tc, err = tc.WithLocality(*k); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen, err := trace.NewGenerator(tc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *criteoOut != "" {
+		f, err := os.Create(*criteoOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.SynthesizeCriteoTSV(f, *inferences, gen); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d Criteo-format records to %s\n", *inferences, *criteoOut)
+		return
+	}
+	if *criteoIn != "" {
+		f, err := os.Open(*criteoIn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		p, err := trace.NewCriteoParser(f, tc.Rows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var flat []int64
+		var records int
+		for {
+			rec, err := p.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			records++
+			tcol := *table
+			if tcol < 0 {
+				flat = append(flat, rec.Sparse...)
+			} else {
+				flat = append(flat, rec.Sparse[tcol%trace.CriteoTables])
+			}
+		}
+		stats := trace.Analyze(flat, *topK)
+		fmt.Printf("file: %s, %d records\n", *criteoIn, records)
+		fmt.Printf("total lookups:     %d\n", stats.TotalLookups)
+		fmt.Printf("distinct indices:  %d\n", stats.TotalIndices)
+		fmt.Printf("single-occurrence: %.2f%% of indices\n", 100*stats.SingleShare)
+		fmt.Printf("top-%d share:      %.1f%% of lookups\n", *topK, 100*stats.TopKShare)
+		return
+	}
+
+	batch := gen.Batch(*inferences)
+	for i := 0; i < *dump && i < len(batch); i++ {
+		fmt.Printf("inference %d: %v\n", i, batch[i])
+	}
+
+	stats := trace.Analyze(trace.Flatten(batch, *table), *topK)
+	fmt.Printf("config: tables=%d rows=%d lookups=%d hotMass=%.2f hotSet=%d zipf=%.2f\n",
+		tc.Tables, tc.Rows, tc.Lookups, tc.HotMass, tc.HotSetSize, tc.ZipfS)
+	fmt.Printf("total lookups:        %d\n", stats.TotalLookups)
+	fmt.Printf("distinct indices:     %d\n", stats.TotalIndices)
+	fmt.Printf("single-occurrence:    %.2f%% of indices (paper: 84.74%%)\n", 100*stats.SingleShare)
+	fmt.Printf("top-%d share:         %.1f%% of lookups (paper: 59.2%% for top-10000)\n", *topK, 100*stats.TopKShare)
+	fmt.Println("occurrence histogram (indices occurring exactly k times):")
+	for kk, n := range stats.OccurrenceIndexCounts {
+		fmt.Printf("  %2d: %d\n", kk+1, n)
+	}
+	fmt.Println("top-10 indices:")
+	for i, ic := range stats.Top {
+		fmt.Printf("  #%d index=%d count=%d (%.2f%%)\n", i+1, ic.Index, ic.Count,
+			100*float64(ic.Count)/float64(stats.TotalLookups))
+	}
+}

@@ -1,0 +1,81 @@
+package rmssd_test
+
+import (
+	"fmt"
+
+	"rmssd"
+)
+
+// ExampleNewDevice builds a small RM-SSD and runs one deterministic
+// inference end to end.
+func ExampleNewDevice() {
+	cfg := rmssd.RMC1()
+	cfg.RowsPerTable = cfg.RowsForBudget(32 << 20) // 32 MiB demo tables
+
+	dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{})
+	if err != nil {
+		panic(err)
+	}
+	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 42,
+	})
+	outs, _, _ := dev.InferBatch(0,
+		[]rmssd.Vector{gen.DenseInput(0, cfg.DenseDim)}, gen.Batch(1))
+	ref := dev.Model().Infer(gen.DenseInput(0, cfg.DenseDim), gen.Batch(1)[0])
+	_ = ref
+	fmt.Printf("CTR prediction in (0,1): %v\n", outs[0] > 0 && outs[0] < 1)
+	// Output:
+	// CTR prediction in (0,1): true
+}
+
+// ExampleModelConfig shows Table III's model zoo.
+func ExampleModelConfig() {
+	for _, cfg := range rmssd.AllModels() {
+		fmt.Printf("%s: %d tables x %d lookups, dim %d\n",
+			cfg.Name, cfg.Tables, cfg.Lookups, cfg.EVDim)
+	}
+	// Output:
+	// RMC1: 8 tables x 80 lookups, dim 32
+	// RMC2: 32 tables x 120 lookups, dim 64
+	// RMC3: 10 tables x 20 lookups, dim 32
+	// NCF: 4 tables x 1 lookups, dim 64
+	// WnD: 26 tables x 1 lookups, dim 64
+}
+
+// ExampleTraceGenerator demonstrates deterministic trace generation.
+func ExampleTraceGenerator() {
+	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
+		Tables: 2, Rows: 1000, Lookups: 3, Seed: 7,
+	})
+	a := gen.Inference()
+	gen2 := rmssd.MustNewTrace(rmssd.TraceConfig{
+		Tables: 2, Rows: 1000, Lookups: 3, Seed: 7,
+	})
+	b := gen2.Inference()
+	fmt.Println("tables:", len(a), "lookups:", len(a[0]))
+	fmt.Println("deterministic:", a[0][0] == b[0][0] && a[1][2] == b[1][2])
+	// Output:
+	// tables: 2 lookups: 3
+	// deterministic: true
+}
+
+// ExampleFindExperiment runs a static paper table through the harness.
+func ExampleFindExperiment() {
+	e, err := rmssd.FindExperiment("table2")
+	if err != nil {
+		panic(err)
+	}
+	tabs := e.Run(rmssd.ExperimentOptions{Iterations: 1, TableBytes: 32 << 20})
+	fmt.Println(tabs[0].Rows[1][0], tabs[0].Rows[1][1])
+	// Output:
+	// #Channels 4
+}
+
+// ExampleAnalyzeTrace computes Fig. 4-style statistics.
+func ExampleAnalyzeTrace() {
+	stats := rmssd.AnalyzeTrace([]int64{5, 5, 5, 9, 2, 2}, 1)
+	fmt.Printf("lookups=%d distinct=%d top1-share=%.2f\n",
+		stats.TotalLookups, stats.TotalIndices, stats.TopKShare)
+	// Output:
+	// lookups=6 distinct=3 top1-share=0.50
+}

@@ -1,0 +1,3 @@
+module rmssd
+
+go 1.22

@@ -1,0 +1,193 @@
+package rmssd_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rmssd"
+	"rmssd/internal/baseline"
+	"rmssd/internal/engine"
+	"rmssd/internal/model"
+	"rmssd/internal/sim"
+	"rmssd/internal/trace"
+)
+
+// integration_test.go runs the whole stack together: every deployment of
+// every model over shared inputs, checking functional equivalence, timing
+// sanity and the paper's cross-system orderings at once.
+
+func integCfg(name string) model.Config {
+	cfg, err := model.ConfigByName(name)
+	if err != nil {
+		panic(err)
+	}
+	cfg.RowsPerTable = cfg.RowsForBudget(48 << 20)
+	return cfg
+}
+
+func integTrace(cfg model.Config, seed uint64) *trace.Generator {
+	return trace.MustNew(trace.Config{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: seed,
+	})
+}
+
+// Every model, every system, one shared input: identical CTR predictions.
+func TestIntegrationAllModelsAllSystems(t *testing.T) {
+	for _, name := range []string{"RMC1", "RMC2", "RMC3", "NCF", "WnD"} {
+		cfg := integCfg(name)
+		gen := integTrace(cfg, 101)
+		dense := gen.DenseInput(0, cfg.DenseDim)
+		sparse := gen.Inference()
+
+		env := baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())
+		want := env.M.Infer(dense, sparse)
+
+		systems := []baseline.System{
+			baseline.NewDRAM(env.M),
+			baseline.NewSSDS(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())),
+			baseline.NewSSDM(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())),
+			baseline.NewEmbMMIO(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())),
+			baseline.NewEmbPageSum(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())),
+			baseline.NewEmbVectorSum(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())),
+			baseline.NewRecSSD(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())),
+		}
+		for _, sys := range systems {
+			got, done, _ := sys.Infer(0, dense, sparse)
+			if math.Abs(float64(got-want)) > 1e-4 {
+				t.Errorf("%s/%s: %v vs reference %v", name, sys.Name(), got, want)
+			}
+			if done <= 0 {
+				t.Errorf("%s/%s: non-positive completion time", name, sys.Name())
+			}
+		}
+
+		// The device itself, both designs.
+		for _, design := range []rmssd.Design{rmssd.DesignSearched, rmssd.DesignNaive} {
+			dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{Design: design})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, design, err)
+			}
+			outs, _, _ := dev.InferBatch(0, []rmssd.Vector{dense}, [][][]int64{sparse})
+			if math.Abs(float64(outs[0]-want)) > 1e-4 {
+				t.Errorf("%s RM-SSD(%v): %v vs %v", name, design, outs[0], want)
+			}
+		}
+	}
+}
+
+// The paper's global performance ordering must hold end to end on the
+// default trace for an embedding-dominated model.
+func TestIntegrationPerformanceOrdering(t *testing.T) {
+	cfg := integCfg("RMC1")
+	const n = 25
+
+	measure := func(sys baseline.System, seed uint64) time.Duration {
+		gen := integTrace(cfg, seed)
+		var now sim.Time
+		for i := 0; i < n; i++ {
+			done, _ := sys.InferTiming(now, gen.Inference())
+			now = done
+		}
+		return time.Duration(now) / n
+	}
+	ssds := measure(baseline.NewSSDS(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())), 5)
+	mmio := measure(baseline.NewEmbMMIO(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())), 5)
+	pageSum := measure(baseline.NewEmbPageSum(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())), 5)
+	vecSum := measure(baseline.NewEmbVectorSum(baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())), 5)
+
+	dev := rmssd.MustNewDevice(cfg, rmssd.DeviceOptions{})
+	rm := time.Duration(float64(time.Second) / dev.SteadyStateQPS(1))
+
+	if !(ssds > mmio && mmio > pageSum && pageSum > vecSum && vecSum > rm) {
+		t.Fatalf("ordering violated: SSD-S=%v > EMB-MMIO=%v > EMB-PageSum=%v > EMB-VectorSum=%v > RM-SSD=%v",
+			ssds, mmio, pageSum, vecSum, rm)
+	}
+	if ratio := float64(ssds) / float64(rm); ratio < 10 {
+		t.Fatalf("RM-SSD speedup over SSD-S = %.1fx, want >= 10x", ratio)
+	}
+}
+
+// Determinism across the whole stack: same seeds, same simulated clocks.
+func TestIntegrationDeterminismAcrossSystems(t *testing.T) {
+	cfg := integCfg("RMC2")
+	run := func() (sim.Time, float32) {
+		gen := integTrace(cfg, 77)
+		env := baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())
+		rec := baseline.NewRecSSD(env)
+		var now sim.Time
+		var out float32
+		for i := 0; i < 5; i++ {
+			o, done, _ := rec.Infer(now, gen.DenseInput(i, cfg.DenseDim), gen.Inference())
+			now = done
+			out = o
+		}
+		return now, out
+	}
+	t1, o1 := run()
+	t2, o2 := run()
+	if t1 != t2 || o1 != o2 {
+		t.Fatalf("nondeterministic: (%v,%v) vs (%v,%v)", t1, o1, t2, o2)
+	}
+}
+
+// The kernel-search contract holds for every model on both FPGA parts
+// where a mapping exists.
+func TestIntegrationKernelSearchContract(t *testing.T) {
+	for _, name := range []string{"RMC1", "RMC2", "RMC3", "NCF", "WnD"} {
+		cfg := integCfg(name)
+		m := model.MustBuild(cfg)
+		e, err := engine.NewMLPEngine(m, engine.DesignSearched, rmssd.XCVU9P)
+		if err != nil {
+			t.Errorf("%s: search failed on XCVU9P: %v", name, err)
+			continue
+		}
+		if !e.FitsPart() {
+			t.Errorf("%s: searched design does not fit XCVU9P (%s)", name, e.Resources())
+		}
+	}
+}
+
+// Mixed workload: conventional block I/O sharing the device with inference
+// (the Fig. 5 MUX story). Both must make progress; inference slows down
+// only moderately.
+func TestIntegrationBlockIOInterference(t *testing.T) {
+	cfg := integCfg("RMC1")
+	gen := integTrace(cfg, 31)
+	sparse := gen.Inference()
+
+	alone := rmssd.MustNewDevice(cfg, rmssd.DeviceOptions{})
+	aloneDone, _ := alone.InferBatchTiming(0, [][][]int64{sparse})
+
+	shared := rmssd.MustNewDevice(cfg, rmssd.DeviceOptions{})
+	// Fire a burst of block reads at t=0 on the same device.
+	for lpn := int64(0); lpn < 64; lpn++ {
+		shared.Device().ReadPage(0, lpn)
+	}
+	sharedDone, _ := shared.InferBatchTiming(0, [][][]int64{sparse})
+
+	if sharedDone <= aloneDone {
+		t.Fatal("block I/O contention should slow inference down")
+	}
+	if float64(sharedDone) > 3*float64(aloneDone) {
+		t.Fatalf("contention blew up: %v vs %v alone", sharedDone, aloneDone)
+	}
+}
+
+// RecSSD's pre-warmed cache must reach the trace's hot-mass hit ratio.
+func TestIntegrationRecSSDPreWarm(t *testing.T) {
+	cfg := integCfg("RMC1")
+	gen := integTrace(cfg, 19)
+	env := baseline.MustNewEnv(cfg, rmssd.DefaultGeometry())
+	rec := baseline.NewRecSSD(env)
+	rec.PreWarmHot(gen.HotRow, gen.HotSetSize())
+	var now sim.Time
+	for i := 0; i < 30; i++ {
+		done, _ := rec.InferTiming(now, gen.Inference())
+		now = done
+	}
+	hr := rec.Cache().HitRatio()
+	if hr < 0.55 || hr > 0.75 {
+		t.Fatalf("pre-warmed hit ratio = %.2f, want ~0.65 (trace hot mass)", hr)
+	}
+}

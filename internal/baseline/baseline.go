@@ -1,0 +1,144 @@
+// Package baseline implements every comparator system of the paper's
+// evaluation, all functionally equivalent (same float32 CTR predictions)
+// but with the distinct data paths and timing behaviours the paper
+// measures:
+//
+//	DRAM           — the ideal in-memory deployment (no SSD involved).
+//	SSD-S / SSD-M  — naive SSD deployment: vectors read through the file
+//	                 system and a DRAM-budgeted page cache (1/4 and 1/2 of
+//	                 the embedding-table bytes respectively).
+//	EMB-MMIO       — page-granular reads fetched to userspace through the
+//	                 MMIO window, bypassing the kernel I/O stack; pooling
+//	                 on the host CPU.
+//	EMB-PageSum    — page-granular reads kept inside the SSD; pooling on
+//	                 the device FPGA; only pooled vectors cross PCIe.
+//	EMB-VectorSum  — the RM-SSD Embedding Lookup Engine alone (vector-
+//	                 granular in-SSD reads + pooling); MLP on the host.
+//	RecSSD         — Wilkening et al.'s near-data design re-implemented on
+//	                 the same simulated SSD: page-granular in-SSD pooling
+//	                 of cache-missing vectors plus a host-side vector
+//	                 cache whose partial results merge on the host.
+//
+// The full RM-SSD and RM-SSD-Naive live in internal/core; this package's
+// systems all keep at least the MLP on the host CPU.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"rmssd/internal/embedding"
+	"rmssd/internal/flash"
+	"rmssd/internal/hostio"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/ssd"
+	"rmssd/internal/tensor"
+)
+
+// Breakdown is the Fig. 2 / Fig. 11 stage decomposition of one inference.
+type Breakdown struct {
+	EmbSSD time.Duration // device time of embedding reads (emb-ssd)
+	EmbFS  time.Duration // host I/O-stack time (emb-fs)
+	EmbOp  time.Duration // host pooling / merge compute (emb-op)
+	Concat time.Duration // feature interaction
+	BotMLP time.Duration
+	TopMLP time.Duration
+	Other  time.Duration // framework overhead
+}
+
+// Emb returns the total embedding-layer time.
+func (b Breakdown) Emb() time.Duration { return b.EmbSSD + b.EmbFS + b.EmbOp }
+
+// MLP returns the total MLP-layer time (including interaction).
+func (b Breakdown) MLP() time.Duration { return b.BotMLP + b.TopMLP + b.Concat }
+
+// Total returns the serial per-inference time.
+func (b Breakdown) Total() time.Duration { return b.Emb() + b.MLP() + b.Other }
+
+// Add accumulates another breakdown.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		EmbSSD: b.EmbSSD + o.EmbSSD,
+		EmbFS:  b.EmbFS + o.EmbFS,
+		EmbOp:  b.EmbOp + o.EmbOp,
+		Concat: b.Concat + o.Concat,
+		BotMLP: b.BotMLP + o.BotMLP,
+		TopMLP: b.TopMLP + o.TopMLP,
+		Other:  b.Other + o.Other,
+	}
+}
+
+// System is a complete recommendation-inference deployment.
+type System interface {
+	// Name identifies the system as the paper labels it.
+	Name() string
+	// Infer runs one inference functionally and timed, returning the CTR
+	// prediction, the completion time and the stage breakdown.
+	Infer(at sim.Time, dense tensor.Vector, sparse [][]int64) (float32, sim.Time, Breakdown)
+	// InferTiming runs one inference timing-only.
+	InferTiming(at sim.Time, sparse [][]int64) (sim.Time, Breakdown)
+	// Model returns the hosted model.
+	Model() *model.Model
+}
+
+// Env bundles the shared substrate of the SSD-backed baselines: one model's
+// tables laid out on one simulated device.
+type Env struct {
+	M     *model.Model
+	Dev   *ssd.Device
+	FS    *hostio.FS
+	Store *embedding.Store
+}
+
+// NewEnv lays the model's tables out on a fresh device.
+func NewEnv(cfg model.Config, geo flash.Geometry) (*Env, error) {
+	m, err := model.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := ssd.New(geo)
+	if err != nil {
+		return nil, err
+	}
+	fs := hostio.NewFS(dev, 1<<20)
+	store, err := embedding.NewStore(m, fs)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{M: m, Dev: dev, FS: fs, Store: store}, nil
+}
+
+// MustNewEnv is NewEnv, panicking on error.
+func MustNewEnv(cfg model.Config, geo flash.Geometry) *Env {
+	e, err := NewEnv(cfg, geo)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// hostMLP returns the host-CPU stage costs shared by all systems that run
+// the MLP on the host.
+func hostMLP(m *model.Model) (bot, concat, top, other time.Duration) {
+	return m.BottomTime(), m.ConcatTime(), m.TopTime(), m.HostOverheadTime()
+}
+
+// checkSparse validates the sparse input shape.
+func checkSparse(m *model.Model, sparse [][]int64) {
+	if len(sparse) != m.Cfg.Tables {
+		panic(fmt.Sprintf("baseline: %d sparse inputs, want %d", len(sparse), m.Cfg.Tables))
+	}
+}
+
+// hostForward completes an inference on the host given pooled embeddings.
+func hostForward(m *model.Model, dense tensor.Vector, pooled []tensor.Vector) float32 {
+	z := m.Interact(m.BottomForward(dense), pooled)
+	return m.TopForward(z)[0]
+}
+
+// DMAOut models the device-to-host transfer of n bytes.
+func DMAOut(n int64) time.Duration {
+	return params.DMASetup + time.Duration(float64(n)/params.DMABandwidth*1e9)
+}

@@ -1,0 +1,317 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rmssd/internal/flash"
+	"rmssd/internal/model"
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+	"rmssd/internal/trace"
+)
+
+func testGeo() flash.Geometry {
+	return flash.Geometry{
+		Channels:       4,
+		DiesPerChannel: 3,
+		PlanesPerDie:   2,
+		BlocksPerPlane: 64,
+		PagesPerBlock:  16,
+		PageSize:       4096,
+	}
+}
+
+func smallCfg(name string) model.Config {
+	c, err := model.ConfigByName(name)
+	if err != nil {
+		panic(err)
+	}
+	c.RowsPerTable = 2048
+	return c
+}
+
+func allSystems(t *testing.T, cfg model.Config) []System {
+	t.Helper()
+	env := MustNewEnv(cfg, testGeo())
+	return []System{
+		NewDRAM(env.M),
+		NewSSDS(env),
+		NewSSDM(MustNewEnv(cfg, testGeo())),
+		NewEmbMMIO(MustNewEnv(cfg, testGeo())),
+		NewEmbPageSum(MustNewEnv(cfg, testGeo())),
+		NewEmbVectorSum(MustNewEnv(cfg, testGeo())),
+		NewRecSSD(MustNewEnv(cfg, testGeo())),
+	}
+}
+
+func inputsFor(cfg model.Config, seed uint64) (tensor.Vector, [][]int64) {
+	g := trace.MustNew(trace.Config{
+		Tables:  cfg.Tables,
+		Rows:    cfg.RowsPerTable,
+		Lookups: cfg.Lookups,
+		Seed:    seed,
+	})
+	return g.DenseInput(0, cfg.DenseDim), g.Inference()
+}
+
+// Every system must compute the same CTR as the reference model.
+func TestAllSystemsFunctionallyEquivalent(t *testing.T) {
+	for _, name := range []string{"RMC1", "RMC3"} {
+		cfg := smallCfg(name)
+		dense, sparse := inputsFor(cfg, 11)
+		for _, sys := range allSystems(t, cfg) {
+			want := sys.Model().Infer(dense, sparse)
+			got, done, bd := sys.Infer(0, dense, sparse)
+			if math.Abs(float64(got-want)) > 1e-4 {
+				t.Errorf("%s/%s: got %v, want %v", name, sys.Name(), got, want)
+			}
+			if done <= 0 || bd.Total() <= 0 {
+				t.Errorf("%s/%s: no time recorded", name, sys.Name())
+			}
+		}
+	}
+}
+
+// The performance ordering of Fig. 11: SSD-S slowest, then EMB-MMIO, then
+// EMB-PageSum, then EMB-VectorSum.
+func TestEmbeddingPathOrdering(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	dense, _ := inputsFor(cfg, 13)
+	_ = dense
+	g := trace.MustNew(trace.Config{Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 13})
+	batch := g.Batch(30)
+
+	measure := func(sys System) time.Duration {
+		var now sim.Time
+		for _, sparse := range batch {
+			done, _ := sys.InferTiming(now, sparse)
+			now = done
+		}
+		return time.Duration(now)
+	}
+	ssds := measure(NewSSDS(MustNewEnv(cfg, testGeo())))
+	mmio := measure(NewEmbMMIO(MustNewEnv(cfg, testGeo())))
+	pageSum := measure(NewEmbPageSum(MustNewEnv(cfg, testGeo())))
+	vecSum := measure(NewEmbVectorSum(MustNewEnv(cfg, testGeo())))
+	dram := measure(NewDRAM(model.MustBuild(cfg)))
+
+	if !(ssds > mmio && mmio > pageSum && pageSum > vecSum) {
+		t.Fatalf("ordering violated: SSD-S=%v EMB-MMIO=%v EMB-PageSum=%v EMB-VectorSum=%v",
+			ssds, mmio, pageSum, vecSum)
+	}
+	// Fig. 10(a): EMB-VectorSum ~16x faster than SSD-S on the SLS path.
+	if float64(ssds)/float64(vecSum) < 4 {
+		t.Fatalf("EMB-VectorSum speedup over SSD-S = %.1fx, want >= 4x", float64(ssds)/float64(vecSum))
+	}
+	_ = dram
+}
+
+func TestSSDMFasterThanSSDS(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	g := trace.MustNew(trace.Config{Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 17})
+	batch := g.Batch(50)
+	run := func(s *NaiveSSD) time.Duration {
+		s.Warm(batch[:10])
+		var now sim.Time
+		for _, sparse := range batch {
+			done, _ := s.InferTiming(now, sparse)
+			now = done
+		}
+		return time.Duration(now)
+	}
+	ssds := run(NewSSDS(MustNewEnv(cfg, testGeo())))
+	ssdm := run(NewSSDM(MustNewEnv(cfg, testGeo())))
+	if ssdm > ssds {
+		t.Fatalf("SSD-M (%v) slower than SSD-S (%v)", ssdm, ssds)
+	}
+}
+
+func TestDRAMBreakdownShape(t *testing.T) {
+	// DRAM inference must show zero SSD/FS time, and for RMC3 the MLP
+	// share must dominate (the paper's model classification).
+	m := model.MustBuild(smallCfg("RMC3"))
+	d := NewDRAM(m)
+	_, sparse := inputsFor(m.Cfg, 23)
+	_, bdDone := d.InferTiming(0, sparse)
+	if bdDone.EmbSSD != 0 || bdDone.EmbFS != 0 {
+		t.Fatal("DRAM must not touch the SSD")
+	}
+	if bdDone.MLP() < bdDone.Emb() {
+		t.Fatal("RMC3 DRAM inference should be MLP-dominated")
+	}
+}
+
+func TestNaiveSSDReadAmplification(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	env := MustNewEnv(cfg, testGeo())
+	s := NewNaiveSSD(env, "SSD-0", 1<<40) // effectively no cache budget pressure, but cold
+	_, sparse := inputsFor(cfg, 31)
+	s.InferTiming(0, sparse)
+	amp := s.Host().Stats().Amplification()
+	// Cold cache: every distinct page faults once; with 80 lookups/table
+	// over 2048 rows, amplification is large but below the 32x ceiling.
+	if amp < 5 || amp > 32 {
+		t.Fatalf("amplification = %v, want within (5, 32]", amp)
+	}
+}
+
+func TestWarmDoesNotCountTraffic(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	s := NewSSDS(MustNewEnv(cfg, testGeo()))
+	g := trace.MustNew(trace.Config{Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 3})
+	s.Warm(g.Batch(5))
+	if s.Host().Stats() != (hostioStatsZero) {
+		t.Fatalf("warm-up counted traffic: %+v", s.Host().Stats())
+	}
+}
+
+func TestVectorCacheBasics(t *testing.T) {
+	c := NewVectorCache(3*128, 128) // 3 entries
+	if _, ok := c.Get(0, 1); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(0, 1, tensor.Vector{1})
+	c.Put(0, 2, tensor.Vector{2})
+	c.Put(0, 3, tensor.Vector{3})
+	if v, ok := c.Get(0, 1); !ok || v[0] != 1 {
+		t.Fatal("expected hit on 1")
+	}
+	c.Put(0, 4, tensor.Vector{4}) // evicts 2 (LRU)
+	if _, ok := c.Get(0, 2); ok {
+		t.Fatal("2 should be evicted")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Update in place.
+	c.Put(0, 1, tensor.Vector{9})
+	if v, _ := c.Get(0, 1); v[0] != 9 {
+		t.Fatal("update failed")
+	}
+	if c.HitRatio() <= 0 {
+		t.Fatal("hit ratio should be positive")
+	}
+	c.ResetStats()
+	if c.HitRatio() != 0 {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestVectorCacheZeroCapacity(t *testing.T) {
+	c := NewVectorCache(0, 128)
+	c.Put(0, 1, tensor.Vector{1})
+	if c.Len() != 0 {
+		t.Fatal("zero-capacity cache must stay empty")
+	}
+}
+
+func TestRecSSDCacheHitRatioTracksLocality(t *testing.T) {
+	// Fig. 14's mechanism: the host cache hit ratio follows the trace's
+	// hot mass once warm.
+	cfg := smallCfg("RMC2")
+	// 4x the hot set: enough for the hot vectors to survive the cold
+	// insertion stream, small enough not to memorise the tiny test table.
+	for _, hot := range []float64{0.30, 0.65} {
+		s := NewRecSSDWithCache(MustNewEnv(cfg, testGeo()), int64(4*64*cfg.Tables*cfg.EVSize()))
+		g := trace.MustNew(trace.Config{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+			HotMass: hot, HotSetSize: 64, Seed: 5,
+		})
+		var now sim.Time
+		for i := 0; i < 60; i++ {
+			done, _ := s.InferTiming(now, g.Inference())
+			now = done
+			if i == 30 {
+				s.Cache().ResetStats()
+			}
+		}
+		got := s.Cache().HitRatio()
+		// LRU churn from the cold stream costs a little; the warm hit
+		// ratio must still track the hot mass.
+		if got < hot-0.12 {
+			t.Errorf("hot=%v: hit ratio %v too low", hot, got)
+		}
+	}
+}
+
+func TestRecSSDFasterWithMoreLocality(t *testing.T) {
+	cfg := smallCfg("RMC2")
+	// Size the host cache to the hot set: at test scale the default 1 GiB
+	// cache would memorise the whole (tiny) table and mask locality.
+	cacheBytes := int64(4 * 64 * cfg.Tables * cfg.EVSize())
+	run := func(hot float64) time.Duration {
+		s := NewRecSSDWithCache(MustNewEnv(cfg, testGeo()), cacheBytes)
+		g := trace.MustNew(trace.Config{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+			HotMass: hot, HotSetSize: 64, Seed: 5,
+		})
+		var now sim.Time
+		var start sim.Time
+		for i := 0; i < 40; i++ {
+			done, _ := s.InferTiming(now, g.Inference())
+			if i == 20 {
+				start = now // measure the warm half
+			}
+			now = done
+		}
+		return time.Duration(now - start)
+	}
+	hi := run(0.80)
+	lo := run(0.30)
+	if hi >= lo {
+		t.Fatalf("high locality (%v) not faster than low (%v)", hi, lo)
+	}
+}
+
+func TestEmbVectorSumBeatsRecSSD(t *testing.T) {
+	// Section VI-C: vector-grained access beats RecSSD's page access even
+	// before MLP offload enters the picture, on low-locality traces.
+	cfg := smallCfg("RMC1")
+	g1 := trace.MustNew(trace.Config{Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, HotMass: 0.3, HotSetSize: 64, Seed: 9})
+	g2 := trace.MustNew(trace.Config{Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, HotMass: 0.3, HotSetSize: 64, Seed: 9})
+	vec := NewEmbVectorSum(MustNewEnv(cfg, testGeo()))
+	rec := NewRecSSDWithCache(MustNewEnv(cfg, testGeo()), int64(64*cfg.Tables*cfg.EVSize()))
+	var nowV, nowR sim.Time
+	for i := 0; i < 30; i++ {
+		dv, _ := vec.InferTiming(nowV, g1.Inference())
+		dr, _ := rec.InferTiming(nowR, g2.Inference())
+		nowV, nowR = dv, dr
+	}
+	if nowV >= nowR {
+		t.Fatalf("EMB-VectorSum (%v) not faster than RecSSD (%v) at low locality", nowV, nowR)
+	}
+}
+
+func TestSystemsPanicOnBadShape(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	for _, sys := range allSystems(t, cfg) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", sys.Name())
+				}
+			}()
+			sys.InferTiming(0, make([][]int64, 1))
+		}()
+	}
+}
+
+func TestBreakdownAddAndTotals(t *testing.T) {
+	a := Breakdown{EmbSSD: 1, EmbFS: 2, EmbOp: 3, Concat: 4, BotMLP: 5, TopMLP: 6, Other: 7}
+	b := a.Add(a)
+	if b.EmbSSD != 2 || b.Other != 14 {
+		t.Fatalf("Add = %+v", b)
+	}
+	if a.Emb() != 6 || a.MLP() != 15 || a.Total() != 28 {
+		t.Fatalf("totals: emb=%v mlp=%v total=%v", a.Emb(), a.MLP(), a.Total())
+	}
+}
+
+// hostioStatsZero helps compare against a zero IOStats value.
+var hostioStatsZero = struct {
+	BytesRequested  int64
+	BytesFromDevice int64
+	DeviceReads     int64
+}{}

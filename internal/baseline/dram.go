@@ -1,0 +1,51 @@
+package baseline
+
+import (
+	"rmssd/internal/model"
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+)
+
+// DRAM is the ideal deployment: the entire model, embeddings included,
+// resident in host memory without capacity limits (the paper's "DRAM"
+// column, run "without memory limitation as the ideal case").
+type DRAM struct {
+	m *model.Model
+}
+
+// NewDRAM builds the in-memory system. Embedding values come from the
+// model's deterministic generator, exactly as a fully-loaded table would.
+func NewDRAM(m *model.Model) *DRAM { return &DRAM{m: m} }
+
+// Name implements System.
+func (d *DRAM) Name() string { return "DRAM" }
+
+// Model implements System.
+func (d *DRAM) Model() *model.Model { return d.m }
+
+// breakdown prices one inference: everything is memory-resident, so the
+// embedding layer costs only the SLS gather+sum compute.
+func (d *DRAM) breakdown() Breakdown {
+	bot, concat, top, other := hostMLP(d.m)
+	return Breakdown{
+		EmbOp:  d.m.SLSComputeTime(),
+		Concat: concat,
+		BotMLP: bot,
+		TopMLP: top,
+		Other:  other,
+	}
+}
+
+// Infer implements System.
+func (d *DRAM) Infer(at sim.Time, dense tensor.Vector, sparse [][]int64) (float32, sim.Time, Breakdown) {
+	checkSparse(d.m, sparse)
+	bd := d.breakdown()
+	return d.m.Infer(dense, sparse), at + bd.Total(), bd
+}
+
+// InferTiming implements System.
+func (d *DRAM) InferTiming(at sim.Time, sparse [][]int64) (sim.Time, Breakdown) {
+	checkSparse(d.m, sparse)
+	bd := d.breakdown()
+	return at + bd.Total(), bd
+}

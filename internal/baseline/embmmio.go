@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"time"
+
+	"rmssd/internal/hostio"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+)
+
+// EmbMMIO is the paper's EMB-MMIO configuration: "all embedding vector
+// related pages are fetched to the userspace directly through MMIO with
+// the granularity of page size and then sum operations performed by the
+// host CPU". The kernel I/O stack and page cache are bypassed, but reads
+// are still page-granular and pooling still burns host cycles.
+type EmbMMIO struct {
+	env  *Env
+	host *hostio.Host
+}
+
+// NewEmbMMIO builds the EMB-MMIO system.
+func NewEmbMMIO(env *Env) *EmbMMIO {
+	return &EmbMMIO{env: env, host: hostio.NewHost(env.FS, 0)}
+}
+
+// Name implements System.
+func (s *EmbMMIO) Name() string { return "EMB-MMIO" }
+
+// Model implements System.
+func (s *EmbMMIO) Model() *model.Model { return s.env.M }
+
+// Host exposes the I/O path for traffic accounting.
+func (s *EmbMMIO) Host() *hostio.Host { return s.host }
+
+func (s *EmbMMIO) read(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time, time.Duration, time.Duration) {
+	cfg := s.env.M.Cfg
+	now := at
+	var pooled []tensor.Vector
+	if materialize {
+		pooled = make([]tensor.Vector, cfg.Tables)
+	}
+	var pages int64
+	for t, rows := range sparse {
+		f := s.env.Store.File(t)
+		var sum tensor.Vector
+		if materialize {
+			sum = make(tensor.Vector, cfg.EVDim)
+		}
+		for _, row := range rows {
+			off := s.env.Store.VectorFileOffset(row)
+			data, done := s.host.ReadMMIO(now, f, off, cfg.EVSize())
+			now = done
+			pages++
+			if materialize {
+				tensor.AccumulateInto(sum, model.DecodeEV(data))
+			}
+		}
+		if materialize {
+			pooled[t] = sum
+		}
+	}
+	embSSD := time.Duration(pages) * params.TPage
+	embFS := time.Duration(pages) * params.MMIOPageFetchCost
+	return pooled, now, embSSD, embFS
+}
+
+func (s *EmbMMIO) finish(readDone sim.Time, embSSD, embFS time.Duration) (sim.Time, Breakdown) {
+	bot, concat, top, other := hostMLP(s.env.M)
+	bd := Breakdown{
+		EmbSSD: embSSD,
+		EmbFS:  embFS,
+		EmbOp:  s.env.M.SLSComputeTime(),
+		Concat: concat,
+		BotMLP: bot,
+		TopMLP: top,
+		Other:  other,
+	}
+	return readDone + bd.EmbOp + bd.Concat + bd.BotMLP + bd.TopMLP + bd.Other, bd
+}
+
+// Infer implements System.
+func (s *EmbMMIO) Infer(at sim.Time, dense tensor.Vector, sparse [][]int64) (float32, sim.Time, Breakdown) {
+	checkSparse(s.env.M, sparse)
+	pooled, readDone, embSSD, embFS := s.read(at, sparse, true)
+	done, bd := s.finish(readDone, embSSD, embFS)
+	return hostForward(s.env.M, dense, pooled), done, bd
+}
+
+// InferTiming implements System.
+func (s *EmbMMIO) InferTiming(at sim.Time, sparse [][]int64) (sim.Time, Breakdown) {
+	checkSparse(s.env.M, sparse)
+	_, readDone, embSSD, embFS := s.read(at, sparse, false)
+	return s.finish(readDone, embSSD, embFS)
+}

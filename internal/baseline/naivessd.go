@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"rmssd/internal/hostio"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+)
+
+// NaiveSSD is the paper's SSD-S / SSD-M baseline: embedding tables live in
+// files on the SSD, each required vector is read with lseek+read through
+// the kernel I/O stack and a page cache whose capacity is a fraction of
+// the total table bytes (1/4 for SSD-S, 1/2 for SSD-M), and pooling plus
+// the full MLP run on the host CPU.
+type NaiveSSD struct {
+	name string
+	env  *Env
+	host *hostio.Host
+}
+
+// NewSSDS builds the SSD-S baseline (DRAM limited to 1/4 of table bytes).
+func NewSSDS(env *Env) *NaiveSSD { return NewNaiveSSD(env, "SSD-S", 4) }
+
+// NewSSDM builds the SSD-M baseline (DRAM limited to 1/2 of table bytes).
+func NewSSDM(env *Env) *NaiveSSD { return NewNaiveSSD(env, "SSD-M", 2) }
+
+// NewNaiveSSD builds a naive SSD system whose page cache holds
+// tableBytes/divisor bytes.
+func NewNaiveSSD(env *Env, name string, divisor int64) *NaiveSSD {
+	if divisor <= 0 {
+		panic(fmt.Sprintf("baseline: cache divisor %d", divisor))
+	}
+	budget := env.M.Cfg.TableBytes() / divisor
+	return &NaiveSSD{
+		name: name,
+		env:  env,
+		host: hostio.NewHost(env.FS, budget),
+	}
+}
+
+// Name implements System.
+func (s *NaiveSSD) Name() string { return s.name }
+
+// Model implements System.
+func (s *NaiveSSD) Model() *model.Model { return s.env.M }
+
+// Host exposes the I/O path for traffic accounting (Fig. 3).
+func (s *NaiveSSD) Host() *hostio.Host { return s.host }
+
+// Warm replays a batch of sparse inputs against the page cache without
+// counting time or traffic: the paper's warm-up phase before steady-state
+// measurement.
+func (s *NaiveSSD) Warm(batch [][][]int64) {
+	cfg := s.env.M.Cfg
+	for _, sparse := range batch {
+		for t, rows := range sparse {
+			f := s.env.Store.File(t)
+			for _, row := range rows {
+				s.host.Warm(f, s.env.Store.VectorFileOffset(row), cfg.EVSize())
+			}
+		}
+	}
+}
+
+// readEmbeddings performs the per-vector file reads, returning the data
+// (nil when materialize is false), the completion time and the I/O split.
+func (s *NaiveSSD) readEmbeddings(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time, time.Duration, time.Duration) {
+	cfg := s.env.M.Cfg
+	before := s.host.Cache().Stats()
+	now := at
+	var pooled []tensor.Vector
+	if materialize {
+		pooled = make([]tensor.Vector, cfg.Tables)
+	}
+	for t, rows := range sparse {
+		f := s.env.Store.File(t)
+		var sum tensor.Vector
+		if materialize {
+			sum = make(tensor.Vector, cfg.EVDim)
+		}
+		for _, row := range rows {
+			off := s.env.Store.VectorFileOffset(row)
+			if materialize {
+				data, done := s.host.ReadAt(now, f, off, cfg.EVSize())
+				now = done
+				tensor.AccumulateInto(sum, model.DecodeEV(data))
+			} else {
+				now = s.host.ReadAtTiming(now, f, off, cfg.EVSize())
+			}
+		}
+		if materialize {
+			pooled[t] = sum
+		}
+	}
+	after := s.host.Cache().Stats()
+	hits := after.Hits - before.Hits
+	misses := after.Misses - before.Misses
+	// Split the read time into device and I/O-stack components.
+	embSSD := time.Duration(misses) * (params.NVMeCmdCost + params.TPage + params.NVMeCompletionCost)
+	embFS := time.Duration(hits)*params.PageCacheHitCost + time.Duration(misses)*params.PageCacheMissOverhead
+	return pooled, now, embSSD, embFS
+}
+
+func (s *NaiveSSD) finish(at sim.Time, readDone sim.Time, embSSD, embFS time.Duration) (sim.Time, Breakdown) {
+	bot, concat, top, other := hostMLP(s.env.M)
+	bd := Breakdown{
+		EmbSSD: embSSD,
+		EmbFS:  embFS,
+		EmbOp:  s.env.M.SLSComputeTime(),
+		Concat: concat,
+		BotMLP: bot,
+		TopMLP: top,
+		Other:  other,
+	}
+	done := readDone + bd.EmbOp + bd.Concat + bd.BotMLP + bd.TopMLP + bd.Other
+	_ = at
+	return done, bd
+}
+
+// Infer implements System.
+func (s *NaiveSSD) Infer(at sim.Time, dense tensor.Vector, sparse [][]int64) (float32, sim.Time, Breakdown) {
+	checkSparse(s.env.M, sparse)
+	pooled, readDone, embSSD, embFS := s.readEmbeddings(at, sparse, true)
+	done, bd := s.finish(at, readDone, embSSD, embFS)
+	return hostForward(s.env.M, dense, pooled), done, bd
+}
+
+// InferTiming implements System.
+func (s *NaiveSSD) InferTiming(at sim.Time, sparse [][]int64) (sim.Time, Breakdown) {
+	checkSparse(s.env.M, sparse)
+	_, readDone, embSSD, embFS := s.readEmbeddings(at, sparse, false)
+	return s.finish(at, readDone, embSSD, embFS)
+}

@@ -1,0 +1,92 @@
+package baseline
+
+import (
+	"time"
+
+	"rmssd/internal/engine"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+)
+
+// EmbPageSum is the paper's EMB-PageSum configuration: "all embedding
+// vector related pages are also read from flash channels, but sum
+// operations are performed inside the SSD". The in-storage engine issues
+// the page reads back to back, exploiting channel/die parallelism, and
+// only the pooled vectors cross PCIe — but each lookup still moves a whole
+// page off the flash dies, so the channel buses carry 4 KiB per vector.
+type EmbPageSum struct {
+	env *Env
+	tr  *engine.Translator
+}
+
+// NewEmbPageSum builds the EMB-PageSum system.
+func NewEmbPageSum(env *Env) *EmbPageSum {
+	return &EmbPageSum{env: env, tr: engine.NewTranslator(env.Store, env.Dev.PageSize())}
+}
+
+// Name implements System.
+func (s *EmbPageSum) Name() string { return "EMB-PageSum" }
+
+// Model implements System.
+func (s *EmbPageSum) Model() *model.Model { return s.env.M }
+
+// pool performs the in-SSD page-grained pooling.
+func (s *EmbPageSum) pool(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time) {
+	cfg := s.env.M.Cfg
+	ps := int64(s.env.Dev.PageSize())
+	var pooled []tensor.Vector
+	if materialize {
+		pooled = make([]tensor.Vector, cfg.Tables)
+		for t := range pooled {
+			pooled[t] = make(tensor.Vector, cfg.EVDim)
+		}
+	}
+	issue := at
+	done := at
+	for t, rows := range sparse {
+		for _, row := range rows {
+			issue += params.CycleTime
+			addr := s.tr.Lookup(t, row)
+			lpn := addr / ps
+			readDone := s.env.Dev.ReadPageInternalTiming(issue, lpn)
+			done = sim.Max(done, readDone)
+			if materialize {
+				data := s.env.Dev.PeekRange(addr, cfg.EVSize())
+				tensor.AccumulateInto(pooled[t], model.DecodeEV(data))
+			}
+		}
+	}
+	return pooled, done
+}
+
+func (s *EmbPageSum) finish(at, poolDone sim.Time) (sim.Time, Breakdown) {
+	cfg := s.env.M.Cfg
+	bot, concat, top, other := hostMLP(s.env.M)
+	ret := DMAOut(int64(cfg.Tables) * int64(cfg.EVSize()))
+	bd := Breakdown{
+		EmbSSD: time.Duration(poolDone - at),
+		EmbFS:  ret,
+		Concat: concat,
+		BotMLP: bot,
+		TopMLP: top,
+		Other:  other,
+	}
+	return poolDone + ret + bd.Concat + bd.BotMLP + bd.TopMLP + bd.Other, bd
+}
+
+// Infer implements System.
+func (s *EmbPageSum) Infer(at sim.Time, dense tensor.Vector, sparse [][]int64) (float32, sim.Time, Breakdown) {
+	checkSparse(s.env.M, sparse)
+	pooled, poolDone := s.pool(at, sparse, true)
+	done, bd := s.finish(at, poolDone)
+	return hostForward(s.env.M, dense, pooled), done, bd
+}
+
+// InferTiming implements System.
+func (s *EmbPageSum) InferTiming(at sim.Time, sparse [][]int64) (sim.Time, Breakdown) {
+	checkSparse(s.env.M, sparse)
+	_, poolDone := s.pool(at, sparse, false)
+	return s.finish(at, poolDone)
+}

@@ -1,0 +1,242 @@
+package baseline
+
+import (
+	"container/list"
+	"time"
+
+	"rmssd/internal/engine"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+)
+
+// DefaultRecSSDCacheBytes sizes RecSSD's host-side vector cache. 512 MiB
+// comfortably holds the hot set of the default synthetic traces, so the
+// cache hit ratio converges to the trace's hot mass — the mechanism behind
+// Fig. 14's locality sensitivity.
+const DefaultRecSSDCacheBytes = 512 << 20
+
+// vecKey identifies a cached embedding vector.
+type vecKey struct {
+	table int
+	row   int64
+}
+
+// VectorCache is RecSSD's host-side cache of individual embedding vectors.
+type VectorCache struct {
+	capacity int // entries
+	lru      *list.List
+	index    map[vecKey]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type vecEntry struct {
+	key vecKey
+	val tensor.Vector
+}
+
+// NewVectorCache creates a cache bounded to capacityBytes of vectors of
+// evSize bytes each.
+func NewVectorCache(capacityBytes int64, evSize int) *VectorCache {
+	return &VectorCache{
+		capacity: int(capacityBytes / int64(evSize)),
+		lru:      list.New(),
+		index:    make(map[vecKey]*list.Element),
+	}
+}
+
+// Get returns the cached vector, if present.
+func (c *VectorCache) Get(table int, row int64) (tensor.Vector, bool) {
+	if el, ok := c.index[vecKey{table, row}]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*vecEntry).val, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts a vector, evicting the least recently used as needed. A nil
+// value records presence only (timing-only runs).
+func (c *VectorCache) Put(table int, row int64, v tensor.Vector) {
+	key := vecKey{table, row}
+	if el, ok := c.index[key]; ok {
+		el.Value.(*vecEntry).val = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.capacity <= 0 {
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.index, oldest.Value.(*vecEntry).key)
+	}
+	c.index[key] = c.lru.PushFront(&vecEntry{key: key, val: v})
+}
+
+// Len returns the number of cached vectors.
+func (c *VectorCache) Len() int { return c.lru.Len() }
+
+// HitRatio returns the observed hit ratio.
+func (c *VectorCache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// ResetStats zeroes the hit/miss counters, keeping contents.
+func (c *VectorCache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// RecSSD re-implements Wilkening et al.'s near-data design on the
+// simulated SSD, following the paper's own re-implementation notes
+// (Section VI-C): page-grained in-SSD reads and pooling for vectors that
+// miss the host-side cache (the design is "similar to EMB-PageSum plus a
+// userspace cache"), with the returned partial sums merged against cached
+// vectors on the host.
+type RecSSD struct {
+	env   *Env
+	tr    *engine.Translator
+	cache *VectorCache
+	// channels models the firmware's synchronous per-channel page
+	// service: one outstanding page per channel, Tpage plus firmware
+	// overhead each (no die-level pipelining, unlike the RM-SSD
+	// hardware engines).
+	channels *sim.Pool
+}
+
+// NewRecSSD builds RecSSD with the default host cache size.
+func NewRecSSD(env *Env) *RecSSD {
+	return NewRecSSDWithCache(env, DefaultRecSSDCacheBytes)
+}
+
+// NewRecSSDWithCache builds RecSSD with an explicit host cache budget.
+func NewRecSSDWithCache(env *Env, cacheBytes int64) *RecSSD {
+	return &RecSSD{
+		env:      env,
+		tr:       engine.NewTranslator(env.Store, env.Dev.PageSize()),
+		cache:    NewVectorCache(cacheBytes, env.M.Cfg.EVSize()),
+		channels: sim.NewPool("recssd.ch", env.Dev.Array().Geometry().Channels),
+	}
+}
+
+// pageRead serves one firmware page read on the page's home channel and
+// returns its completion time.
+func (s *RecSSD) pageRead(at sim.Time, lpn int64) sim.Time {
+	ch := s.channels.Get(int(lpn % int64(s.channels.Len())))
+	_, done := ch.Acquire(at, params.TPage+params.RecSSDFirmwarePageOverhead)
+	return done
+}
+
+// Name implements System.
+func (s *RecSSD) Name() string { return "RecSSD" }
+
+// Model implements System.
+func (s *RecSSD) Model() *model.Model { return s.env.M }
+
+// Cache exposes the host-side vector cache.
+func (s *RecSSD) Cache() *VectorCache { return s.cache }
+
+// PreWarmHot statically populates the host cache with the trace's hot set,
+// hottest entries most recent, emulating RecSSD's history-partitioned
+// cache ("the host-side cache of RecSSD is statically partitioned based on
+// history input"). hotRow(table, rank) returns the rank-th hottest row of
+// the table; hotPerTable bounds how many ranks exist.
+func (s *RecSSD) PreWarmHot(hotRow func(table int, rank int64) int64, hotPerTable int64) {
+	tables := s.env.M.Cfg.Tables
+	per := int64(s.cache.capacity / tables)
+	if per > hotPerTable {
+		per = hotPerTable
+	}
+	// Insert coldest-first so the hottest entries end up most recent.
+	for t := 0; t < tables; t++ {
+		for rank := per - 1; rank >= 0; rank-- {
+			s.cache.Put(t, hotRow(t, rank), nil)
+		}
+	}
+}
+
+func (s *RecSSD) infer(at sim.Time, dense tensor.Vector, sparse [][]int64, materialize bool) (float32, sim.Time, Breakdown) {
+	cfg := s.env.M.Cfg
+	ps := int64(s.env.Dev.PageSize())
+
+	var pooled []tensor.Vector
+	if materialize {
+		pooled = make([]tensor.Vector, cfg.Tables)
+		for t := range pooled {
+			pooled[t] = make(tensor.Vector, cfg.EVDim)
+		}
+	}
+	// Partition lookups into host-cache hits and device misses; misses go
+	// to the SSD as page-grained ISC reads, pooled on the device.
+	issue := at
+	devDone := at
+	var hits, misses int64
+	for t, rows := range sparse {
+		for _, row := range rows {
+			// A presence-only entry (from a timing run) cannot serve a
+			// materialised inference; treat it as a miss then.
+			if v, ok := s.cache.Get(t, row); ok && (!materialize || v != nil) {
+				hits++
+				if materialize {
+					tensor.AccumulateInto(pooled[t], v)
+				}
+				continue
+			}
+			misses++
+			issue += params.CycleTime
+			addr := s.tr.Lookup(t, row)
+			readDone := s.pageRead(issue, addr/ps)
+			devDone = sim.Max(devDone, readDone)
+			var v tensor.Vector
+			if materialize {
+				v = model.DecodeEV(s.env.Dev.PeekRange(addr, cfg.EVSize()))
+				tensor.AccumulateInto(pooled[t], v)
+			}
+			s.cache.Put(t, row, v)
+		}
+	}
+
+	// Partial sums return over DMA; the host merges them with the cached
+	// vectors' contribution (gather + accumulate per hit).
+	ret := DMAOut(int64(cfg.Tables) * int64(cfg.EVSize()))
+	merge := time.Duration(hits)*params.CPULookupCost +
+		time.Duration((hits*int64(cfg.EVDim)+int64(cfg.Tables*cfg.EVDim))/
+			params.CPUAccumulateElemsPerNanosecond)*time.Nanosecond
+
+	bot, concat, top, other := hostMLP(s.env.M)
+	bd := Breakdown{
+		EmbSSD: time.Duration(devDone - at),
+		EmbFS:  ret,
+		EmbOp:  merge,
+		Concat: concat,
+		BotMLP: bot,
+		TopMLP: top,
+		Other:  other,
+	}
+	done := devDone + ret + merge + bd.Concat + bd.BotMLP + bd.TopMLP + bd.Other
+
+	var out float32
+	if materialize {
+		out = hostForward(s.env.M, dense, pooled)
+	}
+	return out, done, bd
+}
+
+// Infer implements System.
+func (s *RecSSD) Infer(at sim.Time, dense tensor.Vector, sparse [][]int64) (float32, sim.Time, Breakdown) {
+	checkSparse(s.env.M, sparse)
+	return s.infer(at, dense, sparse, true)
+}
+
+// InferTiming implements System.
+func (s *RecSSD) InferTiming(at sim.Time, sparse [][]int64) (sim.Time, Breakdown) {
+	checkSparse(s.env.M, sparse)
+	_, done, bd := s.infer(at, nil, sparse, false)
+	return done, bd
+}

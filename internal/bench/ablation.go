@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+
+	"rmssd/internal/core"
+	"rmssd/internal/engine"
+	"rmssd/internal/flash"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/ssd"
+)
+
+// Ablations quantifies each of RM-SSD's design choices in isolation:
+//
+//   - vector-grained vs page-grained in-storage reads (Section IV-B);
+//   - intra-layer decomposition + inter-layer composition vs the naive
+//     layer-by-layer mapping (Section IV-C2/C3);
+//   - system-level pipelining vs serial stages (Section IV-D);
+//   - flash parallelism sensitivity (channels x dies), the lever behind
+//     Eq. 1a's bEV.
+func Ablations(opts Options) []*Table {
+	opts = opts.withDefaults()
+	return []*Table{
+		ablationReadGranularity(opts),
+		ablationMLPMapping(opts),
+		ablationPipelining(opts),
+		ablationFlashParallelism(opts),
+		ablationScaleOut(opts),
+		ablationQueueDepth(opts),
+	}
+}
+
+// ablationReadGranularity compares the per-vector flash cost of page- and
+// vector-grained reads analytically (the Section IV-B2 argument).
+func ablationReadGranularity(opts Options) *Table {
+	t := &Table{
+		Title:  "Ablation: read granularity (per-vector flash channel cost)",
+		Header: []string{"EV size", "Page-grained (cycles)", "Vector-grained (cycles)", "Bulk gain"},
+	}
+	for _, evSize := range []int{64, 128, 256} {
+		// Per-vector steady-state channel occupancy: page reads are
+		// bus-bound at the full page transfer; vector reads at
+		// max(flush/dies, vector transfer).
+		pageCost := float64(params.PageTransferCycles)
+		if f := float64(params.FlushCycles) / float64(params.DiesPerChannel); f > pageCost {
+			pageCost = f
+		}
+		vecCost := float64(params.VectorTransferCycles(evSize))
+		if f := float64(params.FlushCycles) / float64(params.DiesPerChannel); f > vecCost {
+			vecCost = f
+		}
+		t.AddRow(fmt.Sprintf("%dB", evSize),
+			fmt.Sprintf("%.0f", pageCost), fmt.Sprintf("%.0f", vecCost),
+			fmt.Sprintf("%.2fx", pageCost/vecCost))
+	}
+	t.Notes = append(t.Notes,
+		"latency gain per read is larger: C_EV(128B)=2837 cycles vs Cpage=4000")
+	return t
+}
+
+// ablationMLPMapping compares the three MLP engine designs' stage times and
+// resources at the searched design's batch size.
+func ablationMLPMapping(opts Options) *Table {
+	t := &Table{
+		Title:  "Ablation: MLP mapping (decomposition + composition + search)",
+		Header: []string{"Model", "Design", "NBatch", "Tbot'", "Ttop'", "LUT", "DSP"},
+	}
+	for _, name := range []string{"RMC1", "RMC3"} {
+		cfg := scaledConfig(name, opts)
+		m := model.MustBuild(cfg)
+		searched, err := engine.NewMLPEngine(m, engine.DesignSearched, params.XCVU9P)
+		if err != nil {
+			continue
+		}
+		nb := searched.NBatch
+		for _, d := range []engine.Design{engine.DesignNaive, engine.DesignDefault, engine.DesignSearched} {
+			e, err := engine.NewMLPEngine(m, d, params.XCVU9P)
+			if err != nil {
+				continue
+			}
+			_, bot, top := e.StageTimes(nb, params.NumChannels, params.DiesPerChannel)
+			r := e.Resources()
+			t.AddRow(name, d.String(), fmt.Sprintf("%d", nb),
+				bot.String(), top.String(),
+				fmt.Sprintf("%d", r.LUT), fmt.Sprintf("%d", r.DSP))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"the searched design holds the default design's throughput at a fraction of its resources")
+	return t
+}
+
+// ablationPipelining compares serial vs pipelined stage execution for the
+// full RM-SSD (Section IV-D's system-level pipelining).
+func ablationPipelining(opts Options) *Table {
+	t := &Table{
+		Title:  "Ablation: system-level pipelining",
+		Header: []string{"Model", "Serial QPS", "Pipelined QPS", "Gain"},
+	}
+	for _, name := range []string{"RMC1", "RMC2", "RMC3"} {
+		cfg := scaledConfig(name, opts)
+		r := rmssdFor(cfg, engine.DesignSearched)
+		nb := r.NBatch()
+		st := r.StageTimes(nb)
+		serial := sim.Throughput(sim.Serial(st...), nb)
+		piped := sim.Throughput(sim.Pipeline(st...).Interval, nb)
+		t.AddRow(name, fmtQPS(serial), fmtQPS(piped), fmt.Sprintf("%.2fx", piped/serial))
+	}
+	t.Notes = append(t.Notes,
+		"pre-sending the next small batch while the device computes hides every non-bottleneck stage")
+	return t
+}
+
+// ablationFlashParallelism sweeps channel and die counts: the bEV lever of
+// Eq. 1a that bounds every embedding-dominated model.
+func ablationFlashParallelism(opts Options) *Table {
+	t := &Table{
+		Title:  "Ablation: flash parallelism (RMC1 steady-state QPS)",
+		Header: []string{"Channels", "Dies/channel", "bEV (Mvec/s)", "RM-SSD QPS"},
+	}
+	cfg := scaledConfig("RMC1", opts)
+	for _, channels := range []int{2, 4, 8} {
+		for _, dies := range []int{1, 3, 6} {
+			g := flash.DefaultGeometry()
+			g.Channels = channels
+			g.DiesPerChannel = dies
+			// Keep capacity roughly constant.
+			g.BlocksPerPlane = g.BlocksPerPlane * (4 * 3) / (channels * dies)
+			r, err := core.New(cfg, core.Options{Geometry: g})
+			if err != nil {
+				t.AddRow(fmt.Sprintf("%d", channels), fmt.Sprintf("%d", dies), "-", "error: "+err.Error())
+				continue
+			}
+			bev := engine.VectorReadBandwidth(cfg.EVSize(), channels, dies) / 1e6
+			t.AddRow(fmt.Sprintf("%d", channels), fmt.Sprintf("%d", dies),
+				fmt.Sprintf("%.2f", bev), fmtQPS(r.SteadyStateQPS(r.NBatch())))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"vector-read bandwidth scales with channels x dies until the channel bus saturates")
+	return t
+}
+
+// ablationScaleOut shards a model's tables across several RM-SSDs (the
+// SSD-level parallelism Section II-B mentions): each device hosts
+// tables/D tables and the host scatters lookups, so the embedding stage
+// divides by D until the per-device MLP floor shows.
+func ablationScaleOut(opts Options) *Table {
+	t := &Table{
+		Title:  "Ablation: multi-SSD scale-out (RMC2, tables sharded across devices)",
+		Header: []string{"Devices", "Tables/device", "Aggregate QPS", "Scaling"},
+	}
+	cfg := scaledConfig("RMC2", opts)
+	var base float64
+	for _, devices := range []int{1, 2, 4, 8} {
+		shard := cfg
+		shard.Tables = cfg.Tables / devices
+		if shard.Tables == 0 {
+			continue
+		}
+		// Keep the per-model budget constant: each shard holds its share.
+		r := rmssdFor(shard, engine.DesignSearched)
+		nb := r.NBatch()
+		qps := r.SteadyStateQPS(nb) // every device serves each inference's shard
+		if devices == 1 {
+			base = qps
+		}
+		t.AddRow(fmt.Sprintf("%d", devices), fmt.Sprintf("%d", shard.Tables),
+			fmtQPS(qps), fmt.Sprintf("%.2fx", qps/base))
+	}
+	t.Notes = append(t.Notes,
+		"the inference completes when the slowest shard finishes; with equal shards",
+		"throughput scales near-linearly until the top-MLP stage floors it")
+	return t
+}
+
+// ablationQueueDepth sweeps the block path's queue depth: Table II's 45K
+// IOPS is a QD1 latency artifact; the flash array behind it sustains far
+// more, which is exactly the parallelism the in-storage engines tap
+// without the host round trip (Section II-B's bandwidth-mismatch
+// motivation).
+func ablationQueueDepth(opts Options) *Table {
+	t := &Table{
+		Title:  "Ablation: block-path random 4K reads vs queue depth",
+		Header: []string{"QD", "IOPS", "Bandwidth (MB/s)"},
+	}
+	cfg := scaledConfig("RMC1", opts)
+	for _, qd := range []int{1, 4, 16, 64} {
+		dev := envFor(cfg).Dev
+		qp, err := ssd.NewQueuePair(dev, qd)
+		if err != nil {
+			t.AddRow(fmt.Sprintf("%d", qd), "error: "+err.Error(), "-")
+			continue
+		}
+		iops := qp.MeasureRandomReadIOPS(512, opts.Seed+uint64(qd))
+		t.AddRow(fmt.Sprintf("%d", qd), fmt.Sprintf("%.0f", iops),
+			fmt.Sprintf("%.0f", iops*4096/1e6))
+	}
+	t.Notes = append(t.Notes,
+		"QD1 lands at Table II's 45K IOPS; deeper queues expose the flash array's",
+		"internal parallelism — the bandwidth the in-storage engines exploit directly")
+	return t
+}

@@ -1,0 +1,427 @@
+package bench
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickOpts shrinks experiments for unit testing: small tables, few
+// iterations. The experiment logic is identical to paper scale.
+func quickOpts() Options {
+	return Options{
+		Iterations:       6,
+		WarmupIterations: 3,
+		TableBytes:       64 << 20, // 64 MiB tables
+		Seed:             7,
+	}
+}
+
+func cell(t *Table, row, col int) string { return t.Rows[row][col] }
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return f
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(exps))
+	}
+	if _, err := Find("fig12"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	for _, name := range []string{"table2", "table3", "table5", "table6"} {
+		e, err := Find(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tabs := e.Run(quickOpts())
+		if len(tabs) == 0 || len(tabs[0].Rows) == 0 {
+			t.Fatalf("%s produced no rows", name)
+		}
+		if !strings.Contains(tabs[0].String(), "==") {
+			t.Fatalf("%s render broken", name)
+		}
+	}
+}
+
+func TestTable6Claims(t *testing.T) {
+	tab := Table6()
+	// Locate RMC3 rows: MLP-naive must not fit XC7A200T; MLP-op must.
+	var naiveFits, opFits string
+	for _, row := range tab.Rows {
+		if row[0] == "RMC3" && row[1] == "MLP-naive" {
+			naiveFits = row[7]
+		}
+		if row[0] == "RMC3" && row[1] == "MLP-op" {
+			opFits = row[7]
+		}
+	}
+	if naiveFits != "no" {
+		t.Fatalf("RMC3 MLP-naive fits XC7A200T = %q, want no", naiveFits)
+	}
+	if opFits != "yes" {
+		t.Fatalf("RMC3 MLP-op fits XC7A200T = %q, want yes", opFits)
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	tabs := Fig2(quickOpts())
+	if len(tabs) != 2 {
+		t.Fatalf("Fig2 returned %d tables", len(tabs))
+	}
+	timeTab := tabs[0]
+	if len(timeTab.Rows) != 9 { // 3 models x 3 batch sizes
+		t.Fatalf("Fig2 rows = %d, want 9", len(timeTab.Rows))
+	}
+	// SSD-S must be slower than DRAM everywhere.
+	for _, row := range timeTab.Rows {
+		ssds := parseF(t, row[2])
+		dram := parseF(t, row[4])
+		if ssds <= dram {
+			t.Fatalf("row %v: SSD-S (%v) not slower than DRAM (%v)", row, ssds, dram)
+		}
+	}
+	// Breakdown rows must sum to ~100%.
+	for _, row := range tabs[1].Rows {
+		var sum float64
+		for _, c := range row[3:] {
+			sum += parseF(t, c)
+		}
+		if sum < 99 || sum > 101 {
+			t.Fatalf("breakdown row %v sums to %v", row, sum)
+		}
+	}
+}
+
+func TestFig3Amplification(t *testing.T) {
+	tabs := Fig3(quickOpts())
+	for _, row := range tabs[0].Rows {
+		ssdm := parseF(t, row[2])
+		ssds := parseF(t, row[3])
+		if ssds < 2 || ssds > 32 {
+			t.Fatalf("%s SSD-S amplification %v implausible", row[0], ssds)
+		}
+		if ssdm > ssds*1.05 {
+			t.Fatalf("%s: SSD-M amplification %v exceeds SSD-S %v", row[0], ssdm, ssds)
+		}
+	}
+}
+
+func TestFig4Stats(t *testing.T) {
+	tabs := Fig4(quickOpts())
+	if len(tabs) != 3 {
+		t.Fatalf("Fig4 returned %d tables", len(tabs))
+	}
+	single := parseF(t, cell(tabs[0], 2, 1))
+	if single < 30 {
+		t.Fatalf("single-occurrence share %v%% too low", single)
+	}
+	topShare := parseF(t, cell(tabs[0], 3, 1))
+	if topShare <= 0 || topShare > 100 {
+		t.Fatalf("top-K share %v%% out of range", topShare)
+	}
+}
+
+func TestFig10Ordering(t *testing.T) {
+	tabs := Fig10(quickOpts())
+	a := tabs[0]
+	// Rows: SSD-S, EMB-MMIO, EMB-PageSum, EMB-VectorSum, DRAM.
+	times := make([]float64, 5)
+	for i := range times {
+		times[i] = parseF(t, cell(a, i, 1))
+	}
+	if !(times[0] > times[1] && times[1] > times[2] && times[2] > times[3]) {
+		t.Fatalf("Fig10 ordering violated: %v", times)
+	}
+	// Sensitivity table: EMB-VectorSum time grows with lookups.
+	b := tabs[1]
+	prev := 0.0
+	for i := range b.Rows {
+		v := parseF(t, cell(b, i, 4))
+		if v < prev {
+			t.Fatalf("EMB-VectorSum not monotone in lookups: %v then %v", prev, v)
+		}
+		prev = v
+	}
+}
+
+func TestFig11HasAllSystems(t *testing.T) {
+	tabs := Fig11(quickOpts())
+	if len(tabs[0].Rows) != 15 { // 3 models x 5 systems
+		t.Fatalf("Fig11 rows = %d, want 15", len(tabs[0].Rows))
+	}
+}
+
+func TestFig12Claims(t *testing.T) {
+	tabs := Fig12(quickOpts())
+	if len(tabs) != 3 {
+		t.Fatalf("Fig12 returned %d tables", len(tabs))
+	}
+	for _, tab := range tabs {
+		isRMC3 := strings.Contains(tab.Title, "RMC3")
+		for i, row := range tab.Rows {
+			ssds := parseF(t, row[1])
+			rec := parseF(t, row[2])
+			full := parseF(t, row[5])
+			if full < 5*ssds {
+				t.Errorf("%s batch %s: RM-SSD %v not >=5x SSD-S %v", tab.Title, row[0], full, ssds)
+			}
+			if !isRMC3 && full < rec {
+				t.Errorf("%s batch %s: RM-SSD %v below RecSSD %v", tab.Title, row[0], full, rec)
+			}
+			_ = i
+		}
+		// Embedding-bound models stay ~flat with batch; RMC3 grows then
+		// saturates.
+		q1 := parseF(t, cell(tab, 0, 5))
+		q32 := parseF(t, cell(tab, 5, 5))
+		if isRMC3 {
+			if q32 < 2*q1 {
+				t.Errorf("RMC3 RM-SSD should scale with batch: %v -> %v", q1, q32)
+			}
+		} else if q32 < q1*0.9 {
+			t.Errorf("%s RM-SSD dropped with batch: %v -> %v", tab.Title, q1, q32)
+		}
+	}
+}
+
+func TestFig14RecSSDDegrades(t *testing.T) {
+	tabs := Fig14(quickOpts())
+	for _, tab := range tabs {
+		// RecSSD QPS must fall from K=0 to K=2; RM-SSD stays constant.
+		recHi := parseF(t, cell(tab, 0, 2))
+		recLo := parseF(t, cell(tab, 3, 2))
+		if recLo >= recHi {
+			t.Errorf("%s: RecSSD did not degrade: %v -> %v", tab.Title, recHi, recLo)
+		}
+		rm0 := cell(tab, 0, 4)
+		rm3 := cell(tab, 3, 4)
+		if rm0 != rm3 {
+			t.Errorf("%s: RM-SSD varied with locality: %s vs %s", tab.Title, rm0, rm3)
+		}
+	}
+}
+
+func TestFig15Claims(t *testing.T) {
+	tabs := Fig15(quickOpts())
+	for _, row := range tabs[0].Rows {
+		ssds := parseF(t, row[1])
+		rec := parseF(t, row[2])
+		full := parseF(t, row[5])
+		dram := parseF(t, row[6])
+		if full < 10*ssds {
+			t.Errorf("%s: RM-SSD %v not >=10x SSD-S %v", row[0], full, ssds)
+		}
+		if full < 3*rec {
+			t.Errorf("%s: RM-SSD %v not >=3x RecSSD %v", row[0], full, rec)
+		}
+		if full < dram {
+			t.Errorf("%s: RM-SSD %v below DRAM %v", row[0], full, dram)
+		}
+	}
+}
+
+func TestTable4Reductions(t *testing.T) {
+	tabs := Table4(quickOpts())
+	for _, row := range tabs[0].Rows {
+		rec := parseF(t, row[2])
+		rm := parseF(t, row[3+0])
+		_ = rm
+		rmssd := parseF(t, row[4])
+		if rec < 10 {
+			t.Errorf("%s: RecSSD reduction %v too small", row[0], rec)
+		}
+		if rmssd < rec {
+			t.Errorf("%s: RM-SSD reduction %v below RecSSD %v", row[0], rmssd, rec)
+		}
+	}
+}
+
+func TestFig13Latencies(t *testing.T) {
+	tabs := Fig13(quickOpts())
+	for _, row := range tabs[0].Rows {
+		ssds := parseF(t, row[1])
+		rm := parseF(t, row[4])
+		if rm >= ssds {
+			t.Errorf("%s: RM-SSD latency %v not below SSD-S %v", row[0], rm, ssds)
+		}
+	}
+}
+
+func TestRenderContainsNotes(t *testing.T) {
+	tab := Table2()
+	tab.Notes = append(tab.Notes, "hello")
+	if !strings.Contains(tab.String(), "note: hello") {
+		t.Fatal("notes not rendered")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	tabs := Ablations(quickOpts())
+	if len(tabs) != 6 {
+		t.Fatalf("Ablations returned %d tables", len(tabs))
+	}
+	// Read-granularity gain must favour vector reads for every EV size.
+	for _, row := range tabs[0].Rows {
+		if parseF(t, row[3]) < 1 {
+			t.Fatalf("vector-grained reads not cheaper: %v", row)
+		}
+	}
+	// Pipelining must help every model.
+	for _, row := range tabs[2].Rows {
+		if parseF(t, row[3]) <= 1 {
+			t.Fatalf("pipelining gain <= 1: %v", row)
+		}
+	}
+	// Flash parallelism: QPS must grow from (2ch,1die) to (8ch,6die).
+	fp := tabs[3]
+	first := parseF(t, fp.Rows[0][3])
+	last := parseF(t, fp.Rows[len(fp.Rows)-1][3])
+	if last <= first {
+		t.Fatalf("parallelism sweep not monotone: %v -> %v", first, last)
+	}
+	// Scale-out: aggregate QPS grows with device count.
+	so := tabs[4]
+	if parseF(t, so.Rows[len(so.Rows)-1][2]) <= parseF(t, so.Rows[0][2]) {
+		t.Fatal("scale-out did not improve throughput")
+	}
+	// Queue depth: QD1 near 45K IOPS; deep queues far above.
+	qd := tabs[5]
+	qd1 := parseF(t, qd.Rows[0][1])
+	qd64 := parseF(t, qd.Rows[len(qd.Rows)-1][1])
+	if qd1 < 38000 || qd1 > 52000 {
+		t.Fatalf("QD1 IOPS = %v, want ~45K", qd1)
+	}
+	if qd64 < 3*qd1 {
+		t.Fatalf("QD64 (%v) should far exceed QD1 (%v)", qd64, qd1)
+	}
+}
+
+func TestWriteLoad(t *testing.T) {
+	opts := quickOpts()
+	opts.TableBytes = 16 << 20
+	tabs := WriteLoad(opts)
+	rows := tabs[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("writeload rows = %d", len(rows))
+	}
+	baseline := parseF(t, rows[0][1])
+	heavy := parseF(t, rows[len(rows)-1][1])
+	if heavy >= baseline {
+		t.Fatalf("updates did not slow inference: %v -> %v", baseline, heavy)
+	}
+	if heavy < baseline/3 {
+		t.Fatalf("degradation not graceful: %v -> %v", baseline, heavy)
+	}
+	for _, row := range rows[1:] {
+		if waf := parseF(t, row[3]); waf < 1 {
+			t.Fatalf("WAF %v < 1 with updates", waf)
+		}
+	}
+}
+
+func TestEnergyStudy(t *testing.T) {
+	tabs := EnergyStudy(quickOpts())
+	rows := tabs[0].Rows
+	if len(rows) != 6 { // 2 models x 3 systems
+		t.Fatalf("energy rows = %d", len(rows))
+	}
+	// RM-SSD's per-inference energy must undercut both host deployments
+	// for the embedding-dominated model (row order: DRAM, SSD-S, RM-SSD).
+	parse := func(s string) float64 {
+		var v float64
+		var unit string
+		if _, err := fmt.Sscanf(s, "%f %s", &v, &unit); err != nil {
+			t.Fatalf("energy cell %q: %v", s, err)
+		}
+		switch unit {
+		case "nJ":
+			return v
+		case "uJ":
+			return v * 1e3
+		case "mJ":
+			return v * 1e6
+		case "J":
+			return v * 1e9
+		}
+		t.Fatalf("unknown unit %q", unit)
+		return 0
+	}
+	dram := parse(rows[0][2])
+	ssds := parse(rows[1][2])
+	rm := parse(rows[2][2])
+	if rm >= dram || rm >= ssds {
+		t.Fatalf("RM-SSD energy %v not below DRAM %v and SSD-S %v", rm, dram, ssds)
+	}
+}
+
+func TestQuantStudy(t *testing.T) {
+	tabs := QuantStudy(quickOpts())
+	for _, row := range tabs[0].Rows {
+		maxDev := parseF(t, row[1])
+		if maxDev <= 0 || maxDev > 0.05 {
+			t.Fatalf("%s: max CTR deviation %v outside (0, 0.05]", row[0], maxDev)
+		}
+		fp32 := parseF(t, row[3])
+		int8b := parseF(t, row[4])
+		if ratio := fp32 / int8b; ratio < 3.4 || ratio > 3.8 {
+			t.Fatalf("%s: capacity saving %.2fx, want ~3.6x", row[0], ratio)
+		}
+		if parseF(t, row[5]) != parseF(t, row[6]) {
+			t.Fatalf("%s: bEV changed under quantization; flush-limited flash should hide it", row[0])
+		}
+	}
+}
+
+func TestServingStudy(t *testing.T) {
+	tabs := ServingStudy(quickOpts())
+	rows := tabs[0].Rows
+	if len(rows) < 6 {
+		t.Fatalf("serving rows = %d", len(rows))
+	}
+	// RM-SSD's P99 at 90% load must stay bounded (parse as duration).
+	var rm90 string
+	for _, row := range rows {
+		if row[0] == "RM-SSD" {
+			rm90 = row[5]
+		}
+	}
+	d, err := time.ParseDuration(rm90)
+	if err != nil {
+		t.Fatalf("P99 cell %q: %v", rm90, err)
+	}
+	if d > 200*time.Millisecond {
+		t.Fatalf("RM-SSD P99 at 90%% load = %v, should stay bounded", d)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := Table2()
+	var sb strings.Builder
+	if err := tab.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(tab.Rows)+1 {
+		t.Fatalf("CSV lines = %d, want %d", len(lines), len(tab.Rows)+1)
+	}
+	if !strings.HasPrefix(lines[0], "Setting,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}

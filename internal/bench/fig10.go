@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"rmssd/internal/baseline"
+	"rmssd/internal/engine"
+	"rmssd/internal/model"
+	"rmssd/internal/sim"
+)
+
+// slsSystems builds the Fig. 10/11 comparison set over fresh devices.
+func slsSystems(cfg model.Config) []baseline.System {
+	return []baseline.System{
+		baseline.NewSSDS(envFor(cfg)),
+		baseline.NewEmbMMIO(envFor(cfg)),
+		baseline.NewEmbPageSum(envFor(cfg)),
+		baseline.NewEmbVectorSum(envFor(cfg)),
+		baseline.NewDRAM(model.MustBuild(cfg)),
+	}
+}
+
+// measureEmb runs iterations of a system and returns the summed
+// embedding-layer time and total time.
+func measureEmb(sys baseline.System, cfg model.Config, opts Options) (emb, total time.Duration) {
+	gen := traceFor(cfg, opts)
+	var now sim.Time
+	for i := 0; i < opts.WarmupIterations; i++ {
+		done, _ := sys.InferTiming(now, gen.Inference())
+		now = done
+	}
+	var sum baseline.Breakdown
+	for i := 0; i < opts.Iterations; i++ {
+		done, bd := sys.InferTiming(now, gen.Inference())
+		now = done
+		sum = sum.Add(bd)
+	}
+	return sum.Emb(), sum.Total()
+}
+
+// Fig10 reproduces the standalone SLS-operator study: (a) execution time of
+// the embedding layer per implementation on the RMC1 configuration, and
+// (b) sensitivity to the number of lookups per table.
+func Fig10(opts Options) []*Table {
+	opts = opts.withDefaults()
+	cfg := scaledConfig("RMC1", opts)
+
+	a := &Table{
+		Title:  "Fig. 10(a): SLS operator execution time, 1K ops (seconds)",
+		Header: []string{"System", "Time (s)", "Speedup vs SSD-S"},
+	}
+	var base float64
+	for _, sys := range slsSystems(cfg) {
+		emb, _ := measureEmb(sys, cfg, opts)
+		sec := emb.Seconds() * 1000 / float64(opts.Iterations)
+		if sys.Name() == "SSD-S" {
+			base = sec
+		}
+		speed := "-"
+		if base > 0 {
+			speed = fmt.Sprintf("%.1fx", base/sec)
+		}
+		a.AddRow(sys.Name(), fmtSeconds(sec), speed)
+	}
+	a.Notes = append(a.Notes, "paper: EMB-VectorSum outperforms SSD-S by ~16x on the SLS operator")
+
+	b := &Table{
+		Title:  "Fig. 10(b): SLS sensitivity to lookups per table (1K ops, seconds)",
+		Header: []string{"Lookups", "SSD-S", "EMB-MMIO", "EMB-PageSum", "EMB-VectorSum", "DRAM"},
+	}
+	for _, lookups := range []int{20, 40, 60, 80, 100, 120} {
+		c := cfg
+		c.Lookups = lookups
+		row := []string{fmt.Sprintf("%d", lookups)}
+		for _, sys := range slsSystems(c) {
+			emb, _ := measureEmb(sys, c, opts)
+			row = append(row, fmtSeconds(emb.Seconds()*1000/float64(opts.Iterations)))
+		}
+		b.AddRow(row...)
+	}
+	b.Notes = append(b.Notes, "paper: execution time increases linearly as lookups scale up")
+	return []*Table{a, b}
+}
+
+// Fig11 reproduces the end-to-end comparison of embedding-lookup
+// implementations with the emb/mlp/others breakdown.
+func Fig11(opts Options) []*Table {
+	opts = opts.withDefaults()
+	t := &Table{
+		Title:  "Fig. 11: end-to-end performance, 1K inferences (seconds)",
+		Header: []string{"Model", "System", "Total", "emb", "mlp", "others"},
+	}
+	for _, name := range []string{"RMC1", "RMC2", "RMC3"} {
+		cfg := scaledConfig(name, opts)
+		for _, sys := range slsSystems(cfg) {
+			gen := traceFor(cfg, opts)
+			var now sim.Time
+			for i := 0; i < opts.WarmupIterations; i++ {
+				done, _ := sys.InferTiming(now, gen.Inference())
+				now = done
+			}
+			var sum baseline.Breakdown
+			for i := 0; i < opts.Iterations; i++ {
+				done, bd := sys.InferTiming(now, gen.Inference())
+				now = done
+				sum = sum.Add(bd)
+			}
+			scale := 1000.0 / float64(opts.Iterations)
+			t.AddRow(name, sys.Name(),
+				fmtSeconds(sum.Total().Seconds()*scale),
+				fmtSeconds(sum.Emb().Seconds()*scale),
+				fmtSeconds(sum.MLP().Seconds()*scale),
+				fmtSeconds(sum.Other.Seconds()*scale))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper (total s): RMC1 23.5/19.1/4.0/2.2/1.4; RMC2 135/81/7.9/3.8/18.5?; RMC3 9.9/5.9/2.2/1.6/2.7",
+		"key claims: EMB-VectorSum up to 17x over SSD-S; beats DRAM on RMC3's embedding layer")
+	return []*Table{t}
+}
+
+// Fig13 reproduces the latency comparison at batch size 1.
+func Fig13(opts Options) []*Table {
+	opts = opts.withDefaults()
+	t := &Table{
+		Title:  "Fig. 13: latency of 1K inferences (seconds)",
+		Header: []string{"Model", "SSD-S", "RecSSD", "EMB-VectorSum", "RM-SSD", "DRAM"},
+	}
+	for _, name := range []string{"RMC1", "RMC2", "RMC3"} {
+		cfg := scaledConfig(name, opts)
+		row := []string{name}
+		systems := []baseline.System{
+			baseline.NewSSDS(envFor(cfg)),
+			recssdFor(cfg, opts),
+			baseline.NewEmbVectorSum(envFor(cfg)),
+		}
+		for _, sys := range systems {
+			gen := traceFor(cfg, opts)
+			var now sim.Time
+			for i := 0; i < opts.WarmupIterations; i++ {
+				done, _ := sys.InferTiming(now, gen.Inference())
+				now = done
+			}
+			start := now
+			for i := 0; i < opts.Iterations; i++ {
+				done, _ := sys.InferTiming(now, gen.Inference())
+				now = done
+			}
+			row = append(row, fmtSeconds(time.Duration(now-start).Seconds()*1000/float64(opts.Iterations)))
+		}
+		rm := rmssdFor(cfg, engine.DesignSearched)
+		row = append(row, fmtSeconds(rm.Latency(1).Seconds()*1000))
+		dram := baseline.NewDRAM(model.MustBuild(cfg))
+		done, _ := dram.InferTiming(0, traceFor(cfg, opts).Inference())
+		row = append(row, fmtSeconds(time.Duration(done).Seconds()*1000))
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: RM-SSD cuts latency by up to 97% vs SSD-S and up to 64% vs RecSSD")
+	return []*Table{t}
+}

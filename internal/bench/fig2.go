@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+
+	"rmssd/internal/baseline"
+	"rmssd/internal/model"
+	"rmssd/internal/sim"
+)
+
+// runBatchSystem measures a BatchSystem over the options' iteration counts
+// and returns the per-iteration breakdown average.
+func runBatchSystem(sys baseline.BatchSystem, gen func() [][][]int64, warm, iters int) baseline.Breakdown {
+	var now sim.Time
+	for i := 0; i < warm; i++ {
+		done, _ := sys.InferBatchTiming(now, gen())
+		now = done
+	}
+	var total baseline.Breakdown
+	for i := 0; i < iters; i++ {
+		done, bd := sys.InferBatchTiming(now, gen())
+		now = done
+		total = total.Add(bd)
+	}
+	return total
+}
+
+// scaleTo1K converts a summed breakdown over iters iterations to the
+// paper's 1K-iteration reporting unit, in seconds.
+func scaleTo1K(total baseline.Breakdown, iters int) float64 {
+	return total.Total().Seconds() * 1000 / float64(iters)
+}
+
+// Fig2 reproduces the naive-deployment study: execution time of 1K batch
+// iterations for SSD-S, SSD-M and DRAM at batch sizes 1, 32 and 64, plus
+// the per-stage breakdown percentages of Fig. 2(d)-(f).
+func Fig2(opts Options) []*Table {
+	opts = opts.withDefaults()
+	timeTab := &Table{
+		Title:  "Fig. 2(a-c): execution time of 1K inferences (seconds)",
+		Header: []string{"Model", "Batch", "SSD-S", "SSD-M", "DRAM"},
+	}
+	bdTab := &Table{
+		Title:  "Fig. 2(d-f): execution time breakdown (%)",
+		Header: []string{"Model", "Batch", "System", "top-mlp", "bot-mlp", "concat", "emb-op", "emb-fs", "emb-ssd", "other"},
+	}
+	for _, name := range []string{"RMC1", "RMC2", "RMC3"} {
+		cfg := scaledConfig(name, opts)
+		for _, batch := range []int{1, 32, 64} {
+			iters := opts.Iterations
+			if batch > 1 && iters > 20 {
+				iters = 20
+			}
+			warm := iters / 2
+			var cells []string
+			systems := []baseline.BatchSystem{
+				baseline.NewSSDS(envFor(cfg)),
+				baseline.NewSSDM(envFor(cfg)),
+				baseline.NewDRAM(model.MustBuild(cfg)),
+			}
+			for _, sys := range systems {
+				gen := traceFor(cfg, opts)
+				next := func() [][][]int64 { return gen.Batch(batch) }
+				total := runBatchSystem(sys, next, warm, iters)
+				cells = append(cells, fmtSeconds(scaleTo1K(total, iters)))
+				tt := float64(total.Total())
+				pct := func(d float64) string { return fmt.Sprintf("%.1f", 100*d/tt) }
+				bdTab.AddRow(name, fmt.Sprintf("%d", batch), sys.Name(),
+					pct(float64(total.TopMLP)), pct(float64(total.BotMLP)), pct(float64(total.Concat)),
+					pct(float64(total.EmbOp)), pct(float64(total.EmbFS)), pct(float64(total.EmbSSD)),
+					pct(float64(total.Other)))
+			}
+			timeTab.AddRow(name, fmt.Sprintf("%d", batch), cells[0], cells[1], cells[2])
+		}
+	}
+	timeTab.Notes = append(timeTab.Notes,
+		"paper (s): RMC1 batch1 29.2/22.1/1.4, batch32 841/634/1.8, batch64 1687/1282/2.2;",
+		"RMC2 batch1 135/108/3.8; RMC3 batch1 9.9/7.7/2.7 — shapes, not absolutes, are the target")
+	return []*Table{timeTab, bdTab}
+}
+
+// Fig3 reproduces the read-amplification study: I/O traffic relative to a
+// byte-addressable ideal device for SSD-S and SSD-M.
+func Fig3(opts Options) []*Table {
+	opts = opts.withDefaults()
+	t := &Table{
+		Title:  "Fig. 3: I/O traffic amplification vs byte-addressable ideal",
+		Header: []string{"Model", "Ideal", "SSD-M", "SSD-S"},
+	}
+	for _, name := range []string{"RMC1", "RMC2", "RMC3"} {
+		cfg := scaledConfig(name, opts)
+		amp := func(sys *baseline.NaiveSSD) string {
+			gen := traceFor(cfg, opts)
+			var now sim.Time
+			for i := 0; i < opts.WarmupIterations; i++ {
+				done, _ := sys.InferTiming(now, gen.Inference())
+				now = done
+			}
+			sys.Host().ResetStats()
+			for i := 0; i < opts.Iterations; i++ {
+				done, _ := sys.InferTiming(now, gen.Inference())
+				now = done
+			}
+			return fmt.Sprintf("%.1f", sys.Host().Stats().Amplification())
+		}
+		ssdm := amp(baseline.NewSSDM(envFor(cfg)))
+		ssds := amp(baseline.NewSSDS(envFor(cfg)))
+		t.AddRow(name, "1.0", ssdm, ssds)
+	}
+	t.Notes = append(t.Notes,
+		"paper: RMC1 24.9/25.5, RMC2 17.3/17.9, RMC3 26.8/27.3 (SSD-M/SSD-S)",
+		"amplification ceiling is PageSize/EVsize: 32x for dim-32 models, 16x for dim-64")
+	return []*Table{t}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+
+	"rmssd/internal/trace"
+)
+
+// Fig4 reproduces the embedding-access-pattern analysis: occurrence
+// histogram, top-10 indices and locality shares over a long trace of one
+// RMC1-shaped table.
+func Fig4(opts Options) []*Table {
+	opts = opts.withDefaults()
+	cfg := scaledConfig("RMC1", opts)
+	gen := traceFor(cfg, opts)
+
+	// The paper analyses a 45.8M-lookup trace; scale with Iterations to
+	// keep runtimes sane (each iteration contributes Tables*Lookups).
+	iters := opts.Iterations * 40
+	batch := gen.Batch(iters)
+	flat := trace.Flatten(batch, 0) // table 0, like the paper's histogram
+	stats := trace.Analyze(flat, 10000)
+
+	head := &Table{
+		Title:  "Fig. 4: embedding vector access pattern (table 0)",
+		Header: []string{"Metric", "Value", "Paper"},
+	}
+	head.AddRow("Total lookups", fmt.Sprintf("%d", stats.TotalLookups), "45,840,617")
+	head.AddRow("Distinct indices", fmt.Sprintf("%d", stats.TotalIndices), "10,131,227")
+	head.AddRow("Single-occurrence share", fmt.Sprintf("%.2f%%", 100*stats.SingleShare), "84.74%")
+	head.AddRow("Top-10000 share of lookups", fmt.Sprintf("%.1f%%", 100*stats.TopKShare), "59.2%")
+
+	occ := &Table{
+		Title:  "Fig. 4 (right): indices by occurrence count",
+		Header: []string{"Occurrences", "# Indices", "% of indices"},
+	}
+	for k, n := range stats.OccurrenceIndexCounts {
+		pct := 0.0
+		if stats.TotalIndices > 0 {
+			pct = 100 * float64(n) / float64(stats.TotalIndices)
+		}
+		occ.AddRow(fmt.Sprintf("%d", k+1), fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", pct))
+	}
+
+	top := &Table{
+		Title:  "Fig. 4 (left): top-10 most frequent indices",
+		Header: []string{"Rank", "Index", "Occurrences", "% of lookups"},
+	}
+	for i, ic := range stats.Top {
+		top.AddRow(fmt.Sprintf("%d", i+1), fmt.Sprintf("%d", ic.Index),
+			fmt.Sprintf("%d", ic.Count),
+			fmt.Sprintf("%.2f", 100*float64(ic.Count)/float64(stats.TotalLookups)))
+	}
+	return []*Table{head, occ, top}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+)
+
+// MMIOManager models the component of Fig. 5 that "serves for both the
+// Embedding Lookup Engine and MLP Acceleration Engine": a host-visible
+// register window for small control parameters plus a DMA engine for bulk
+// transfers. Registers cost one PCIe round trip each; DMA transfers share
+// one engine and queue FCFS, so a large input burst delays the next
+// batch's transfer — the contention the system-level pipelining of
+// Section IV-D has to hide.
+
+// Register addresses in the RM register window.
+const (
+	RegNumLookups = iota
+	RegBatchSize
+	RegStatus
+	RegTableCount
+	regWindowSize
+)
+
+// Status register values.
+const (
+	StatusBusy  uint64 = 0
+	StatusReady uint64 = 1
+)
+
+// MMIOManager is the host<->device control interface.
+type MMIOManager struct {
+	regs [regWindowSize]uint64
+	dma  *sim.Resource
+
+	regReads  int64
+	regWrites int64
+	dmaBytes  int64
+}
+
+// NewMMIOManager returns an idle manager.
+func NewMMIOManager() *MMIOManager {
+	return &MMIOManager{dma: sim.NewResource("dma")}
+}
+
+// WriteReg writes a control register, returning the completion time.
+func (m *MMIOManager) WriteReg(at sim.Time, reg int, v uint64) sim.Time {
+	m.checkReg(reg)
+	m.regs[reg] = v
+	m.regWrites++
+	return at + params.MMIORegisterAccess
+}
+
+// ReadReg reads a control register.
+func (m *MMIOManager) ReadReg(at sim.Time, reg int) (uint64, sim.Time) {
+	m.checkReg(reg)
+	m.regReads++
+	return m.regs[reg], at + params.MMIORegisterAccess
+}
+
+// Peek returns a register value without timing (device-internal access).
+func (m *MMIOManager) Peek(reg int) uint64 {
+	m.checkReg(reg)
+	return m.regs[reg]
+}
+
+// Poke sets a register without timing (device-internal access, e.g. the
+// engines flipping the status register).
+func (m *MMIOManager) Poke(reg int, v uint64) {
+	m.checkReg(reg)
+	m.regs[reg] = v
+}
+
+func (m *MMIOManager) checkReg(reg int) {
+	if reg < 0 || reg >= regWindowSize {
+		panic(fmt.Sprintf("core: register %d outside RM window [0,%d)", reg, regWindowSize))
+	}
+}
+
+// DMA transfers n bytes over the shared DMA engine, returning completion.
+// Transfers queue FCFS behind in-flight ones.
+func (m *MMIOManager) DMA(at sim.Time, n int64) sim.Time {
+	if n < 0 {
+		panic(fmt.Sprintf("core: negative DMA size %d", n))
+	}
+	dur := params.DMASetup + time.Duration(float64(n)/params.DMABandwidth*1e9)
+	_, done := m.dma.Acquire(at, dur)
+	m.dmaBytes += n
+	return done
+}
+
+// PollReady spins on the status register until it reads ready, charging one
+// register read per poll at the given interval, starting at time at with
+// the device signalling ready at readyAt. Returns the time the host
+// observes readiness.
+func (m *MMIOManager) PollReady(at, readyAt sim.Time, interval time.Duration) sim.Time {
+	if interval <= 0 {
+		interval = params.MMIORegisterAccess
+	}
+	now := at
+	for {
+		if now >= readyAt {
+			m.Poke(RegStatus, StatusReady)
+		}
+		_, done := m.ReadReg(now, RegStatus)
+		if m.Peek(RegStatus) == StatusReady {
+			return done
+		}
+		now = done + interval
+	}
+}
+
+// DMACost returns the unqueued duration of an n-byte transfer: the pure
+// pricing used by analytic stage models (the stateful DMA method adds FCFS
+// queueing behind in-flight transfers).
+func DMACost(n int64) time.Duration {
+	return params.DMASetup + time.Duration(float64(n)/params.DMABandwidth*1e9)
+}
+
+// Stats reports interface activity.
+func (m *MMIOManager) Stats() (regReads, regWrites, dmaBytes int64) {
+	return m.regReads, m.regWrites, m.dmaBytes
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+)
+
+func TestMMIORegisterReadWrite(t *testing.T) {
+	m := NewMMIOManager()
+	done := m.WriteReg(0, RegBatchSize, 7)
+	if done != sim.Time(params.MMIORegisterAccess) {
+		t.Fatalf("write cost = %v", done)
+	}
+	v, done2 := m.ReadReg(done, RegBatchSize)
+	if v != 7 {
+		t.Fatalf("read back %d", v)
+	}
+	if done2 != done+sim.Time(params.MMIORegisterAccess) {
+		t.Fatalf("read cost = %v", done2-done)
+	}
+	reads, writes, _ := m.Stats()
+	if reads != 1 || writes != 1 {
+		t.Fatalf("stats = %d/%d", reads, writes)
+	}
+}
+
+func TestMMIOPeekPokeUntimed(t *testing.T) {
+	m := NewMMIOManager()
+	m.Poke(RegStatus, StatusReady)
+	if m.Peek(RegStatus) != StatusReady {
+		t.Fatal("poke/peek broken")
+	}
+	reads, writes, _ := m.Stats()
+	if reads != 0 || writes != 0 {
+		t.Fatal("internal access must not count as host MMIO")
+	}
+}
+
+func TestMMIOBadRegisterPanics(t *testing.T) {
+	m := NewMMIOManager()
+	for _, reg := range []int{-1, regWindowSize} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("register %d should panic", reg)
+				}
+			}()
+			m.Peek(reg)
+		}()
+	}
+}
+
+func TestDMAQueuesFCFS(t *testing.T) {
+	m := NewMMIOManager()
+	first := m.DMA(0, 1<<20) // ~135us
+	second := m.DMA(0, 64)   // queued behind the megabyte
+	if second <= first {
+		t.Fatalf("second transfer (%v) should queue behind first (%v)", second, first)
+	}
+	_, _, bytes := m.Stats()
+	if bytes != 1<<20+64 {
+		t.Fatalf("dma bytes = %d", bytes)
+	}
+}
+
+func TestDMANegativePanics(t *testing.T) {
+	m := NewMMIOManager()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.DMA(0, -1)
+}
+
+func TestPollReadyImmediate(t *testing.T) {
+	m := NewMMIOManager()
+	done := m.PollReady(100, 50, params.MMIORegisterAccess)
+	if done != 100+sim.Time(params.MMIORegisterAccess) {
+		t.Fatalf("immediate poll = %v", done)
+	}
+}
+
+func TestPollReadySpins(t *testing.T) {
+	m := NewMMIOManager()
+	readyAt := sim.Time(10 * params.MMIORegisterAccess)
+	done := m.PollReady(0, readyAt, params.MMIORegisterAccess)
+	if done < readyAt {
+		t.Fatalf("poll completed (%v) before ready (%v)", done, readyAt)
+	}
+	reads, _, _ := m.Stats()
+	if reads < 3 {
+		t.Fatalf("expected several polls, got %d", reads)
+	}
+}
+
+func TestPollReadyZeroIntervalDefaults(t *testing.T) {
+	m := NewMMIOManager()
+	done := m.PollReady(0, sim.Time(3*params.MMIORegisterAccess), 0)
+	if done <= 0 {
+		t.Fatal("poll did not progress")
+	}
+}
+
+func TestDMACostPure(t *testing.T) {
+	a := DMACost(64)
+	b := DMACost(64)
+	if a != b {
+		t.Fatal("DMACost must be pure")
+	}
+	if DMACost(1<<20) <= DMACost(64) {
+		t.Fatal("DMACost must grow with size")
+	}
+}
+
+func TestStageTimesPure(t *testing.T) {
+	r := newSmall(t, "RMC1", 0)
+	a := sim.Serial(r.StageTimes(4)...)
+	for i := 0; i < 5; i++ {
+		if got := sim.Serial(r.StageTimes(4)...); got != a {
+			t.Fatalf("StageTimes drifted: %v vs %v", got, a)
+		}
+	}
+	_ = time.Duration(0)
+}
+
+func TestDeviceMMIOAccounting(t *testing.T) {
+	r := newSmall(t, "RMC1", 0)
+	_, sparses := genInputs(r, 1, 1)
+	r.InferBatchTiming(0, sparses)
+	reads, writes, bytes := r.MMIO().Stats()
+	if writes < 3 {
+		t.Fatalf("expected >=3 register writes, got %d", writes)
+	}
+	if reads < 1 {
+		t.Fatal("expected a status poll")
+	}
+	if bytes < r.HostReadBytesPerBatch(1) {
+		t.Fatalf("dma bytes = %d", bytes)
+	}
+}

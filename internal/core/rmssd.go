@@ -1,0 +1,377 @@
+// Package core assembles the full RM-SSD: the simulated flash device, the
+// Embedding Lookup Engine and the MLP Acceleration Engine behind the
+// MMIO/DMA host interface of Section IV-D.
+//
+// The host-visible API mirrors the paper's four calls:
+//
+//	RM_create_table  -> New (tables are laid out as files over block I/O)
+//	RM_open_table    -> New (extent metadata registered with EV Translator)
+//	RM_send_inputs   -> SendInputs
+//	RM_read_outputs  -> ReadOutputs
+//
+// plus InferBatch, which runs one small batch end to end (functional float32
+// results and simulated timing), and steady-state helpers implementing the
+// system-level pipelining of Section IV-D: while the device processes batch
+// i, the host pre-sends batch i+1 and reads batch i-1, so throughput is
+// governed by the slowest pipeline stage.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"rmssd/internal/embedding"
+	"rmssd/internal/engine"
+	"rmssd/internal/flash"
+	"rmssd/internal/hostio"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/ssd"
+	"rmssd/internal/tensor"
+)
+
+// Options configures device construction.
+type Options struct {
+	// Geometry of the flash array; zero value means Table II defaults.
+	Geometry flash.Geometry
+	// Design of the MLP engine; DesignSearched is the full RM-SSD.
+	Design engine.Design
+	// Part is the FPGA budget; zero value means XCVU9P.
+	Part params.FPGAPart
+	// ExtentBytes controls file-system extent size (default 1 MiB).
+	ExtentBytes int64
+	// Dynamic selects the page-mapped, garbage-collected FTL instead of
+	// the paper's linear map. Tables are then physically written at
+	// construction (use reduced table sizes), and the device can take
+	// concurrent update writes during inference.
+	Dynamic bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Geometry == (flash.Geometry{}) {
+		o.Geometry = flash.DefaultGeometry()
+	}
+	if o.Part.Name == "" {
+		o.Part = params.XCVU9P
+	}
+	if o.ExtentBytes == 0 {
+		o.ExtentBytes = 1 << 20
+	}
+	return o
+}
+
+// Registers models the RM Registers exchanged over host MMIO: small control
+// parameters such as the number of lookups and the result-status flag.
+type Registers struct {
+	NumLookups  uint32
+	BatchSize   uint32
+	ResultReady bool
+}
+
+// Breakdown reports where one batch's time went.
+type Breakdown struct {
+	Send time.Duration // MMIO + DMA input transfer
+	Emb  time.Duration // extended embedding stage (flash + Le)
+	Bot  time.Duration // extended bottom MLP
+	Top  time.Duration // shortened top MLP
+	Read time.Duration // status poll + DMA output transfer
+}
+
+// Total returns the serial latency of the batch.
+func (b Breakdown) Total() time.Duration { return b.Send + maxDur(b.Emb, b.Bot) + b.Top + b.Read }
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RMSSD is the assembled device.
+type RMSSD struct {
+	opts   Options
+	dev    *ssd.Device
+	fs     *hostio.FS
+	store  *embedding.Store
+	lookup *engine.LookupEngine
+	mlp    *engine.MLPEngine
+	m      *model.Model
+	mmio   *MMIOManager
+	reg    Registers
+	owners owners // table ownership for the session API
+
+	inferences int64 // total inferences served
+}
+
+// New builds an RM-SSD hosting the given model: tables are created and laid
+// out on the device (RM_create_table) and their extent metadata registered
+// with the EV Translator (RM_open_table).
+func New(cfg model.Config, opts Options) (*RMSSD, error) {
+	opts = opts.withDefaults()
+	m, err := model.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var dev *ssd.Device
+	var err2 error
+	if opts.Dynamic {
+		dev, err2 = ssd.NewDynamic(opts.Geometry)
+	} else {
+		dev, err2 = ssd.New(opts.Geometry)
+	}
+	if err2 != nil {
+		return nil, err2
+	}
+	fs := hostio.NewFS(dev, opts.ExtentBytes)
+	store, err := embedding.NewStore(m, fs)
+	if err != nil {
+		return nil, err
+	}
+	mlp, err := engine.NewMLPEngineGeo(m, opts.Design, opts.Part,
+		opts.Geometry.Channels, opts.Geometry.DiesPerChannel)
+	if err != nil {
+		return nil, err
+	}
+	r := &RMSSD{
+		opts:   opts,
+		dev:    dev,
+		fs:     fs,
+		store:  store,
+		lookup: engine.NewLookupEngine(store, dev),
+		mlp:    mlp,
+		m:      m,
+		mmio:   NewMMIOManager(),
+	}
+	r.mmio.Poke(RegTableCount, uint64(cfg.Tables))
+	return r, nil
+}
+
+// MustNew is New, panicking on error.
+func MustNew(cfg model.Config, opts Options) *RMSSD {
+	r, err := New(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Model returns the hosted model.
+func (r *RMSSD) Model() *model.Model { return r.m }
+
+// Device returns the underlying SSD (for traffic accounting).
+func (r *RMSSD) Device() *ssd.Device { return r.dev }
+
+// MLP returns the MLP Acceleration Engine.
+func (r *RMSSD) MLP() *engine.MLPEngine { return r.mlp }
+
+// Lookup returns the Embedding Lookup Engine.
+func (r *RMSSD) Lookup() *engine.LookupEngine { return r.lookup }
+
+// Registers returns a copy of the RM Registers.
+func (r *RMSSD) Registers() Registers { return r.reg }
+
+// MMIO exposes the interface manager (register window + DMA engine).
+func (r *RMSSD) MMIO() *MMIOManager { return r.mmio }
+
+// NBatch returns the device batch size chosen by the kernel search (the
+// unit in which large host batches are partitioned, Section IV-D).
+func (r *RMSSD) NBatch() int { return r.mlp.NBatch }
+
+// inputBytes returns the DMA payload of one inference's inputs: sparse
+// indices (8 bytes each) plus the dense feature vector.
+func (r *RMSSD) inputBytes() int64 {
+	cfg := r.m.Cfg
+	return int64(cfg.Tables)*int64(cfg.Lookups)*8 + int64(cfg.DenseDim)*4
+}
+
+// SendInputs models RM_send_inputs for a batch of n inferences: a handful
+// of MMIO register writes plus one bulk DMA of indices and dense inputs.
+// It returns the completion time.
+func (r *RMSSD) SendInputs(at sim.Time, n int) sim.Time {
+	r.reg.NumLookups = uint32(r.m.Cfg.Lookups)
+	r.reg.BatchSize = uint32(n)
+	r.reg.ResultReady = false
+	now := r.mmio.WriteReg(at, RegNumLookups, uint64(r.m.Cfg.Lookups))
+	now = r.mmio.WriteReg(now, RegBatchSize, uint64(n))
+	now = r.mmio.WriteReg(now, RegStatus, StatusBusy)
+	return r.mmio.DMA(now, r.inputBytes()*int64(n))
+}
+
+// ReadOutputs models RM_read_outputs: the host polls the status register
+// (ready at time at) then DMAs the batch results (at least one 64-byte
+// MMIO line).
+func (r *RMSSD) ReadOutputs(at sim.Time, n int) sim.Time {
+	r.reg.ResultReady = true
+	ready := r.mmio.PollReady(at, at, params.MMIORegisterAccess)
+	return r.mmio.DMA(ready, r.HostReadBytesPerBatch(n))
+}
+
+// HostReadBytesPerBatch returns the read traffic crossing the host
+// interface per device batch (Table IV: "it only reads 64 bytes (MMIO
+// data-width) returned" for batch 1).
+func (r *RMSSD) HostReadBytesPerBatch(n int) int64 {
+	bytes := int64(n) * 4
+	if bytes < params.MMIODataWidth {
+		bytes = params.MMIODataWidth
+	}
+	return bytes
+}
+
+// InferBatch runs one device batch end to end: send inputs, pool embeddings
+// on the lookup engine (simulated flash timing), run the remapped MLP, read
+// outputs. Outputs are real float32 CTR predictions; the returned Breakdown
+// carries the simulated stage times.
+func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]int64) ([]float32, sim.Time, Breakdown) {
+	n := len(sparses)
+	if n == 0 || len(denses) != n {
+		panic(fmt.Sprintf("core: batch of %d dense, %d sparse", len(denses), n))
+	}
+	var bd Breakdown
+	sendDone := r.SendInputs(at, n)
+	bd.Send = sendDone - at
+
+	// Extended embedding stage: flash pooling for the whole batch plus
+	// the Le kernel, overlapped with the extended bottom MLP.
+	outs := make([]float32, n)
+	embStart := sendDone
+	embDone := embStart
+	pooled := make([][]tensor.Vector, n)
+	for i := 0; i < n; i++ {
+		p, done := r.lookup.Pool(embStart, sparses[i])
+		pooled[i] = p
+		embDone = sim.Max(embDone, done)
+	}
+	if k := params.Cycles(int(r.mlp.EmbKernelCycles(n))); embStart+k > embDone {
+		embDone = embStart + k
+	}
+	bd.Emb = embDone - embStart
+
+	bd.Bot = params.Cycles(int(r.mlp.BottomStageCycles(n)))
+	joined := sim.Max(embDone, embStart+bd.Bot)
+	if r.mlp.Design() == engine.DesignNaive {
+		// No intra-layer decomposition: the whole MLP runs after the
+		// embedding results arrive.
+		joined = embDone + bd.Bot
+	}
+
+	bd.Top = params.Cycles(int(r.mlp.TopStageCycles(n)))
+	topDone := joined + bd.Top
+
+	for i := 0; i < n; i++ {
+		outs[i] = r.mlp.Forward(denses[i], pooled[i])
+	}
+
+	readDone := r.ReadOutputs(topDone, n)
+	bd.Read = readDone - topDone
+	r.inferences += int64(n)
+	return outs, readDone, bd
+}
+
+// InferBatchTiming is InferBatch without materialising values.
+func (r *RMSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, Breakdown) {
+	n := len(sparses)
+	if n == 0 {
+		panic("core: empty batch")
+	}
+	var bd Breakdown
+	sendDone := r.SendInputs(at, n)
+	bd.Send = sendDone - at
+	embStart := sendDone
+	embDone := embStart
+	for i := 0; i < n; i++ {
+		embDone = sim.Max(embDone, r.lookup.PoolTiming(embStart, sparses[i]))
+	}
+	if k := params.Cycles(int(r.mlp.EmbKernelCycles(n))); embStart+k > embDone {
+		embDone = embStart + k
+	}
+	bd.Emb = embDone - embStart
+	bd.Bot = params.Cycles(int(r.mlp.BottomStageCycles(n)))
+	joined := sim.Max(embDone, embStart+bd.Bot)
+	if r.mlp.Design() == engine.DesignNaive {
+		joined = embDone + bd.Bot
+	}
+	bd.Top = params.Cycles(int(r.mlp.TopStageCycles(n)))
+	topDone := joined + bd.Top
+	readDone := r.ReadOutputs(topDone, n)
+	bd.Read = readDone - topDone
+	r.inferences += int64(n)
+	return readDone, bd
+}
+
+// sendCost and readCost price the host-interface stages without touching
+// the shared DMA queue (pure functions for the analytic pipeline model).
+func (r *RMSSD) sendCost(n int) time.Duration {
+	return 3*params.MMIORegisterAccess + DMACost(r.inputBytes()*int64(n))
+}
+
+func (r *RMSSD) readCost(n int) time.Duration {
+	return params.MMIORegisterAccess + DMACost(r.HostReadBytesPerBatch(n))
+}
+
+// StageTimes returns the analytic pipeline stage times for a device batch
+// of n (Eq. 1 plus the host interface stages).
+func (r *RMSSD) StageTimes(n int) []sim.Stage {
+	g := r.opts.Geometry
+	emb, bot, top := r.mlp.StageTimes(n, g.Channels, g.DiesPerChannel)
+	return []sim.Stage{
+		{Name: "send", Time: r.sendCost(n)},
+		{Name: "emb", Time: emb},
+		{Name: "bot", Time: bot},
+		{Name: "top", Time: top},
+		{Name: "read", Time: r.readCost(n)},
+	}
+}
+
+// SteadyStateQPS returns the analytic steady-state throughput for a device
+// batch of n. The full RM-SSD pipelines all stages (system-level
+// pipelining, Section IV-D); the naive design serialises them.
+func (r *RMSSD) SteadyStateQPS(n int) float64 {
+	st := r.StageTimes(n)
+	if r.mlp.Design() == engine.DesignNaive {
+		return sim.Throughput(sim.Serial(st...), n)
+	}
+	res := sim.Pipeline(st...)
+	return sim.Throughput(res.Interval, n)
+}
+
+// Latency returns the analytic end-to-end latency of one device batch of n
+// (embedding and bottom MLP overlap thanks to intra-layer decomposition).
+func (r *RMSSD) Latency(n int) time.Duration {
+	st := r.StageTimes(n)
+	send, emb, bot, top, read := st[0].Time, st[1].Time, st[2].Time, st[3].Time, st[4].Time
+	if r.mlp.Design() == engine.DesignNaive {
+		return send + emb + bot + top + read
+	}
+	return send + maxDur(emb, bot) + top + read
+}
+
+// UpdateVector overwrites one embedding vector through the block path: the
+// page holding the vector is read, modified and written back — the
+// table-refresh operation a production recommender issues continuously.
+// On the linear device the page is rewritten in place; on the dynamic
+// device it goes out of place with GC. Returns the completion time.
+func (r *RMSSD) UpdateVector(at sim.Time, table int, row int64, v tensor.Vector) sim.Time {
+	cfg := r.m.Cfg
+	if len(v) != cfg.EVDim {
+		panic(fmt.Sprintf("core: vector dim %d, want %d", len(v), cfg.EVDim))
+	}
+	addr := r.store.VectorAddr(table, row)
+	ps := int64(r.dev.PageSize())
+	lpn := addr / ps
+	col := int(addr % ps)
+	page, readDone := r.dev.ReadPage(at, lpn)
+	buf := append([]byte(nil), page...)
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[col+4*i:], math.Float32bits(x))
+	}
+	return r.dev.WritePage(readDone, lpn, buf)
+}
+
+// Inferences returns the number of inferences served.
+func (r *RMSSD) Inferences() int64 { return r.inferences }
+
+// ResetTime idles the device's timing resources (between experiments).
+func (r *RMSSD) ResetTime() { r.dev.ResetTime() }

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+)
+
+// Session implements the paper's host runtime interface (Section IV-D):
+//
+//	RM_create_table(TableSize)            -> table creation via block I/O,
+//	                                         owner recorded on the device
+//	RM_open_table(TableID, TablePath)     -> permission check, extent
+//	                                         registration, returns an fd
+//	RM_send_inputs(fd, ...)               -> fd validated before DMA
+//	RM_read_outputs()                     -> results for the session
+//
+// Tables are created at device construction in this implementation (they
+// must exist before the EV Translator has metadata), so CreateTable records
+// ownership and OpenTable enforces it; the fd returned by OpenTable
+// authenticates subsequent input/output calls, exactly as the paper's
+// security flow prescribes.
+type Session struct {
+	r    *RMSSD
+	user string
+	// fds maps descriptor -> table id for this session.
+	fds    map[int]int
+	nextFD int
+	// pending holds the batch shape sent but not yet read.
+	pendingBatch int
+	pendingAt    sim.Time
+}
+
+// owners records table ownership on the device ("the owner and other file
+// system related information are generated and persisted in the RM-SSD").
+type owners map[int]string
+
+// NewSession opens a host session for a user.
+func (r *RMSSD) NewSession(user string) *Session {
+	if r.owners == nil {
+		r.owners = make(owners)
+	}
+	return &Session{r: r, user: user, fds: make(map[int]int), nextFD: 3}
+}
+
+// CreateTable records the caller as owner of the table. In the paper this
+// accompanies writing the table through the file system; here tables are
+// laid out at device construction, so creation is an ownership claim. It
+// fails if the table is already owned by someone else.
+func (s *Session) CreateTable(table int) error {
+	if table < 0 || table >= s.r.m.Cfg.Tables {
+		return fmt.Errorf("core: table %d of %d", table, s.r.m.Cfg.Tables)
+	}
+	if owner, ok := s.r.owners[table]; ok && owner != s.user {
+		return fmt.Errorf("core: table %d already owned by %s", table, owner)
+	}
+	s.r.owners[table] = s.user
+	return nil
+}
+
+// OpenTable validates permission and returns a file descriptor that
+// authenticates later calls ("Only when the user is qualified... This
+// function will return a file descriptor (fd), which will be considered as
+// the authentication in the phase of the reading output").
+func (s *Session) OpenTable(table int) (int, error) {
+	if table < 0 || table >= s.r.m.Cfg.Tables {
+		return 0, fmt.Errorf("core: table %d of %d", table, s.r.m.Cfg.Tables)
+	}
+	owner, ok := s.r.owners[table]
+	if !ok {
+		return 0, fmt.Errorf("core: table %d not created", table)
+	}
+	if owner != s.user {
+		return 0, fmt.Errorf("core: user %s not authorized for table %d (owner %s)", s.user, table, owner)
+	}
+	fd := s.nextFD
+	s.nextFD++
+	s.fds[fd] = table
+	return fd, nil
+}
+
+// CloseTable releases a descriptor.
+func (s *Session) CloseTable(fd int) error {
+	if _, ok := s.fds[fd]; !ok {
+		return fmt.Errorf("core: bad fd %d", fd)
+	}
+	delete(s.fds, fd)
+	return nil
+}
+
+// SendInputs validates the descriptor, then transfers the batch's sparse
+// indices and dense inputs to the device (RM_send_inputs). The fd must
+// refer to an open table of this session; the paper validates it before
+// any DMA happens.
+func (s *Session) SendInputs(at sim.Time, fd int, n int) (sim.Time, error) {
+	if _, ok := s.fds[fd]; !ok {
+		return at, fmt.Errorf("core: invalid fd %d", fd)
+	}
+	if n <= 0 {
+		return at, fmt.Errorf("core: batch %d", n)
+	}
+	if s.pendingBatch != 0 {
+		return at, fmt.Errorf("core: outputs of previous batch not read")
+	}
+	done := s.r.SendInputs(at, n)
+	s.pendingBatch = n
+	s.pendingAt = done
+	return done, nil
+}
+
+// ReadOutputs completes the pending batch (RM_read_outputs): it requires a
+// prior SendInputs on this session.
+func (s *Session) ReadOutputs(at sim.Time) (sim.Time, error) {
+	if s.pendingBatch == 0 {
+		return at, fmt.Errorf("core: no batch in flight")
+	}
+	start := sim.Max(at, s.pendingAt)
+	done := s.r.ReadOutputs(start, s.pendingBatch)
+	s.pendingBatch = 0
+	return done, nil
+}
+
+// InferBatch runs a complete authenticated round trip: validate the fd,
+// send inputs, run the engines, read outputs.
+func (s *Session) InferBatch(at sim.Time, fd int, denses []tensor.Vector, sparses [][][]int64) ([]float32, sim.Time, error) {
+	if _, ok := s.fds[fd]; !ok {
+		return nil, at, fmt.Errorf("core: invalid fd %d", fd)
+	}
+	outs, done, _ := s.r.InferBatch(at, denses, sparses)
+	return outs, done, nil
+}

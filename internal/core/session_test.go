@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSessionLifecycle(t *testing.T) {
+	r := newSmall(t, "RMC1", 0)
+	alice := r.NewSession("alice")
+	if err := alice.CreateTable(0); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := alice.OpenTable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd < 3 {
+		t.Fatalf("fd = %d", fd)
+	}
+	denses, sparses := genInputs(r, 1, 5)
+	outs, done, err := alice.InferBatch(0, fd, denses, sparses)
+	if err != nil || len(outs) != 1 || done <= 0 {
+		t.Fatalf("infer: %v %v %v", outs, done, err)
+	}
+	if err := alice.CloseTable(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := alice.InferBatch(0, fd, denses, sparses); err == nil {
+		t.Fatal("closed fd must not authenticate")
+	}
+}
+
+func TestSessionAuthorization(t *testing.T) {
+	r := newSmall(t, "RMC1", 0)
+	alice := r.NewSession("alice")
+	mallory := r.NewSession("mallory")
+	if err := alice.CreateTable(2); err != nil {
+		t.Fatal(err)
+	}
+	// Mallory cannot claim or open Alice's table.
+	if err := mallory.CreateTable(2); err == nil {
+		t.Fatal("ownership takeover allowed")
+	}
+	if _, err := mallory.OpenTable(2); err == nil || !strings.Contains(err.Error(), "not authorized") {
+		t.Fatalf("unauthorized open: %v", err)
+	}
+	// Opening an uncreated table fails.
+	if _, err := alice.OpenTable(3); err == nil {
+		t.Fatal("open of uncreated table allowed")
+	}
+	// Out-of-range tables fail both calls.
+	if err := alice.CreateTable(99); err == nil {
+		t.Fatal("create out of range")
+	}
+	if _, err := alice.OpenTable(-1); err == nil {
+		t.Fatal("open out of range")
+	}
+}
+
+func TestSessionSendReadProtocol(t *testing.T) {
+	r := newSmall(t, "RMC1", 0)
+	s := r.NewSession("u")
+	s.CreateTable(0)
+	fd, _ := s.OpenTable(0)
+
+	// Read before send fails.
+	if _, err := s.ReadOutputs(0); err == nil {
+		t.Fatal("read without send allowed")
+	}
+	done, err := s.SendInputs(0, fd, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double send without read fails (the device holds one batch).
+	if _, err := s.SendInputs(done, fd, 4); err == nil {
+		t.Fatal("double send allowed")
+	}
+	rdone, err := s.ReadOutputs(done)
+	if err != nil || rdone <= done {
+		t.Fatalf("read: %v %v", rdone, err)
+	}
+	// And the cycle can repeat.
+	if _, err := s.SendInputs(rdone, fd, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid fd and batch rejected.
+	if _, err := s.SendInputs(0, 999, 1); err == nil {
+		t.Fatal("bad fd allowed")
+	}
+	s2 := r.NewSession("u")
+	s2.CreateTable(1)
+	fd2, _ := s2.OpenTable(1)
+	if _, err := s2.SendInputs(0, fd2, 0); err == nil {
+		t.Fatal("zero batch allowed")
+	}
+}
+
+func TestSessionCloseErrors(t *testing.T) {
+	r := newSmall(t, "RMC1", 0)
+	s := r.NewSession("u")
+	if err := s.CloseTable(42); err == nil {
+		t.Fatal("closing unknown fd allowed")
+	}
+}

@@ -1,0 +1,147 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rmssd/internal/tensor"
+)
+
+func TestQuantizeRoundTripBound(t *testing.T) {
+	v := make(tensor.Vector, 64)
+	tensor.FillVector(v, 3, 1)
+	q := Quantize(v)
+	back := q.Dequantize()
+	bound := q.MaxError()
+	for i := range v {
+		if d := float32(math.Abs(float64(v[i] - back[i]))); d > bound {
+			t.Fatalf("elem %d error %v exceeds bound %v", i, d, bound)
+		}
+	}
+}
+
+func TestQuantizeZeroVector(t *testing.T) {
+	q := Quantize(make(tensor.Vector, 8))
+	for _, x := range q.Q {
+		if x != 0 {
+			t.Fatal("zero vector should quantize to zeros")
+		}
+	}
+	back := q.Dequantize()
+	for _, x := range back {
+		if x != 0 {
+			t.Fatal("zero vector should dequantize to zeros")
+		}
+	}
+}
+
+func TestQuantizeExtremesSaturate(t *testing.T) {
+	v := tensor.Vector{1, -1, 0.5}
+	q := Quantize(v)
+	if q.Q[0] != 127 || q.Q[1] != -127 {
+		t.Fatalf("extremes = %d, %d; want +-127", q.Q[0], q.Q[1])
+	}
+}
+
+// Property: round-trip error never exceeds half a quantization step, for
+// arbitrary vectors.
+func TestQuantizeErrorBoundProperty(t *testing.T) {
+	prop := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make(tensor.Vector, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				x = 0
+			}
+			// Keep magnitudes in a sane embedding range.
+			v[i] = float32(math.Mod(float64(x), 8))
+		}
+		q := Quantize(v)
+		back := q.Dequantize()
+		bound := q.MaxError() * 1.0001 // float slack
+		for i := range v {
+			if float32(math.Abs(float64(v[i]-back[i]))) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizedEVSize(t *testing.T) {
+	if QuantizedEVSize(32) != 36 {
+		t.Fatalf("dim-32 quantized size = %d, want 36", QuantizedEVSize(32))
+	}
+	// 3.55x capacity saving over FP32 for dim 32.
+	if ratio := float64(32*4) / float64(QuantizedEVSize(32)); ratio < 3.5 {
+		t.Fatalf("capacity saving = %.2fx", ratio)
+	}
+}
+
+func TestPoolQuantizedAccuracy(t *testing.T) {
+	// Pool 80 vectors: the INT8 pooling error is bounded by the sum of
+	// per-vector half-steps.
+	const n = 80
+	vs := make([]QuantizedEV, n)
+	ref := make(tensor.Vector, 32)
+	var bound float32
+	for i := range vs {
+		v := make(tensor.Vector, 32)
+		tensor.FillVector(v, uint64(i+1), 1)
+		tensor.AccumulateInto(ref, v)
+		vs[i] = Quantize(v)
+		bound += vs[i].MaxError()
+	}
+	got := PoolQuantized(vs)
+	if d := tensor.MaxAbsDiff(got, ref); d > bound {
+		t.Fatalf("pooled error %v exceeds bound %v", d, bound)
+	}
+	// And the relative pooled error should be small (the paper's concern
+	// is CTR sensitivity; the raw pooling error is sub-percent).
+	var maxRel float64
+	for i := range ref {
+		if ref[i] != 0 {
+			rel := math.Abs(float64((got[i] - ref[i]) / ref[i]))
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	if maxRel > 0.2 {
+		t.Fatalf("max relative pooled error %.3f suspiciously high", maxRel)
+	}
+}
+
+func TestPoolQuantizedDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PoolQuantized([]QuantizedEV{
+		{Q: make([]int8, 4), Scale: 1},
+		{Q: make([]int8, 8), Scale: 1},
+	})
+}
+
+func TestPoolQuantizedEmpty(t *testing.T) {
+	if PoolQuantized(nil) != nil {
+		t.Fatal("empty pool should be nil")
+	}
+}
+
+func TestQuantizedPoolReferenceThroughStore(t *testing.T) {
+	m, st, _ := testSetup(t, smallRMC1())
+	rows := []int64{1, 2, 3, 100, 500}
+	got := st.QuantizedPoolReference(0, rows)
+	want := m.PoolReference(0, rows)
+	if d := tensor.MaxAbsDiff(got, want); d > 0.05 {
+		t.Fatalf("quantized pooling deviates by %v", d)
+	}
+}

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmssd/internal/tensor"
+)
+
+// Both scan orders must compute exactly the reference GEMV (same block
+// accumulation order per output, so results match to the last bit per
+// column when kr covers the whole stripe; otherwise within FP32 tolerance).
+func TestKernelGEMVMatchesMatVec(t *testing.T) {
+	w := tensor.NewMatrix(7, 13) // odd sizes exercise partial blocks
+	tensor.FillMatrix(w, 5, 1)
+	x := make(tensor.Vector, 13)
+	tensor.FillVector(x, 6, 1)
+	want := w.MatVec(x)
+	for _, order := range []ScanOrder{ScanColumnMajor, ScanRowMajor} {
+		for _, k := range [][2]int{{1, 1}, {4, 2}, {2, 4}, {16, 16}, {13, 7}} {
+			got, tr := KernelGEMV(w, x, k[0], k[1], order)
+			if d := tensor.MaxAbsDiff(got, want); d > 1e-5 {
+				t.Errorf("%v kernel %dx%d: diff %v", order, k[0], k[1], d)
+			}
+			if tr.MACs != 7*13 {
+				t.Errorf("%v kernel %dx%d: %d MACs, want %d", order, k[0], k[1], tr.MACs, 7*13)
+			}
+		}
+	}
+}
+
+func TestKernelGEMVProperty(t *testing.T) {
+	prop := func(seed uint64, r8, c8, kr8, kc8 uint8) bool {
+		R := int(r8%20) + 1
+		C := int(c8%20) + 1
+		kr := 1 << (kr8 % 5)
+		kc := 1 << (kc8 % 5)
+		w := tensor.NewMatrix(C, R)
+		tensor.FillMatrix(w, seed, 1)
+		x := make(tensor.Vector, R)
+		tensor.FillVector(x, seed+1, 1)
+		want := w.MatVec(x)
+		a, _ := KernelGEMV(w, x, kr, kc, ScanColumnMajor)
+		b, _ := KernelGEMV(w, x, kr, kc, ScanRowMajor)
+		return tensor.MaxAbsDiff(a, want) <= 1e-4 && tensor.MaxAbsDiff(b, want) <= 1e-4
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelGEMVBlockCount(t *testing.T) {
+	w := tensor.NewMatrix(32, 64)
+	x := make(tensor.Vector, 64)
+	_, tr := KernelGEMV(w, x, 16, 16, ScanColumnMajor)
+	// ceil(64/16) * ceil(32/16) = 4 * 2 = 8 blocks: the quantity the
+	// timing model multiplies by II.
+	if tr.Blocks != 8 {
+		t.Fatalf("blocks = %d, want 8", tr.Blocks)
+	}
+}
+
+func TestKernelGEMVValidation(t *testing.T) {
+	w := tensor.NewMatrix(2, 3)
+	for _, fn := range []func(){
+		func() { KernelGEMV(w, make(tensor.Vector, 3), 0, 1, ScanRowMajor) },
+		func() { KernelGEMV(w, make(tensor.Vector, 2), 1, 1, ScanRowMajor) },
+		func() { KernelGEMV(w, make(tensor.Vector, 3), 1, 1, ScanOrder(9)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// The Fig. 9 argument, quantified: under column-major scanning the first
+// outputs are ready only near the end of the layer; under row-major they
+// are ready after one stripe column, so the next layer can pipeline.
+func TestScanOrderPipelineReadiness(t *testing.T) {
+	const R, C, kr, kc = 256, 256, 16, 16
+	colReady := FirstOutputReadyBlocks(R, C, kr, kc, ScanColumnMajor)
+	rowReady := FirstOutputReadyBlocks(R, C, kr, kc, ScanRowMajor)
+	total := (R / kr) * (C / kc)
+	if rowReady*4 > colReady {
+		t.Fatalf("row-major readiness (%d blocks) should be far earlier than column-major (%d)", rowReady, colReady)
+	}
+	if colReady < total/2 {
+		t.Fatalf("column-major readiness (%d of %d) should be near the end", colReady, total)
+	}
+}
+
+func TestScanOrderString(t *testing.T) {
+	if ScanColumnMajor.String() != "column-major" || ScanRowMajor.String() != "row-major" {
+		t.Fatal("String broken")
+	}
+}
+
+// The full engine forward must agree with the per-layer dataflow execution:
+// the hardware schedule computes the model.
+func TestForwardDataflowMatchesEngine(t *testing.T) {
+	cfg := testCfg("RMC1")
+	e := buildEngine(t, cfg, DesignSearched)
+	m := e.Model()
+	dense, _, pooled := referencePooled(m, 77)
+	want := e.Forward(dense, pooled)
+
+	// Recompute through the blocked dataflow, alternating scan orders
+	// along each tower as inter-layer composition prescribes.
+	run := func(layers []*FCLayer, x tensor.Vector) tensor.Vector {
+		order := ScanColumnMajor
+		for _, l := range layers {
+			x = l.ForwardDataflow(x, order)
+			if order == ScanColumnMajor {
+				order = ScanRowMajor
+			} else {
+				order = ScanColumnMajor
+			}
+		}
+		return x
+	}
+	bot := run(e.Bottom, dense)
+	emb := e.Emb.ForwardDataflow(tensor.Concat(pooled...), ScanRowMajor)
+	z := tensor.Add(emb, bot)
+	z = tensor.Add(z, e.JoinBias)
+	z = tensor.ReLU(z)
+	out := run(e.Top, z)[0]
+	if d := out - want; d > 1e-4 || d < -1e-4 {
+		t.Fatalf("dataflow forward %v vs engine %v", out, want)
+	}
+}

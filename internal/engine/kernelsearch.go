@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"fmt"
+
+	"rmssd/internal/params"
+)
+
+// Search runs the kernel search algorithm of Section IV-C4. It picks the
+// batch size (Rule Three) and per-layer kernel sizes (Rule Four) that
+// minimise total PE count subject to the throughput constraints of Eq. 2:
+//
+//	T_bot' <= T_emb',  T_top' <= T_emb',  argmin sum(kr*kc)
+//
+// DRAM-resident layers keep the fixed (Dwidth, II) kernel of Rule Two.
+// Kernel dimensions are powers of two up to 2^KMax; the chaining
+// constraints of Eq. 3 (kc_i >= kr_{i+1}; kc_e = kc_b >= kr of the first
+// top layer) and the minimum-work constraint of Eq. 4 are enforced
+// throughout.
+func (e *MLPEngine) Search() error {
+	channels, dies := e.channels, e.dies
+	maxBatch := 1 << 12
+	// Rule Three: find the smallest batch at which the flash vector-read
+	// time covers every MLP stage at maximum kernels — the batch at which
+	// the model converts to embedding-dominated. The throughput budget is
+	// then the flash-bound T_emb', which kernel shrinking must never
+	// regress; this is why "the default and optimized kernel setting can
+	// achieve the same performance" (Section VI-D).
+	for nb := 1; nb <= maxBatch; nb *= 2 {
+		e.NBatch = nb
+		e.setMaxKernels()
+		e.legalizeKernels()
+		budget := e.flashCycles(nb, channels, dies)
+		if !e.constraintsOK(nb, budget) {
+			continue // double the batch and retry
+		}
+		e.shrinkKernels(nb, channels, dies, budget)
+		if !e.constraintsOK(nb, budget) {
+			return fmt.Errorf("engine: kernel shrink violated constraints for %s (internal bug)", e.m.Cfg.Name)
+		}
+		return nil
+	}
+	// No batch makes the model embedding-bound (an FC layer is slower
+	// than any flash window, e.g. a huge DRAM-resident Le). Fall back to
+	// the MLP-bound budget at batch 1: Eq. 1a's max including the Le term.
+	for nb := 1; nb <= maxBatch; nb *= 2 {
+		e.NBatch = nb
+		e.setMaxKernels()
+		e.legalizeKernels()
+		budget := e.EmbStageCycles(nb, channels, dies)
+		if !e.constraintsOK(nb, budget) {
+			continue
+		}
+		e.shrinkKernels(nb, channels, dies, budget)
+		return nil
+	}
+	return fmt.Errorf("engine: no feasible batch size up to %d for %s on %s",
+		maxBatch, e.m.Cfg.Name, e.part.Name)
+}
+
+// pow2Floor returns the largest power of two <= n (minimum 1).
+func pow2Floor(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// pow2Ceil returns the smallest power of two >= n.
+func pow2Ceil(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// maxKernelDim returns the largest permitted kernel size along a dimension:
+// a power of two bounded by 2^KMax and by the dimension itself (rounded up
+// to a power of two so a 13-wide input can still use a 16-wide kernel slot).
+func maxKernelDim(dim int) int {
+	k := 1 << params.KMax
+	if c := pow2Ceil(dim); c < k {
+		k = c
+	}
+	return k
+}
+
+// setMaxKernels assigns every BRAM-resident layer its largest legal kernel
+// (the Rule Three feasibility probe).
+func (e *MLPEngine) setMaxKernels() {
+	for _, l := range e.Layers() {
+		if l.InDRAM {
+			l.Kr, l.Kc = 16, e.ii // Rule Two: kr = Dwidth words, kc = II
+			continue
+		}
+		l.Kr, l.Kc = maxKernelDim(l.R), maxKernelDim(l.C)
+	}
+}
+
+// constraintsOK checks Eq. 2's throughput constraints against the locked
+// embedding-stage budget, plus Eq. 3/Eq. 4. The Le kernel itself must stay
+// within the budget so the embedding stage never slows down.
+func (e *MLPEngine) constraintsOK(nbatch int, embBudget int64) bool {
+	if e.EmbKernelCycles(nbatch) > embBudget {
+		return false
+	}
+	if e.BottomStageCycles(nbatch) > embBudget || e.TopStageCycles(nbatch) > embBudget {
+		return false
+	}
+	return e.chainingOK() && e.minWorkOK()
+}
+
+// legalizeKernels repairs chain violations introduced by fixed Rule Two
+// kernels: a DRAM layer's kc is pinned to II, so the following BRAM layer's
+// kr is clamped down to it, and the coupled join kc is equalised.
+func (e *MLPEngine) legalizeKernels() {
+	clampChain := func(layers []*FCLayer) {
+		for i := 0; i+1 < len(layers); i++ {
+			next := layers[i+1]
+			if next.InDRAM {
+				continue // exempt: DRAM layers fully buffer their input
+			}
+			if next.Kr > layers[i].Kc {
+				next.Kr = pow2Floor(layers[i].Kc)
+			}
+		}
+	}
+	clampChain(e.Bottom)
+	if e.Emb != nil && len(e.Bottom) > 0 {
+		last := e.Bottom[len(e.Bottom)-1]
+		switch {
+		case e.Emb.InDRAM && !last.InDRAM:
+			last.Kc = e.Emb.Kc
+		case !e.Emb.InDRAM && last.InDRAM:
+			e.Emb.Kc = last.Kc
+		case !e.Emb.InDRAM && !last.InDRAM:
+			k := e.Emb.Kc
+			if last.Kc < k {
+				k = last.Kc
+			}
+			e.Emb.Kc, last.Kc = k, k
+		}
+	}
+	if e.Emb != nil && len(e.Top) > 0 && !e.Top[0].InDRAM && e.Top[0].Kr > e.Emb.Kc {
+		e.Top[0].Kr = pow2Floor(e.Emb.Kc)
+	}
+	clampChain(e.Top)
+}
+
+// chainingOK verifies Eq. 3: within each tower, a layer's column kernel
+// must cover the next layer's row kernel so the alternating scan pattern
+// of Fig. 9(b) produces inputs in the order the next layer consumes them;
+// and the embedding and bottom towers' final kernels must match where they
+// join at te, covering the first top layer's row kernel.
+func (e *MLPEngine) chainingOK() bool {
+	chainOK := func(layers []*FCLayer) bool {
+		for i := 0; i+1 < len(layers); i++ {
+			if layers[i+1].InDRAM {
+				// DRAM-resident layers are bandwidth-bound and double
+				// buffer their whole input, so scan-order chaining does
+				// not apply to them.
+				continue
+			}
+			if layers[i].Kc < layers[i+1].Kr {
+				return false
+			}
+		}
+		return true
+	}
+	if !chainOK(e.Bottom) || !chainOK(e.Top) {
+		return false
+	}
+	if e.Emb != nil {
+		joinKc := e.Emb.Kc
+		if len(e.Bottom) > 0 {
+			last := e.Bottom[len(e.Bottom)-1]
+			if !last.InDRAM && !e.Emb.InDRAM && last.Kc != joinKc {
+				return false
+			}
+		}
+		if len(e.Top) > 0 && !e.Top[0].InDRAM && joinKc < e.Top[0].Kr {
+			return false
+		}
+	}
+	return true
+}
+
+// minWorkOK verifies Eq. 4's kernel-size minimum: every layer except the
+// network's final one must have at least II PEs (kr*kc >= II), so the
+// reuse pipeline of Section IV-C1 — one physical unit time-multiplexed
+// across II logical PEs — stays fully utilised. This is why the searched
+// kernels of Table V all have kr*kc = 8 for the small layers.
+func (e *MLPEngine) minWorkOK() bool {
+	layers := e.Layers()
+	for i, l := range layers {
+		if i == len(layers)-1 {
+			continue // the final (single-output) layer is exempt
+		}
+		if l.Kr*l.Kc < e.ii {
+			return false
+		}
+	}
+	return true
+}
+
+// searchVar is one mutable kernel dimension; coupled variables (the kc of
+// the last bottom layer and of Le, which must stay equal per Eq. 3) share
+// one entry.
+type searchVar struct {
+	get func() int
+	set func(int)
+}
+
+// searchVars enumerates the mutable kernel dimensions.
+func (e *MLPEngine) searchVars() []searchVar {
+	var vars []searchVar
+	lastBottom := -1
+	if e.Emb != nil && len(e.Bottom) > 0 {
+		lastBottom = len(e.Bottom) - 1
+	}
+	for i, l := range e.Bottom {
+		l := l
+		if l.InDRAM {
+			continue
+		}
+		vars = append(vars, searchVar{get: func() int { return l.Kr }, set: func(v int) { l.Kr = v }})
+		if i == lastBottom {
+			continue // its kc is the coupled join variable below
+		}
+		vars = append(vars, searchVar{get: func() int { return l.Kc }, set: func(v int) { l.Kc = v }})
+	}
+	if e.Emb != nil && !e.Emb.InDRAM {
+		emb := e.Emb
+		vars = append(vars, searchVar{get: func() int { return emb.Kr }, set: func(v int) { emb.Kr = v }})
+		// Coupled join kc: Le and the last bottom layer move together.
+		// When the last bottom layer is DRAM-resident its kc is pinned
+		// by Rule Two, which pins Le's kc too — no variable then.
+		pinned := lastBottom >= 0 && e.Bottom[lastBottom].InDRAM
+		if !pinned {
+			coupled := []*FCLayer{emb}
+			if lastBottom >= 0 {
+				coupled = append(coupled, e.Bottom[lastBottom])
+			}
+			vars = append(vars, searchVar{
+				get: func() int { return coupled[0].Kc },
+				set: func(v int) {
+					for _, l := range coupled {
+						l.Kc = v
+					}
+				},
+			})
+		}
+	}
+	for _, l := range e.Top {
+		l := l
+		if l.InDRAM {
+			continue
+		}
+		vars = append(vars, searchVar{get: func() int { return l.Kr }, set: func(v int) { l.Kr = v }})
+		vars = append(vars, searchVar{get: func() int { return l.Kc }, set: func(v int) { l.Kc = v }})
+	}
+	return vars
+}
+
+// totalPE returns Eq. 2's objective: sum of kr*kc over all layers.
+func (e *MLPEngine) totalPE() int {
+	total := 0
+	for _, l := range e.Layers() {
+		total += l.Kr * l.Kc
+	}
+	return total
+}
+
+// shrinkKernels greedily halves kernel dimensions while all constraints
+// hold, taking the biggest PE saving each round (Rule Four: "Large kr, kc
+// pair is picked first and reduced to approaching the limit").
+func (e *MLPEngine) shrinkKernels(nbatch, channels, dies int, embBudget int64) {
+	vars := e.searchVars()
+	for {
+		bestGain := 0
+		bestIdx := -1
+		before := e.totalPE()
+		for i, v := range vars {
+			cur := v.get()
+			if cur <= 1 {
+				continue
+			}
+			v.set(cur / 2)
+			ok := e.constraintsOK(nbatch, embBudget)
+			gain := before - e.totalPE()
+			v.set(cur)
+			if ok && gain > bestGain {
+				bestGain = gain
+				bestIdx = i
+			}
+		}
+		if bestIdx < 0 {
+			return
+		}
+		vars[bestIdx].set(vars[bestIdx].get() / 2)
+	}
+}
+
+// KernelSummary describes the searched configuration (Table V).
+type KernelSummary struct {
+	Layer  string
+	Kr, Kc int
+	InDRAM bool
+	Cycles int64
+}
+
+// Kernels returns the per-layer kernel configuration in pipeline order.
+func (e *MLPEngine) Kernels() []KernelSummary {
+	var out []KernelSummary
+	for _, l := range e.Layers() {
+		out = append(out, KernelSummary{
+			Layer: l.Name, Kr: l.Kr, Kc: l.Kc, InDRAM: l.InDRAM, Cycles: l.Cycles(e.ii),
+		})
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+// Package engine implements the paper's two in-storage compute engines:
+//
+//   - the Embedding Lookup Engine (Section IV-B): EV Translator, EV-FMC
+//     vector-grained reads and the EV Sum pooling unit;
+//   - the MLP Acceleration Engine (Section IV-C): FC kernels with
+//     intra-layer decomposition, inter-layer composition and the
+//     resource-minimising kernel search (Rules One-Four).
+//
+// Both engines compute real float32 results (validated against the host
+// reference model) and account simulated time against the shared flash and
+// FPGA resources.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"rmssd/internal/embedding"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/ssd"
+	"rmssd/internal/tensor"
+)
+
+// extentMeta is one row of the EV Translator's embedding-table metadata
+// (Fig. 6): a contiguous index range mapped to its starting device address.
+type extentMeta struct {
+	FirstRow int64 // first vector index in the extent
+	RowCount int64 // number of vectors in the extent
+	Addr     int64 // device byte address of the extent start
+}
+
+// Translator is the EV Translator: it parses embedding lookup indices into
+// device addresses using per-table extent metadata registered at
+// RM_open_table time.
+type Translator struct {
+	evSize int64
+	vpp    int64 // vectors per page
+	ps     int64
+	tables [][]extentMeta
+}
+
+// NewTranslator builds translator metadata from a store's table files,
+// mirroring the host's "system call to get the file LBA information of
+// each table" followed by the metadata download over RM Registers. Since
+// the vector dimension is fixed, the index range of each extent is
+// precomputed once (Fig. 6 step 1).
+func NewTranslator(st *embedding.Store, pageSize int) *Translator {
+	cfg := st.Model().Cfg
+	tr := &Translator{
+		evSize: int64(cfg.EVSize()),
+		vpp:    st.VectorsPerPage(),
+		ps:     int64(pageSize),
+	}
+	for t := 0; t < cfg.Tables; t++ {
+		var metas []extentMeta
+		for _, e := range st.File(t).Extents() {
+			pages := e.Len / tr.ps
+			metas = append(metas, extentMeta{
+				FirstRow: (e.FileOff / tr.ps) * tr.vpp,
+				RowCount: pages * tr.vpp,
+				Addr:     e.Addr,
+			})
+		}
+		tr.tables = append(tr.tables, metas)
+	}
+	return tr
+}
+
+// Tables returns the number of registered tables.
+func (tr *Translator) Tables() int { return len(tr.tables) }
+
+// Lookup resolves (table, row) to the device byte address of the vector,
+// performing the five steps of Fig. 6: fetch index, find the extent whose
+// index range contains it (the hardware checks index ranges in parallel;
+// here a binary search over the sorted ranges), take the extent's start
+// address, and add the in-extent offset (slot arithmetic keeps vectors
+// page-aligned).
+func (tr *Translator) Lookup(table int, row int64) int64 {
+	if table < 0 || table >= len(tr.tables) {
+		panic(fmt.Sprintf("engine: table %d of %d", table, len(tr.tables)))
+	}
+	metas := tr.tables[table]
+	i := sort.Search(len(metas), func(i int) bool {
+		return metas[i].FirstRow+metas[i].RowCount > row
+	})
+	if i == len(metas) || row < metas[i].FirstRow {
+		panic(fmt.Sprintf("engine: row %d of table %d not covered by extents", row, table))
+	}
+	e := metas[i]
+	local := row - e.FirstRow
+	return e.Addr + (local/tr.vpp)*tr.ps + (local%tr.vpp)*tr.evSize
+}
+
+// LookupStats counts Embedding Lookup Engine activity.
+type LookupStats struct {
+	Lookups     int64
+	BytesPooled int64 // bytes read at vector granularity
+}
+
+// LookupEngine is the assembled Embedding Lookup Engine.
+type LookupEngine struct {
+	st    *embedding.Store
+	tr    *Translator
+	dev   *ssd.Device
+	sum   *sim.Resource // EV Sum adder-tree unit
+	stats LookupStats
+}
+
+// NewLookupEngine wires the engine to a store's device.
+func NewLookupEngine(st *embedding.Store, dev *ssd.Device) *LookupEngine {
+	return &LookupEngine{
+		st:  st,
+		tr:  NewTranslator(st, dev.PageSize()),
+		dev: dev,
+		sum: sim.NewResource("evsum"),
+	}
+}
+
+// Translator exposes the translator (for tests and tools).
+func (e *LookupEngine) Translator() *Translator { return e.tr }
+
+// Stats returns a snapshot of engine counters.
+func (e *LookupEngine) Stats() LookupStats { return e.stats }
+
+// sumCycles is the EV Sum occupancy per returned vector: each of the
+// vector's dimensions is independent, accumulated across EVSumLanes
+// parallel fp32 adders.
+func (e *LookupEngine) sumCycles() int {
+	dim := e.st.Model().Cfg.EVDim
+	c := (dim + params.EVSumLanes - 1) / params.EVSumLanes
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Pool performs the pooled lookups of one inference: for each table, the
+// engine translates indices (one per cycle from the Index Buffer), issues
+// vector-grained reads striped over channels and dies by the FTL's linear
+// map, and accumulates returns in the EV Sum unit. It returns the pooled
+// vector per table and the completion time.
+func (e *LookupEngine) Pool(at sim.Time, sparse [][]int64) ([]tensor.Vector, sim.Time) {
+	return e.pool(at, sparse, true)
+}
+
+// PoolTiming is Pool without materialising values (timing and traffic only).
+func (e *LookupEngine) PoolTiming(at sim.Time, sparse [][]int64) sim.Time {
+	_, done := e.pool(at, sparse, false)
+	return done
+}
+
+func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time) {
+	cfg := e.st.Model().Cfg
+	if len(sparse) != cfg.Tables {
+		panic(fmt.Sprintf("engine: %d sparse inputs, want %d", len(sparse), cfg.Tables))
+	}
+	var pooled []tensor.Vector
+	if materialize {
+		pooled = make([]tensor.Vector, cfg.Tables)
+		for t := range pooled {
+			pooled[t] = make(tensor.Vector, cfg.EVDim)
+		}
+	}
+	evSize := cfg.EVSize()
+	sumOcc := params.Cycles(e.sumCycles())
+	issue := at
+	var done sim.Time
+	for t, rows := range sparse {
+		for _, row := range rows {
+			// One index parsed per cycle (Read EV Req, Fig. 6).
+			issue += params.CycleTime
+			addr := e.tr.Lookup(t, row)
+			var data []byte
+			var readDone sim.Time
+			if materialize {
+				data, readDone = e.dev.ReadVectorAt(issue, addr, evSize)
+				tensor.AccumulateInto(pooled[t], model.DecodeEV(data))
+			} else {
+				_, readDone = e.dev.ReadVectorAt(issue, addr, evSize)
+			}
+			_, sumDone := e.sum.Acquire(readDone, sumOcc)
+			done = sim.Max(done, sumDone)
+			e.stats.Lookups++
+			e.stats.BytesPooled += int64(evSize)
+		}
+	}
+	if done < issue {
+		done = issue
+	}
+	return pooled, done
+}
+
+// VectorReadBandwidth returns bEV: the steady-state vector-read bandwidth
+// of the flash array in vectors/second, the denominator of Eq. 1a. The
+// per-channel rate is limited by the slower of the die-side flush pipeline
+// (FlushCycles/DiesPerChannel per vector) and the bus transfer.
+func VectorReadBandwidth(evSize, channels, diesPerChannel int) float64 {
+	flushPer := float64(params.FlushCycles) / float64(diesPerChannel)
+	busPer := float64(params.VectorTransferCycles(evSize))
+	per := flushPer
+	if busPer > per {
+		per = busPer
+	}
+	cyclesPerSec := float64(params.FPGAClockHz)
+	return cyclesPerSec / per * float64(channels)
+}
+
+// TembEstimate returns the analytic embedding-stage time of Eq. 1a's first
+// term for a batch: Nbatch * M * N / bEV.
+func TembEstimate(cfg model.Config, nbatch, channels, diesPerChannel int) sim.Time {
+	bev := VectorReadBandwidth(cfg.EVSize(), channels, diesPerChannel)
+	vectors := float64(nbatch) * float64(cfg.Tables) * float64(cfg.Lookups)
+	return sim.Time(vectors / bev * 1e9)
+}

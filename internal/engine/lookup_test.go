@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmssd/internal/embedding"
+	"rmssd/internal/flash"
+	"rmssd/internal/hostio"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/ssd"
+	"rmssd/internal/tensor"
+)
+
+func testGeo() flash.Geometry {
+	return flash.Geometry{
+		Channels:       4,
+		DiesPerChannel: 4,
+		PlanesPerDie:   2,
+		BlocksPerPlane: 64,
+		PagesPerBlock:  16,
+		PageSize:       4096,
+	}
+}
+
+func smallRMC1() model.Config {
+	c := model.RMC1()
+	c.RowsPerTable = 2048
+	return c
+}
+
+func setupLookup(t *testing.T, cfg model.Config) (*model.Model, *embedding.Store, *LookupEngine, *ssd.Device) {
+	t.Helper()
+	dev := ssd.MustNew(testGeo())
+	fs := hostio.NewFS(dev, 64<<10)
+	m := model.MustBuild(cfg)
+	st, err := embedding.NewStore(m, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, st, NewLookupEngine(st, dev), dev
+}
+
+func TestTranslatorMatchesStoreAddresses(t *testing.T) {
+	_, st, eng, _ := setupLookup(t, smallRMC1())
+	tr := eng.Translator()
+	if tr.Tables() != 8 {
+		t.Fatalf("tables = %d", tr.Tables())
+	}
+	prop := func(tbl uint8, row uint16) bool {
+		table := int(tbl) % 8
+		r := int64(row) % 2048
+		return tr.Lookup(table, r) == st.VectorAddr(table, r)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslatorPanicsOutOfRange(t *testing.T) {
+	_, _, eng, _ := setupLookup(t, smallRMC1())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng.Translator().Lookup(99, 0)
+}
+
+func TestPoolMatchesReference(t *testing.T) {
+	m, _, eng, _ := setupLookup(t, smallRMC1())
+	sparse := make([][]int64, 8)
+	for tbl := range sparse {
+		for i := 0; i < 80; i++ {
+			sparse[tbl] = append(sparse[tbl], int64((tbl*997+i*13)%2048))
+		}
+	}
+	pooled, done := eng.Pool(0, sparse)
+	if done <= 0 {
+		t.Fatal("pooling must take time")
+	}
+	for tbl := range sparse {
+		want := m.PoolReference(tbl, sparse[tbl])
+		if d := tensor.MaxAbsDiff(pooled[tbl], want); d > 1e-4 {
+			t.Fatalf("table %d pooled diff %v", tbl, d)
+		}
+	}
+}
+
+func TestPoolTimingAgreesWithPool(t *testing.T) {
+	cfg := smallRMC1()
+	_, _, engA, _ := setupLookup(t, cfg)
+	_, _, engB, _ := setupLookup(t, cfg)
+	sparse := make([][]int64, 8)
+	for tbl := range sparse {
+		for i := 0; i < 20; i++ {
+			sparse[tbl] = append(sparse[tbl], int64((tbl+i*31)%2048))
+		}
+	}
+	_, doneA := engA.Pool(0, sparse)
+	doneB := engB.PoolTiming(0, sparse)
+	if doneA != doneB {
+		t.Fatalf("data and timing paths diverge: %v vs %v", doneA, doneB)
+	}
+}
+
+func TestPoolThroughputNearAnalyticBound(t *testing.T) {
+	cfg := smallRMC1()
+	m, _, eng, _ := setupLookup(t, cfg)
+	gen := tensor.NewRNG(7)
+	sparse := make([][]int64, 8)
+	for tbl := range sparse {
+		for i := 0; i < 80; i++ {
+			sparse[tbl] = append(sparse[tbl], int64(gen.Intn(2048)))
+		}
+	}
+	done := eng.PoolTiming(0, sparse)
+	analytic := TembEstimate(m.Cfg, 1, 4, 4)
+	ratio := float64(done) / float64(analytic)
+	// The simulated completion should be within 2x of the analytic
+	// bandwidth bound (scheduling skew and sum drain add a little).
+	if ratio < 0.8 || ratio > 2.0 {
+		t.Fatalf("simulated %v vs analytic %v (ratio %.2f)", done, analytic, ratio)
+	}
+}
+
+func TestPoolStatsAndTraffic(t *testing.T) {
+	_, _, eng, dev := setupLookup(t, smallRMC1())
+	sparse := make([][]int64, 8)
+	for tbl := range sparse {
+		sparse[tbl] = []int64{1, 2, 3}
+	}
+	eng.PoolTiming(0, sparse)
+	if eng.Stats().Lookups != 24 {
+		t.Fatalf("lookups = %d, want 24", eng.Stats().Lookups)
+	}
+	if eng.Stats().BytesPooled != 24*128 {
+		t.Fatalf("bytes = %d", eng.Stats().BytesPooled)
+	}
+	fs := dev.Array().Stats()
+	if fs.VectorReads != 24 || fs.PageReads != 0 {
+		t.Fatalf("flash stats = %+v: lookup engine must use vector reads only", fs)
+	}
+	// Traffic over the buses is vector-granular: no read amplification.
+	if fs.BytesTransferred != 24*128 {
+		t.Fatalf("bus traffic = %d, want %d", fs.BytesTransferred, 24*128)
+	}
+}
+
+func TestPoolPanicsOnWrongTableCount(t *testing.T) {
+	_, _, eng, _ := setupLookup(t, smallRMC1())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	eng.Pool(0, make([][]int64, 3))
+}
+
+func TestVectorReadBandwidth(t *testing.T) {
+	// dim-32 vectors (128 B): flush-limited at 700 cycles/vector/channel
+	// with 4 dies -> 4 channels / 3.5us = ~1.14M vectors/s.
+	bev := VectorReadBandwidth(128, 4, 4)
+	if bev < 1.0e6 || bev > 1.3e6 {
+		t.Fatalf("bEV(128B) = %v, want ~1.14e6", bev)
+	}
+	// dim-64 (256 B) is still flush-limited with 4 dies (75 < 700).
+	if b := VectorReadBandwidth(256, 4, 4); b != bev {
+		t.Fatalf("bEV(256B) = %v, want %v (flush-limited)", b, bev)
+	}
+	// With 64 dies per channel the bus becomes the limit and larger
+	// vectors are slower.
+	b128 := VectorReadBandwidth(128, 4, 64)
+	b256 := VectorReadBandwidth(256, 4, 64)
+	if b256 >= b128 {
+		t.Fatalf("bus-limited: bEV(256)=%v should be < bEV(128)=%v", b256, b128)
+	}
+}
+
+func TestTembEstimateScalesWithBatchAndWork(t *testing.T) {
+	cfg := model.RMC1()
+	t1 := TembEstimate(cfg, 1, 4, 4)
+	t2 := TembEstimate(cfg, 2, 4, 4)
+	if t2 != 2*t1 {
+		t.Fatalf("Temb not linear in batch: %v vs %v", t1, t2)
+	}
+	more := TembEstimate(cfg, 1, 8, 4)
+	if more >= t1 {
+		t.Fatal("more channels must reduce Temb")
+	}
+}
+
+func TestEVSumKeepsUpWithFlash(t *testing.T) {
+	// The EV Sum unit must never be the bottleneck: its per-vector
+	// occupancy (ceil(dim/lanes) cycles) is far below the per-vector
+	// flash service time.
+	for _, cfg := range []model.Config{model.RMC1(), model.RMC2()} {
+		sumCycles := (cfg.EVDim + params.EVSumLanes - 1) / params.EVSumLanes
+		flashCycles := params.FlushCycles / params.DiesPerChannel
+		if sumCycles*4 > flashCycles {
+			t.Fatalf("%s: EV Sum %d cycles vs flash %d: sum unit too slow",
+				cfg.Name, sumCycles, flashCycles)
+		}
+	}
+}
+
+func TestPoolDeterministic(t *testing.T) {
+	cfg := smallRMC1()
+	_, _, engA, _ := setupLookup(t, cfg)
+	_, _, engB, _ := setupLookup(t, cfg)
+	sparse := [][]int64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
+	pa, da := engA.Pool(0, sparse)
+	pb, db := engB.Pool(0, sparse)
+	if da != db {
+		t.Fatal("timing not deterministic")
+	}
+	for i := range pa {
+		if tensor.MaxAbsDiff(pa[i], pb[i]) != 0 {
+			t.Fatal("values not deterministic")
+		}
+	}
+}

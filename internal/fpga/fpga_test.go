@@ -1,0 +1,245 @@
+package fpga
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmssd/internal/params"
+)
+
+func TestResourcesAddScale(t *testing.T) {
+	a := Resources{1, 2, 3, 4}
+	b := Resources{10, 20, 30, 40}
+	sum := a.Add(b)
+	if sum != (Resources{11, 22, 33, 44}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if a.Scale(3) != (Resources{3, 6, 9, 12}) {
+		t.Fatalf("Scale = %+v", a.Scale(3))
+	}
+}
+
+func TestFitsIn(t *testing.T) {
+	part := params.XC7A200T
+	small := Resources{LUT: 1000, FF: 1000, BRAM: 10, DSP: 10}
+	if !small.FitsIn(part) {
+		t.Fatal("small bundle should fit")
+	}
+	big := Resources{LUT: part.LUT + 1}
+	if big.FitsIn(part) {
+		t.Fatal("oversized LUT should not fit")
+	}
+	if (Resources{DSP: part.DSP + 1}).FitsIn(part) {
+		t.Fatal("oversized DSP should not fit")
+	}
+	if (Resources{BRAM: part.BRAM + 1}).FitsIn(part) {
+		t.Fatal("oversized BRAM should not fit")
+	}
+	if (Resources{FF: part.FF + 1}).FitsIn(part) {
+		t.Fatal("oversized FF should not fit")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	part := params.FPGAPart{Name: "X", LUT: 100, FF: 100, BRAM: 100, DSP: 100}
+	r := Resources{LUT: 50, FF: 25, BRAM: 75, DSP: 10}
+	if got := r.Utilization(part); got != 0.75 {
+		t.Fatalf("Utilization = %v, want 0.75 (BRAM-bound)", got)
+	}
+}
+
+func TestPEUnits(t *testing.T) {
+	cases := []struct{ kr, kc, ii, want int }{
+		{16, 16, 8, 32}, // 256/8
+		{4, 2, 8, 1},    // 8/8
+		{2, 4, 8, 1},
+		{4, 1, 8, 1}, // 4/8 -> rounds up to 1
+		{16, 8, 8, 16},
+		{1, 1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := PEUnits(c.kr, c.kc, c.ii); got != c.want {
+			t.Errorf("PEUnits(%d,%d,%d) = %d, want %d", c.kr, c.kc, c.ii, got, c.want)
+		}
+	}
+}
+
+func TestPEUnitsMonotoneProperty(t *testing.T) {
+	prop := func(kr, kc uint8) bool {
+		a := int(kr%16) + 1
+		b := int(kc%16) + 1
+		u := PEUnits(a, b, params.KernelII)
+		u2 := PEUnits(a*2, b, params.KernelII)
+		return u2 >= u && u >= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelResourcesNaiveVsSearched(t *testing.T) {
+	// The paper's headline resource claim (Table VI): the default 16x16
+	// kernels cost roughly an order of magnitude more than the searched
+	// 4x2-class kernels.
+	naive := KernelResources(16, 16, params.KernelII)
+	searched := KernelResources(4, 2, params.KernelII)
+	if naive.DSP < 5*searched.DSP {
+		t.Fatalf("DSP ratio too small: naive=%d searched=%d", naive.DSP, searched.DSP)
+	}
+	if naive.LUT < 5*searched.LUT {
+		t.Fatalf("LUT ratio too small: naive=%d searched=%d", naive.LUT, searched.LUT)
+	}
+}
+
+func TestSixteenBySixteenLayerMatchesTableVIScale(t *testing.T) {
+	// Six 16x16 layers (the RMC1 naive design) should land near Table
+	// VI's MLP-naive row: ~155K LUT, ~59K FF, ~612 DSP.
+	total := Resources{}
+	for i := 0; i < 6; i++ {
+		total = total.Add(KernelResources(16, 16, params.KernelII))
+	}
+	if total.LUT < 120_000 || total.LUT > 200_000 {
+		t.Errorf("LUT = %d, want ~155K", total.LUT)
+	}
+	if total.DSP < 500 || total.DSP > 700 {
+		t.Errorf("DSP = %d, want ~612", total.DSP)
+	}
+	if total.FF < 45_000 || total.FF > 75_000 {
+		t.Errorf("FF = %d, want ~59K", total.FF)
+	}
+}
+
+func TestAdderResources(t *testing.T) {
+	r := AdderResources(16)
+	if r.DSP != 16 || r.LUT != 16*params.LUTPerFAdd {
+		t.Fatalf("AdderResources = %+v", r)
+	}
+}
+
+func TestBRAMBlocksFor(t *testing.T) {
+	if BRAMBlocksFor(0) != 0 {
+		t.Fatal("0 bytes should need 0 blocks")
+	}
+	if BRAMBlocksFor(1) != 1 {
+		t.Fatal("1 byte should need 1 block")
+	}
+	if BRAMBlocksFor(params.BRAMBytes) != 1 {
+		t.Fatal("exactly one block")
+	}
+	if BRAMBlocksFor(params.BRAMBytes+1) != 2 {
+		t.Fatal("one byte over should need 2 blocks")
+	}
+	// RMC1's 0.39 MB of weights ~ 89 blocks: the Table VI MLP-op BRAM
+	// count (85) is dominated by weight storage.
+	blocks := BRAMBlocksFor(409_600)
+	if blocks < 80 || blocks > 95 {
+		t.Fatalf("0.39MB -> %v blocks, want ~89", blocks)
+	}
+}
+
+func TestDoubleBufferBRAM(t *testing.T) {
+	if DoubleBufferBRAM(params.KernelII) < 1 {
+		t.Fatal("double buffer must cost BRAM")
+	}
+}
+
+func TestStreamBufferBRAM(t *testing.T) {
+	small := StreamBufferBRAM(64)
+	big := StreamBufferBRAM(2560)
+	if big <= small {
+		t.Fatal("wider outputs must cost more stream BRAM")
+	}
+}
+
+func TestWeightBRAMBanking(t *testing.T) {
+	// Small weights with many PE units are bank-limited.
+	if got := WeightBRAM(100, 32); got != 32 {
+		t.Fatalf("bank-limited WeightBRAM = %v, want 32", got)
+	}
+	// Large weights with few units are capacity-limited.
+	if got := WeightBRAM(1<<20, 2); got != BRAMBlocksFor(1<<20) {
+		t.Fatalf("capacity-limited WeightBRAM = %v", got)
+	}
+}
+
+func TestDRAMWordsPerCycle(t *testing.T) {
+	if DRAMWordsPerCycle != 16 {
+		t.Fatalf("DRAMWordsPerCycle = %d, want 16 (64-byte Dwidth)", DRAMWordsPerCycle)
+	}
+}
+
+func TestPartBudgetsMatchTableVI(t *testing.T) {
+	if params.XCVU9P.LUT != 1_181_768 || params.XCVU9P.DSP != 6840 {
+		t.Fatal("XCVU9P budget drifted from Table VI")
+	}
+	if params.XC7A200T.LUT != 215_360 || params.XC7A200T.BRAM != 365 || params.XC7A200T.DSP != 740 {
+		t.Fatal("XC7A200T budget drifted from Table VI")
+	}
+}
+
+func TestResourcesString(t *testing.T) {
+	s := (Resources{1, 2, 3.5, 4}).String()
+	if s != "LUT=1 FF=2 BRAM=3.5 DSP=4" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestNaiveKernelResources(t *testing.T) {
+	// The naive systolic PE model reproduces Table VI's MLP-naive RMC1
+	// row almost exactly: 6 layers of 16x16 PEs -> ~154K LUT, ~58K FF,
+	// ~614 DSP.
+	total := Resources{}
+	for i := 0; i < 6; i++ {
+		total = total.Add(NaiveKernelResources(16, 16))
+	}
+	if total.LUT < 140_000 || total.LUT > 175_000 {
+		t.Errorf("naive LUT = %d, want ~154K", total.LUT)
+	}
+	if total.DSP < 550 || total.DSP > 680 {
+		t.Errorf("naive DSP = %d, want ~614", total.DSP)
+	}
+	if total.FF < 50_000 || total.FF > 70_000 {
+		t.Errorf("naive FF = %d, want ~58K", total.FF)
+	}
+	// Without II-reuse, naive kernels cost far more than reused ones.
+	reused := KernelResources(16, 16, params.KernelII)
+	naive := NaiveKernelResources(16, 16)
+	if naive.LUT < reused.LUT {
+		t.Error("naive kernel should cost at least as much as reused")
+	}
+}
+
+func TestAccumResources(t *testing.T) {
+	small := AccumResources(32)
+	big := AccumResources(2560)
+	if big.LUT <= small.LUT || big.FF <= small.FF {
+		t.Fatal("accumulator cost must scale with output width")
+	}
+	if small.DSP != 0 || small.BRAM != 0 {
+		t.Fatal("accumulators use fabric only")
+	}
+}
+
+func TestUtilizationPicksMaxClass(t *testing.T) {
+	part := params.FPGAPart{Name: "X", LUT: 100, FF: 100, BRAM: 100, DSP: 100}
+	cases := []struct {
+		r    Resources
+		want float64
+	}{
+		{Resources{LUT: 90, FF: 10, BRAM: 10, DSP: 10}, 0.9},
+		{Resources{LUT: 10, FF: 90, BRAM: 10, DSP: 10}, 0.9},
+		{Resources{LUT: 10, FF: 10, BRAM: 90, DSP: 10}, 0.9},
+		{Resources{LUT: 10, FF: 10, BRAM: 10, DSP: 90}, 0.9},
+	}
+	for i, c := range cases {
+		if got := c.r.Utilization(part); got != c.want {
+			t.Errorf("case %d: utilization %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestPEUnitsMinimumOne(t *testing.T) {
+	if PEUnits(1, 1, 64) != 1 {
+		t.Fatal("PEUnits must floor at 1")
+	}
+}

@@ -1,0 +1,323 @@
+package ftl
+
+import (
+	"fmt"
+
+	"rmssd/internal/flash"
+)
+
+// DynamicFTL is a page-mapped FTL with out-of-place writes and greedy
+// garbage collection — the production alternative to the paper's linear
+// mapping (the paper's emulated SSD is read-only during inference, so it
+// can use a linear map; a deployed RM-SSD must survive table updates and
+// filesystem writes, which this FTL provides).
+//
+// Physical pages are grouped into parallel units (one per channel/die/plane
+// triple). Writes stripe across units round-robin, preserving the
+// parallelism the Embedding Lookup Engine depends on; within a unit, pages
+// fill the active block append-only. When a unit runs out of free blocks
+// beyond a reserve, greedy GC picks the block with the fewest valid pages,
+// relocates them, and erases it.
+type DynamicFTL struct {
+	geo       flash.Geometry
+	pagesPerU int // pages per parallel unit
+	units     []*ftlUnit
+
+	l2p []int64 // logical page -> flat physical index (-1 = unmapped)
+	p2l []int64 // flat physical index -> logical page (-1 = free/invalid)
+
+	rr    int // round-robin unit cursor for new writes
+	stats DynamicStats
+	// pendingErase lists blocks garbage collection freed since the last
+	// TakePendingErases call; the device layer charges flash erase time
+	// for them.
+	pendingErase []flash.PPA
+
+	// OverprovisionBlocks is the per-unit reserve that triggers GC.
+	OverprovisionBlocks int
+}
+
+// ftlUnit tracks allocation within one channel/die/plane.
+type ftlUnit struct {
+	id          int
+	activeBlock int   // block currently being filled (-1 = none)
+	nextPage    int   // next page within the active block
+	freeBlocks  []int // erased blocks ready for allocation
+	validCount  []int // valid pages per block
+	eraseCount  []int // per-block erase counts (wear levelling)
+	sealed      []int // blocks fully written, candidates for GC
+}
+
+// DynamicStats counts write-path activity.
+type DynamicStats struct {
+	HostWrites int64 // pages written by the host
+	GCCopies   int64 // pages relocated by garbage collection
+	Erases     int64 // blocks erased
+	Trims      int64
+}
+
+// WriteAmplification returns (host writes + GC copies) / host writes.
+func (s DynamicStats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 0
+	}
+	return float64(s.HostWrites+s.GCCopies) / float64(s.HostWrites)
+}
+
+// NewDynamic creates a page-mapped FTL over the geometry. A small
+// over-provisioning reserve (default 2 blocks per unit) is kept for GC.
+func NewDynamic(geo flash.Geometry) *DynamicFTL {
+	if err := geo.Validate(); err != nil {
+		panic(fmt.Sprintf("ftl: %v", err))
+	}
+	nUnits := geo.Channels * geo.DiesPerChannel * geo.PlanesPerDie
+	d := &DynamicFTL{
+		geo:                 geo,
+		pagesPerU:           geo.BlocksPerPlane * geo.PagesPerBlock,
+		l2p:                 make([]int64, geo.TotalPages()),
+		p2l:                 make([]int64, geo.TotalPages()),
+		OverprovisionBlocks: 2,
+	}
+	for i := range d.l2p {
+		d.l2p[i] = -1
+		d.p2l[i] = -1
+	}
+	for u := 0; u < nUnits; u++ {
+		unit := &ftlUnit{
+			id:          u,
+			activeBlock: -1,
+			validCount:  make([]int, geo.BlocksPerPlane),
+			eraseCount:  make([]int, geo.BlocksPerPlane),
+		}
+		for b := 0; b < geo.BlocksPerPlane; b++ {
+			unit.freeBlocks = append(unit.freeBlocks, b)
+		}
+		d.units = append(d.units, unit)
+	}
+	return d
+}
+
+// Geometry returns the flash geometry.
+func (d *DynamicFTL) Geometry() flash.Geometry { return d.geo }
+
+// Stats returns a snapshot of write-path counters.
+func (d *DynamicFTL) Stats() DynamicStats { return d.stats }
+
+// unitOf decomposes a flat physical index into (unit, block, page).
+func (d *DynamicFTL) unitOf(flat int64) (unit, block, page int) {
+	page = int(flat) % d.geo.PagesPerBlock
+	rest := int(flat) / d.geo.PagesPerBlock
+	block = rest % d.geo.BlocksPerPlane
+	unit = rest / d.geo.BlocksPerPlane
+	return unit, block, page
+}
+
+// flatOf composes a flat physical index.
+func (d *DynamicFTL) flatOf(unit, block, page int) int64 {
+	return (int64(unit)*int64(d.geo.BlocksPerPlane)+int64(block))*int64(d.geo.PagesPerBlock) + int64(page)
+}
+
+// ppaOf converts a flat physical index to a PPA. Units enumerate plane-
+// major within die within channel, matching flash.Geometry.FlatIndex.
+func (d *DynamicFTL) ppaOf(flat int64) flash.PPA {
+	return d.geo.FromFlat(uint64(flat))
+}
+
+// Translate maps a logical page to its physical address; ok is false for
+// never-written pages.
+func (d *DynamicFTL) Translate(lpn int64) (flash.PPA, bool) {
+	if lpn < 0 || lpn >= int64(len(d.l2p)) {
+		panic(fmt.Sprintf("ftl: LPN %d out of range", lpn))
+	}
+	flat := d.l2p[lpn]
+	if flat < 0 {
+		return flash.PPA{}, false
+	}
+	return d.ppaOf(flat), true
+}
+
+// Inverse maps a physical page back to its logical page (-1 if invalid).
+func (d *DynamicFTL) Inverse(p flash.PPA) int64 {
+	return d.p2l[int64(d.geo.FlatIndex(p))]
+}
+
+// Relocation describes one valid page moved by garbage collection; the
+// caller charges flash time for the copy (read + program).
+type Relocation struct {
+	LPN      int64
+	From, To flash.PPA
+}
+
+// Write maps lpn to a fresh physical page, invalidating any previous
+// mapping, and returns the new PPA plus any GC relocations the allocation
+// forced. The caller owns timing and data movement.
+func (d *DynamicFTL) Write(lpn int64) (flash.PPA, []Relocation) {
+	if lpn < 0 || lpn >= int64(len(d.l2p)) {
+		panic(fmt.Sprintf("ftl: LPN %d out of range", lpn))
+	}
+	// Invalidate the old mapping.
+	if old := d.l2p[lpn]; old >= 0 {
+		d.invalidate(old)
+	}
+	unit := d.units[d.rr]
+	d.rr = (d.rr + 1) % len(d.units)
+	var relocs []Relocation
+	if d.lowOnSpace(unit) {
+		relocs = d.collect(unit)
+	}
+	flat := d.allocate(unit)
+	d.l2p[lpn] = flat
+	d.p2l[flat] = lpn
+	unit.validCount[d.blockOf(flat)]++
+	d.stats.HostWrites++
+	return d.ppaOf(flat), relocs
+}
+
+// Trim drops the mapping for lpn, freeing its physical page lazily.
+func (d *DynamicFTL) Trim(lpn int64) {
+	if old := d.l2p[lpn]; old >= 0 {
+		d.invalidate(old)
+		d.l2p[lpn] = -1
+		d.stats.Trims++
+	}
+}
+
+func (d *DynamicFTL) blockOf(flat int64) int {
+	_, block, _ := d.unitOf(flat)
+	return block
+}
+
+func (d *DynamicFTL) invalidate(flat int64) {
+	unit, block, _ := d.unitOf(flat)
+	d.p2l[flat] = -1
+	d.units[unit].validCount[block]--
+	if d.units[unit].validCount[block] < 0 {
+		panic("ftl: valid count underflow")
+	}
+}
+
+// lowOnSpace reports whether the unit is at or below its GC reserve.
+func (d *DynamicFTL) lowOnSpace(u *ftlUnit) bool {
+	free := len(u.freeBlocks)
+	if u.activeBlock >= 0 {
+		free++ // the active block still has room
+	}
+	return free <= d.OverprovisionBlocks
+}
+
+// allocate returns the next free physical page in the unit, opening a new
+// block when the active one fills.
+func (d *DynamicFTL) allocate(u *ftlUnit) int64 {
+	if u.activeBlock < 0 || u.nextPage >= d.geo.PagesPerBlock {
+		if u.activeBlock >= 0 {
+			u.sealed = append(u.sealed, u.activeBlock)
+		}
+		if len(u.freeBlocks) == 0 {
+			panic(fmt.Sprintf("ftl: unit %d out of space (over-provision too small for workload)", u.id))
+		}
+		u.activeBlock = u.freeBlocks[0]
+		u.freeBlocks = u.freeBlocks[1:]
+		u.nextPage = 0
+	}
+	flat := d.flatOf(u.id, u.activeBlock, u.nextPage)
+	u.nextPage++
+	return flat
+}
+
+// collect runs greedy GC on the unit: the sealed block with the fewest
+// valid pages is victimised, its valid pages relocated into the allocation
+// stream, and the block erased.
+func (d *DynamicFTL) collect(u *ftlUnit) []Relocation {
+	if len(u.sealed) == 0 {
+		return nil
+	}
+	// Pick the victim with minimum valid count, breaking ties toward the
+	// least-worn block (greedy GC with wear-levelling tie-break).
+	vi := 0
+	for i, b := range u.sealed {
+		best := u.sealed[vi]
+		if u.validCount[b] < u.validCount[best] ||
+			(u.validCount[b] == u.validCount[best] && u.eraseCount[b] < u.eraseCount[best]) {
+			vi = i
+		}
+	}
+	victim := u.sealed[vi]
+	u.sealed = append(u.sealed[:vi], u.sealed[vi+1:]...)
+
+	var relocs []Relocation
+	for p := 0; p < d.geo.PagesPerBlock; p++ {
+		flat := d.flatOf(u.id, victim, p)
+		lpn := d.p2l[flat]
+		if lpn < 0 {
+			continue
+		}
+		// Relocate into the unit's allocation stream.
+		d.p2l[flat] = -1
+		u.validCount[victim]--
+		dst := d.allocate(u)
+		d.l2p[lpn] = dst
+		d.p2l[dst] = lpn
+		u.validCount[d.blockOf(dst)]++
+		d.stats.GCCopies++
+		relocs = append(relocs, Relocation{LPN: lpn, From: d.ppaOf(flat), To: d.ppaOf(dst)})
+	}
+	if u.validCount[victim] != 0 {
+		panic("ftl: victim block not empty after GC")
+	}
+	u.freeBlocks = append(u.freeBlocks, victim)
+	u.eraseCount[victim]++
+	d.stats.Erases++
+	d.pendingErase = append(d.pendingErase, d.ppaOf(d.flatOf(u.id, victim, 0)))
+	return relocs
+}
+
+// WearSpread returns the max and min per-block erase counts across the
+// device: wear levelling keeps them close.
+func (d *DynamicFTL) WearSpread() (max, min int) {
+	min = 1 << 30
+	for _, u := range d.units {
+		for _, e := range u.eraseCount {
+			if e > max {
+				max = e
+			}
+			if e < min {
+				min = e
+			}
+		}
+	}
+	if min == 1<<30 {
+		min = 0
+	}
+	return max, min
+}
+
+// TakePendingErases returns and clears the blocks GC has freed since the
+// last call; the caller charges flash erase time for each.
+func (d *DynamicFTL) TakePendingErases() []flash.PPA {
+	out := d.pendingErase
+	d.pendingErase = nil
+	return out
+}
+
+// FreePages returns the total number of unwritten physical pages.
+func (d *DynamicFTL) FreePages() int64 {
+	var free int64
+	for _, u := range d.units {
+		free += int64(len(u.freeBlocks)) * int64(d.geo.PagesPerBlock)
+		if u.activeBlock >= 0 {
+			free += int64(d.geo.PagesPerBlock - u.nextPage)
+		}
+	}
+	return free
+}
+
+// ValidPages returns the number of mapped logical pages.
+func (d *DynamicFTL) ValidPages() int64 {
+	var n int64
+	for _, flat := range d.l2p {
+		if flat >= 0 {
+			n++
+		}
+	}
+	return n
+}

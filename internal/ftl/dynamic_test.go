@@ -1,0 +1,240 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmssd/internal/flash"
+)
+
+func dynGeo() flash.Geometry {
+	return flash.Geometry{
+		Channels:       2,
+		DiesPerChannel: 2,
+		PlanesPerDie:   1,
+		BlocksPerPlane: 8,
+		PagesPerBlock:  4,
+		PageSize:       4096,
+	}
+}
+
+func TestDynamicWriteTranslateRoundTrip(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	for lpn := int64(0); lpn < 16; lpn++ {
+		ppa, _ := d.Write(lpn)
+		got, ok := d.Translate(lpn)
+		if !ok || got != ppa {
+			t.Fatalf("LPN %d: Translate = %+v,%v; Write returned %+v", lpn, got, ok, ppa)
+		}
+		if d.Inverse(ppa) != lpn {
+			t.Fatalf("LPN %d: inverse broken", lpn)
+		}
+	}
+}
+
+func TestDynamicUnmappedTranslate(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	if _, ok := d.Translate(5); ok {
+		t.Fatal("unwritten LPN should not translate")
+	}
+}
+
+func TestDynamicOverwriteInvalidatesOld(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	first, _ := d.Write(7)
+	second, _ := d.Write(7)
+	if first == second {
+		t.Fatal("overwrite must go out of place")
+	}
+	if d.Inverse(first) != -1 {
+		t.Fatal("old physical page still mapped")
+	}
+	if got, _ := d.Translate(7); got != second {
+		t.Fatal("L2P not updated")
+	}
+	if d.ValidPages() != 1 {
+		t.Fatalf("ValidPages = %d, want 1", d.ValidPages())
+	}
+}
+
+func TestDynamicWritesStripeAcrossUnits(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	channels := map[int]bool{}
+	for lpn := int64(0); lpn < 8; lpn++ {
+		ppa, _ := d.Write(lpn)
+		channels[ppa.Channel] = true
+	}
+	if len(channels) != 2 {
+		t.Fatalf("writes hit %d channels, want 2", len(channels))
+	}
+}
+
+func TestDynamicGCReclaimsSpace(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	// Hammer a small logical range far beyond physical capacity; GC must
+	// keep up and write amplification must stay sane.
+	const hot = 8
+	for i := 0; i < 500; i++ {
+		_, _ = d.Write(int64(i % hot))
+	}
+	st := d.Stats()
+	if st.Erases == 0 {
+		t.Fatal("GC never ran")
+	}
+	if d.ValidPages() != hot {
+		t.Fatalf("ValidPages = %d, want %d", d.ValidPages(), hot)
+	}
+	waf := st.WriteAmplification()
+	if waf < 1 {
+		t.Fatalf("WAF = %v < 1", waf)
+	}
+	// With only 8 hot pages in 128 physical pages, GC victims are almost
+	// empty: WAF should stay low.
+	if waf > 1.5 {
+		t.Fatalf("WAF = %v too high for a tiny hot set", waf)
+	}
+}
+
+func TestDynamicGCPreservesMappings(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	// High utilization: a working set of 100 logical pages on 128
+	// physical pages. GC victims then always contain valid pages, so
+	// relocations are forced, and every mapping must survive them.
+	const ws = 100
+	var relocated int
+	for i := 0; i < 2000; i++ {
+		_, relocs := d.Write(int64(i % ws))
+		relocated += len(relocs)
+		for _, r := range relocs {
+			if r.From == r.To {
+				t.Fatal("relocation to same page")
+			}
+		}
+	}
+	if relocated == 0 {
+		t.Fatal("expected relocations under high utilization")
+	}
+	if waf := d.Stats().WriteAmplification(); waf <= 1.05 {
+		t.Fatalf("WAF = %v, expected substantial amplification at 78%% utilization", waf)
+	}
+	// Every working-set page must still translate and be inverse-mapped.
+	seen := map[flash.PPA]bool{}
+	for lpn := int64(0); lpn < ws; lpn++ {
+		p, ok := d.Translate(lpn)
+		if !ok {
+			t.Fatalf("LPN %d lost its mapping", lpn)
+		}
+		if d.Inverse(p) != lpn {
+			t.Fatalf("LPN %d inverse broken after GC", lpn)
+		}
+		if seen[p] {
+			t.Fatalf("LPN %d shares a physical page", lpn)
+		}
+		seen[p] = true
+	}
+}
+
+func TestDynamicTrim(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	p, _ := d.Write(3)
+	d.Trim(3)
+	if _, ok := d.Translate(3); ok {
+		t.Fatal("trimmed LPN still mapped")
+	}
+	if d.Inverse(p) != -1 {
+		t.Fatal("trimmed physical page still inverse-mapped")
+	}
+	d.Trim(3) // idempotent
+	if d.Stats().Trims != 1 {
+		t.Fatalf("Trims = %d, want 1", d.Stats().Trims)
+	}
+}
+
+func TestDynamicAccountingInvariant(t *testing.T) {
+	// Property: valid + free never exceeds physical capacity, and every
+	// live LPN translates to a distinct physical page.
+	prop := func(ops []uint16) bool {
+		d := NewDynamic(dynGeo())
+		capacity := int64(d.Geometry().TotalPages())
+		live := map[int64]bool{}
+		for _, op := range ops {
+			lpn := int64(op % 20)
+			if op%5 == 0 {
+				d.Trim(lpn)
+				delete(live, lpn)
+			} else {
+				d.Write(lpn)
+				live[lpn] = true
+			}
+			if d.ValidPages() != int64(len(live)) {
+				return false
+			}
+			if d.ValidPages()+d.FreePages() > capacity {
+				return false
+			}
+		}
+		seen := map[flash.PPA]bool{}
+		for lpn := range live {
+			p, ok := d.Translate(lpn)
+			if !ok || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicOutOfRangePanics(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	for _, fn := range []func(){
+		func() { d.Write(-1) },
+		func() { d.Translate(int64(d.Geometry().TotalPages())) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDynamicPPAsAreValid(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	g := d.Geometry()
+	for i := 0; i < 200; i++ {
+		ppa, relocs := d.Write(int64(i % 10))
+		if !g.Contains(ppa) {
+			t.Fatalf("write %d: PPA %+v outside geometry", i, ppa)
+		}
+		for _, r := range relocs {
+			if !g.Contains(r.To) || !g.Contains(r.From) {
+				t.Fatalf("relocation outside geometry: %+v", r)
+			}
+		}
+	}
+}
+
+func TestWearLevellingSpread(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	// Uniform churn over a small hot set: all erases would otherwise
+	// concentrate; the tie-break spreads them across blocks.
+	for i := 0; i < 4000; i++ {
+		d.Write(int64(i % 8))
+	}
+	max, min := d.WearSpread()
+	if max == 0 {
+		t.Fatal("no erases happened")
+	}
+	// With 8 blocks per unit and hundreds of erases, the spread should
+	// be tight: max within 2x of min+1.
+	if max > 2*(min+1) {
+		t.Fatalf("wear spread too wide: max=%d min=%d", max, min)
+	}
+}

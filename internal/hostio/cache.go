@@ -1,0 +1,113 @@
+package hostio
+
+import "container/list"
+
+// pageKey identifies a cached page: file identity plus page index within
+// the file's device address space.
+type pageKey struct {
+	file int
+	lpn  int64
+}
+
+// CacheStats counts page-cache behaviour.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 before any access.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// PageCache is an LRU page cache with a byte budget, standing in for the
+// kernel page cache of the SSD-S/SSD-M baselines. It tracks presence only;
+// data always comes from the device's backing store, which keeps the cache
+// cheap while preserving exact hit/miss behaviour.
+type PageCache struct {
+	capacityPages int
+	pageSize      int
+	lru           *list.List                // front = most recent
+	index         map[pageKey]*list.Element // element value is pageKey
+	stats         CacheStats
+}
+
+// NewPageCache creates a cache holding at most capacityBytes of pages.
+// A zero or negative capacity yields a cache that misses everything,
+// modelling a fully memory-starved host.
+func NewPageCache(capacityBytes int64, pageSize int) *PageCache {
+	pages := int(capacityBytes / int64(pageSize))
+	return &PageCache{
+		capacityPages: pages,
+		pageSize:      pageSize,
+		lru:           list.New(),
+		index:         make(map[pageKey]*list.Element),
+	}
+}
+
+// Touch records an access to the page and reports whether it hit. On a
+// miss the page is inserted (faulted in), evicting the least recently used
+// page if the cache is full.
+func (c *PageCache) Touch(fileID int, lpn int64) bool {
+	key := pageKey{fileID, lpn}
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	if c.capacityPages <= 0 {
+		return false
+	}
+	for c.lru.Len() >= c.capacityPages {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.index, oldest.Value.(pageKey))
+		c.stats.Evictions++
+	}
+	c.index[key] = c.lru.PushFront(key)
+	return false
+}
+
+// Contains reports presence without touching recency or stats.
+func (c *PageCache) Contains(fileID int, lpn int64) bool {
+	_, ok := c.index[pageKey{fileID, lpn}]
+	return ok
+}
+
+// Warm inserts the page without counting a hit or a miss; used to model
+// the paper's warm-up period before steady-state measurement.
+func (c *PageCache) Warm(fileID int, lpn int64) {
+	key := pageKey{fileID, lpn}
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	if c.capacityPages <= 0 {
+		return
+	}
+	for c.lru.Len() >= c.capacityPages {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.index, oldest.Value.(pageKey))
+	}
+	c.index[key] = c.lru.PushFront(key)
+}
+
+// Len returns the number of resident pages.
+func (c *PageCache) Len() int { return c.lru.Len() }
+
+// CapacityPages returns the page budget.
+func (c *PageCache) CapacityPages() int { return c.capacityPages }
+
+// Stats returns a snapshot of the counters.
+func (c *PageCache) Stats() CacheStats { return c.stats }
+
+// ResetStats zeroes the counters, keeping contents (steady-state
+// measurement after warm-up).
+func (c *PageCache) ResetStats() { c.stats = CacheStats{} }

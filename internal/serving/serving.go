@@ -1,0 +1,162 @@
+// Package serving models an online inference service in front of an
+// RM-SSD: requests arrive continuously, a batcher groups them into device
+// batches, and the device serves batches at its steady-state interval.
+// This connects the paper's device-level results to its motivation — the
+// "strict service level agreement requirements of recommendation systems"
+// (Section I) are tail-latency requirements on exactly this queue.
+//
+// The simulation is deterministic: arrivals are generated from a seeded
+// exponential inter-arrival process, and service times come from the
+// device's simulated stage model.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+)
+
+// Server abstracts the device being load-tested: the time to serve one
+// batch of n requests, under steady-state pipelining.
+type Server interface {
+	// BatchInterval returns the pipeline initiation interval for batches
+	// of n: consecutive batches can start this far apart.
+	BatchInterval(n int) time.Duration
+	// BatchLatency returns the end-to-end time of one batch of n.
+	BatchLatency(n int) time.Duration
+}
+
+// Config tunes the load generator and batcher.
+type Config struct {
+	// ArrivalRate is the offered load in requests/second.
+	ArrivalRate float64
+	// MaxBatch caps how many requests the batcher groups (the device
+	// batch of Section IV-D).
+	MaxBatch int
+	// MaxWait bounds how long the batcher holds a request open to fill
+	// a batch (the classic throughput/latency knob).
+	MaxWait time.Duration
+	// Requests is the number of arrivals to simulate.
+	Requests int
+	// Seed drives the arrival process.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.ArrivalRate <= 0:
+		return fmt.Errorf("serving: arrival rate %v", c.ArrivalRate)
+	case c.MaxBatch <= 0:
+		return fmt.Errorf("serving: max batch %d", c.MaxBatch)
+	case c.MaxWait < 0:
+		return fmt.Errorf("serving: negative max wait")
+	case c.Requests <= 0:
+		return fmt.Errorf("serving: %d requests", c.Requests)
+	}
+	return nil
+}
+
+// Result summarises a load-test run.
+type Result struct {
+	Served        int
+	Elapsed       time.Duration
+	ThroughputQPS float64
+	MeanBatch     float64
+	// Latency percentiles over all requests (arrival to completion).
+	P50, P95, P99, Max time.Duration
+}
+
+// Run simulates the closed queue: exponential arrivals, size/timeout
+// batching, FIFO service at the server's batch interval.
+func Run(srv Server, cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := tensor.NewRNG(cfg.Seed ^ 0x5e41)
+
+	// Deterministic exponential inter-arrival times.
+	arrivals := make([]sim.Time, cfg.Requests)
+	var now sim.Time
+	for i := range arrivals {
+		u := rng.Float64()
+		if u <= 0 {
+			u = 1e-12
+		}
+		gap := -math.Log(u) / cfg.ArrivalRate // seconds
+		now += sim.Time(gap * 1e9)
+		arrivals[i] = now
+	}
+
+	var (
+		latencies  []time.Duration
+		serverFree sim.Time
+		batches    int
+		i          int
+	)
+	for i < len(arrivals) {
+		// Form a batch: everything that has arrived by the time the
+		// batch closes, bounded by MaxBatch and MaxWait after the first
+		// request in the batch.
+		first := arrivals[i]
+		if first < serverFree {
+			// Requests queued while the server was busy: the batch
+			// forms the moment the server frees up.
+			first = serverFree
+		}
+		closeAt := first + sim.Time(cfg.MaxWait)
+		n := 0
+		for i+n < len(arrivals) && n < cfg.MaxBatch && arrivals[i+n] <= closeAt {
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		batchReady := arrivals[i+n-1]
+		if w := arrivals[i] + sim.Time(cfg.MaxWait); n < cfg.MaxBatch && batchReady < w && i+n < len(arrivals) {
+			// The batch closed on timeout, not size.
+			batchReady = w
+		}
+		start := sim.Max(batchReady, serverFree)
+		interval := sim.Time(srv.BatchInterval(n))
+		latency := sim.Time(srv.BatchLatency(n))
+		serverFree = start + interval
+		complete := start + latency
+		for k := 0; k < n; k++ {
+			latencies = append(latencies, time.Duration(complete-arrivals[i+k]))
+		}
+		batches++
+		i += n
+	}
+
+	res := Result{Served: len(latencies), Elapsed: time.Duration(serverFree)}
+	if res.Elapsed > 0 {
+		res.ThroughputQPS = float64(res.Served) / res.Elapsed.Seconds()
+	}
+	res.MeanBatch = float64(res.Served) / float64(batches)
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
+	res.Max = latencies[len(latencies)-1]
+	return res, nil
+}
+
+// DeviceServer adapts an RM-SSD-like steady-state model to the Server
+// interface from a pair of closures (avoids an import cycle with core).
+type DeviceServer struct {
+	Interval func(n int) time.Duration
+	Latency  func(n int) time.Duration
+}
+
+// BatchInterval implements Server.
+func (d DeviceServer) BatchInterval(n int) time.Duration { return d.Interval(n) }
+
+// BatchLatency implements Server.
+func (d DeviceServer) BatchLatency(n int) time.Duration { return d.Latency(n) }

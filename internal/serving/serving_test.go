@@ -1,0 +1,161 @@
+package serving
+
+import (
+	"testing"
+	"time"
+)
+
+// fixedServer serves any batch in a constant interval/latency.
+type fixedServer struct {
+	interval, latency time.Duration
+}
+
+func (f fixedServer) BatchInterval(int) time.Duration { return f.interval }
+func (f fixedServer) BatchLatency(int) time.Duration  { return f.latency }
+
+// scaledServer models an embedding-bound device: interval grows linearly
+// with batch size.
+type scaledServer struct{ per time.Duration }
+
+func (s scaledServer) BatchInterval(n int) time.Duration { return time.Duration(n) * s.per }
+func (s scaledServer) BatchLatency(n int) time.Duration {
+	return time.Duration(n)*s.per + 100*time.Microsecond
+}
+
+func baseCfg() Config {
+	return Config{
+		ArrivalRate: 1000,
+		MaxBatch:    8,
+		MaxWait:     time.Millisecond,
+		Requests:    2000,
+		Seed:        1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseCfg()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.MaxBatch = 0 },
+		func(c *Config) { c.MaxWait = -1 },
+		func(c *Config) { c.Requests = 0 },
+	}
+	for i, mutate := range bad {
+		c := baseCfg()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := Run(fixedServer{1, 1}, Config{}); err == nil {
+		t.Fatal("Run must validate")
+	}
+}
+
+func TestUnderloadLatencyNearService(t *testing.T) {
+	// Offered load far below capacity: P50 ~ service latency + batching
+	// wait, and everything gets served.
+	srv := fixedServer{interval: 100 * time.Microsecond, latency: 500 * time.Microsecond}
+	cfg := baseCfg()
+	cfg.ArrivalRate = 500 // interval supports 10K batches/s
+	res, err := Run(srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != cfg.Requests {
+		t.Fatalf("served %d of %d", res.Served, cfg.Requests)
+	}
+	if res.P50 > 5*time.Millisecond {
+		t.Fatalf("underloaded P50 = %v too high", res.P50)
+	}
+	if res.P99 < res.P50 || res.Max < res.P99 {
+		t.Fatal("percentiles not ordered")
+	}
+}
+
+func TestOverloadLatencyExplodes(t *testing.T) {
+	// Offered load beyond capacity: queueing delay grows without bound,
+	// so P99 must vastly exceed the underloaded P99.
+	srv := scaledServer{per: 500 * time.Microsecond} // capacity 2000 QPS
+	cfgLow := baseCfg()
+	cfgLow.ArrivalRate = 500
+	low, err := Run(srv, cfgLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgHigh := baseCfg()
+	cfgHigh.ArrivalRate = 4000 // 2x capacity
+	high, err := Run(srv, cfgHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.P99 < 10*low.P99 {
+		t.Fatalf("overload P99 (%v) should dwarf underload P99 (%v)", high.P99, low.P99)
+	}
+	// Throughput saturates near capacity.
+	if high.ThroughputQPS > 2200 {
+		t.Fatalf("throughput %v exceeds capacity", high.ThroughputQPS)
+	}
+}
+
+func TestBatchingGrowsUnderLoad(t *testing.T) {
+	srv := scaledServer{per: 100 * time.Microsecond}
+	lowCfg := baseCfg()
+	lowCfg.ArrivalRate = 200
+	low, _ := Run(srv, lowCfg)
+	highCfg := baseCfg()
+	highCfg.ArrivalRate = 6000
+	high, _ := Run(srv, highCfg)
+	if high.MeanBatch <= low.MeanBatch {
+		t.Fatalf("mean batch should grow with load: %v -> %v", low.MeanBatch, high.MeanBatch)
+	}
+	if high.MeanBatch > float64(highCfg.MaxBatch) {
+		t.Fatalf("mean batch %v exceeds cap %d", high.MeanBatch, highCfg.MaxBatch)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	srv := scaledServer{per: 200 * time.Microsecond}
+	a, _ := Run(srv, baseCfg())
+	b, _ := Run(srv, baseCfg())
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeedChangesArrivals(t *testing.T) {
+	srv := scaledServer{per: 200 * time.Microsecond}
+	a, _ := Run(srv, baseCfg())
+	cfg2 := baseCfg()
+	cfg2.Seed = 2
+	b, _ := Run(srv, cfg2)
+	if a.Elapsed == b.Elapsed {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestMaxBatchOne(t *testing.T) {
+	srv := fixedServer{interval: 10 * time.Microsecond, latency: 20 * time.Microsecond}
+	cfg := baseCfg()
+	cfg.MaxBatch = 1
+	res, err := Run(srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanBatch != 1 {
+		t.Fatalf("MeanBatch = %v with MaxBatch 1", res.MeanBatch)
+	}
+}
+
+func TestDeviceServerAdapter(t *testing.T) {
+	d := DeviceServer{
+		Interval: func(n int) time.Duration { return time.Duration(n) * time.Microsecond },
+		Latency:  func(n int) time.Duration { return time.Duration(n) * 2 * time.Microsecond },
+	}
+	if d.BatchInterval(3) != 3*time.Microsecond || d.BatchLatency(3) != 6*time.Microsecond {
+		t.Fatal("adapter broken")
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event-driven kernel. The Resource timeline model computes FCFS schedules
+// without an event loop, which is exact when requests are issued in
+// arrival order. This file provides a classical discrete-event engine for
+// workloads that need reactive behaviour (an event firing schedules new
+// work based on simulation state), and for cross-validating the timeline
+// model — the engine and the timelines must produce identical completion
+// times for any arrival-ordered FCFS workload, which the sim tests check.
+
+// Event is a scheduled callback.
+type Event struct {
+	At Time
+	// Fire runs when simulated time reaches At; it may schedule more
+	// events.
+	Fire func(now Time)
+	seq  int64 // tie-break: FIFO among equal timestamps
+	idx  int
+}
+
+// EventQueue is a deterministic discrete-event scheduler.
+type EventQueue struct {
+	h     eventHeap
+	now   Time
+	seq   int64
+	fired int64
+}
+
+// NewEventQueue returns an empty queue at the epoch.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Now returns the current simulated time.
+func (q *EventQueue) Now() Time { return q.now }
+
+// Fired returns how many events have run.
+func (q *EventQueue) Fired() int64 { return q.fired }
+
+// Schedule enqueues fn to run at time at. Scheduling in the past (before
+// Now) panics: it would violate causality.
+func (q *EventQueue) Schedule(at Time, fn func(now Time)) {
+	if at < q.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, q.now))
+	}
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Fire: fn, seq: q.seq})
+}
+
+// Step fires the next event; it reports false when the queue is empty.
+func (q *EventQueue) Step() bool {
+	if q.h.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&q.h).(*Event)
+	q.now = ev.At
+	q.fired++
+	ev.Fire(q.now)
+	return true
+}
+
+// Run drains the queue and returns the final time.
+func (q *EventQueue) Run() Time {
+	for q.Step() {
+	}
+	return q.now
+}
+
+// RunUntil fires events up to and including time limit, leaving later
+// events queued.
+func (q *EventQueue) RunUntil(limit Time) Time {
+	for q.h.Len() > 0 && q.h[0].At <= limit {
+		q.Step()
+	}
+	if q.now < limit {
+		q.now = limit
+	}
+	return q.now
+}
+
+// Pending returns the number of queued events.
+func (q *EventQueue) Pending() int { return q.h.Len() }
+
+// eventHeap implements heap.Interface ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x interface{}) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// EventResource is an FCFS server usable from inside an event-driven run:
+// requests queue and fire a completion callback. It mirrors Resource's
+// semantics, enabling cross-validation between the two kernels.
+type EventResource struct {
+	q        *EventQueue
+	nextFree Time
+	served   int
+}
+
+// NewEventResource binds a server to a queue.
+func NewEventResource(q *EventQueue) *EventResource {
+	return &EventResource{q: q}
+}
+
+// Request schedules service of duration d for a request arriving at time
+// at, invoking done(completionTime) when it finishes.
+func (r *EventResource) Request(at Time, d Time, done func(Time)) {
+	start := at
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	end := start + d
+	r.nextFree = end
+	r.served++
+	r.q.Schedule(end, func(now Time) { done(now) })
+}
+
+// Served returns the number of requests accepted.
+func (r *EventResource) Served() int { return r.served }

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	q.Schedule(30, func(Time) { order = append(order, 3) })
+	q.Schedule(10, func(Time) { order = append(order, 1) })
+	q.Schedule(20, func(Time) { order = append(order, 2) })
+	if got := q.Run(); got != 30 {
+		t.Fatalf("final time = %v", got)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if q.Fired() != 3 {
+		t.Fatalf("Fired = %d", q.Fired())
+	}
+}
+
+func TestEventQueueFIFOTieBreak(t *testing.T) {
+	q := NewEventQueue()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Schedule(100, func(Time) { order = append(order, i) })
+	}
+	q.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEventQueueReactiveScheduling(t *testing.T) {
+	q := NewEventQueue()
+	var chain []Time
+	var fire func(Time)
+	fire = func(now Time) {
+		chain = append(chain, now)
+		if len(chain) < 4 {
+			q.Schedule(now+10, fire)
+		}
+	}
+	q.Schedule(5, fire)
+	q.Run()
+	want := []Time{5, 15, 25, 35}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v", chain)
+		}
+	}
+}
+
+func TestEventQueuePastSchedulePanics(t *testing.T) {
+	q := NewEventQueue()
+	q.Schedule(10, func(Time) {})
+	q.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected causality panic")
+		}
+	}()
+	q.Schedule(5, func(Time) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	q := NewEventQueue()
+	var fired int
+	q.Schedule(10, func(Time) { fired++ })
+	q.Schedule(20, func(Time) { fired++ })
+	q.Schedule(30, func(Time) { fired++ })
+	q.RunUntil(20)
+	if fired != 2 || q.Pending() != 1 {
+		t.Fatalf("fired=%d pending=%d", fired, q.Pending())
+	}
+	if q.Now() != 20 {
+		t.Fatalf("Now = %v", q.Now())
+	}
+	q.Run()
+	if fired != 3 {
+		t.Fatal("remaining event lost")
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	q := NewEventQueue()
+	q.RunUntil(100)
+	if q.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", q.Now())
+	}
+}
+
+// Cross-validation: for any arrival-ordered FCFS workload, the event-driven
+// EventResource and the timeline Resource must produce identical
+// completion times.
+func TestEventResourceMatchesTimelineResource(t *testing.T) {
+	prop := func(gaps []uint8, durs []uint8) bool {
+		n := len(gaps)
+		if len(durs) < n {
+			n = len(durs)
+		}
+		if n == 0 {
+			return true
+		}
+		// Timeline model.
+		tl := NewResource("tl")
+		var at Time
+		wantEnds := make([]Time, n)
+		arrivals := make([]Time, n)
+		for i := 0; i < n; i++ {
+			at += Time(gaps[i])
+			arrivals[i] = at
+			_, end := tl.Acquire(at, time.Duration(durs[i]))
+			wantEnds[i] = end
+		}
+		// Event-driven model.
+		q := NewEventQueue()
+		er := NewEventResource(q)
+		gotEnds := make([]Time, n)
+		for i := 0; i < n; i++ {
+			i := i
+			q.Schedule(arrivals[i], func(now Time) {
+				er.Request(now, time.Duration(durs[i]), func(done Time) {
+					gotEnds[i] = done
+				})
+			})
+		}
+		q.Run()
+		for i := range wantEnds {
+			if gotEnds[i] != wantEnds[i] {
+				return false
+			}
+		}
+		return er.Served() == tl.Served()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-validation at system scale: a two-stage flash-like pipeline
+// (die flush -> bus transfer) produces identical batch completion under
+// both kernels.
+func TestEventKernelMatchesFlashPattern(t *testing.T) {
+	const (
+		n     = 64
+		flush = 2800
+		trans = 38
+		dies  = 3
+	)
+	// Timeline version.
+	diePool := NewPool("die", dies)
+	bus := NewResource("bus")
+	var tlDone Time
+	for i := 0; i < n; i++ {
+		die := diePool.NextRR()
+		_, fDone := die.Acquire(0, flush)
+		_, end := bus.Acquire(fDone, trans)
+		tlDone = Max(tlDone, end)
+	}
+
+	// Event version.
+	q := NewEventQueue()
+	evDies := make([]*EventResource, dies)
+	for i := range evDies {
+		evDies[i] = NewEventResource(q)
+	}
+	evBus := NewEventResource(q)
+	var evDone Time
+	for i := 0; i < n; i++ {
+		die := evDies[i%dies]
+		die.Request(0, flush, func(fDone Time) {
+			evBus.Request(fDone, trans, func(end Time) {
+				if end > evDone {
+					evDone = end
+				}
+			})
+		})
+	}
+	q.Run()
+	if evDone != tlDone {
+		t.Fatalf("event kernel %v vs timeline %v", evDone, tlDone)
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import "time"
+
+// Stage describes one stage of a processing pipeline by the time a single
+// work item occupies it.
+type Stage struct {
+	Name string
+	Time time.Duration
+}
+
+// PipelineResult summarises the steady-state behaviour of a linear pipeline.
+type PipelineResult struct {
+	// Latency is the end-to-end time of one item traversing all stages.
+	Latency time.Duration
+	// Interval is the steady-state initiation interval, i.e. the
+	// bottleneck stage time.
+	Interval time.Duration
+	// Bottleneck is the name of the slowest stage.
+	Bottleneck string
+}
+
+// Pipeline computes the steady-state latency and initiation interval of a
+// linear pipeline whose stages all overlap across consecutive items. This is
+// the model behind the paper's system-level pipelining (Section IV-D): while
+// the device processes batch i, the host pre-sends batch i+1's inputs and
+// reads batch i-1's outputs, so steady-state throughput is governed by the
+// slowest stage alone.
+func Pipeline(stages ...Stage) PipelineResult {
+	var res PipelineResult
+	for _, s := range stages {
+		res.Latency += s.Time
+		if s.Time > res.Interval {
+			res.Interval = s.Time
+			res.Bottleneck = s.Name
+		}
+	}
+	return res
+}
+
+// Throughput converts a per-item interval into items/second.
+func Throughput(interval time.Duration, itemsPerInterval int) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	return float64(itemsPerInterval) / interval.Seconds()
+}
+
+// Serial sums stage times: the latency (and interval) of an unpipelined
+// implementation.
+func Serial(stages ...Stage) time.Duration {
+	var total time.Duration
+	for _, s := range stages {
+		total += s.Time
+	}
+	return total
+}

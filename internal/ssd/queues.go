@@ -1,0 +1,118 @@
+package ssd
+
+import (
+	"fmt"
+
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+)
+
+// NVMe queue-pair model. The block path's Table II calibration (45K random
+// 4K IOPS) is a queue-depth-1 figure; real hosts drive NVMe devices through
+// submission/completion queue pairs holding many commands in flight. This
+// file models one queue pair over the event-driven kernel: the host keeps
+// the submission queue full up to its depth, each completion rings the
+// doorbell for the next command, and throughput rises until the flash
+// array's internal parallelism saturates — the latent bandwidth the
+// in-storage engines use without any host round trip.
+
+// QueuePair drives a device with a bounded number of in-flight commands.
+type QueuePair struct {
+	dev   *Device
+	depth int
+}
+
+// NewQueuePair creates a queue pair of the given depth.
+func NewQueuePair(dev *Device, depth int) (*QueuePair, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("ssd: queue depth %d", depth)
+	}
+	return &QueuePair{dev: dev, depth: depth}, nil
+}
+
+// Depth returns the queue depth.
+func (qp *QueuePair) Depth() int { return qp.depth }
+
+// RunRandomReads issues n random 4K page reads keeping the queue full, and
+// returns the completion time of the last command. Addresses are drawn
+// deterministically from seed.
+func (qp *QueuePair) RunRandomReads(n int, seed uint64) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	rng := tensor.NewRNG(seed)
+	total := int(qp.dev.TotalPages())
+	q := sim.NewEventQueue()
+	var last sim.Time
+	issued := 0
+
+	var submit func(now sim.Time)
+	submit = func(now sim.Time) {
+		if issued >= n {
+			return
+		}
+		issued++
+		lpn := int64(rng.Intn(total))
+		done := qp.dev.ReadPageTiming(now, lpn)
+		if done > last {
+			last = done
+		}
+		// The completion interrupt admits the next command (doorbell
+		// cost folded into NVMeCmdCost on the device side).
+		q.Schedule(done, submit)
+	}
+	// Prime the queue to its depth at t=0.
+	for i := 0; i < qp.depth && i < n; i++ {
+		q.Schedule(0, submit)
+	}
+	q.Run()
+	return last
+}
+
+// MeasureRandomReadIOPS reports the steady random-read rate at the queue
+// pair's depth over n commands.
+func (qp *QueuePair) MeasureRandomReadIOPS(n int, seed uint64) float64 {
+	done := qp.RunRandomReads(n, seed)
+	if done <= 0 {
+		return 0
+	}
+	return float64(n) / done.Seconds()
+}
+
+// SaturationDepth returns the smallest power-of-two depth at which adding
+// depth stops improving random-read IOPS by more than fraction eps: the
+// point where the flash array, not host queueing, is the limit.
+func SaturationDepth(dev *Device, eps float64, n int, seed uint64) int {
+	prev := 0.0
+	for depth := 1; depth <= 256; depth *= 2 {
+		dev.ResetTime()
+		qp, _ := NewQueuePair(dev, depth)
+		iops := qp.MeasureRandomReadIOPS(n, seed)
+		if prev > 0 && iops < prev*(1+eps) {
+			return depth / 2
+		}
+		prev = iops
+	}
+	return 256
+}
+
+// InternalReadBandwidth measures the in-storage path's sustained
+// vector-read bandwidth in bytes/second: the engines' view of the array,
+// with no NVMe involvement (Section II-B's "mismatch bandwidth").
+func InternalReadBandwidth(dev *Device, evSize, n int, seed uint64) float64 {
+	rng := tensor.NewRNG(seed)
+	ps := int64(dev.PageSize())
+	totalBytes := int64(dev.TotalPages()) * ps
+	var done sim.Time
+	for i := 0; i < n; i++ {
+		addr := (int64(rng.Intn(int(totalBytes/ps))) * ps) // page-aligned vector slot
+		_, end := dev.ReadVectorAt(0, addr, evSize)
+		if end > done {
+			done = end
+		}
+	}
+	if done <= 0 {
+		return 0
+	}
+	return float64(int64(n)*int64(evSize)) / done.Seconds()
+}

@@ -1,0 +1,179 @@
+package ssd
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rmssd/internal/flash"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+)
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	geo := flash.Geometry{
+		Channels:       4,
+		DiesPerChannel: 4,
+		PlanesPerDie:   2,
+		BlocksPerPlane: 8,
+		PagesPerBlock:  16,
+		PageSize:       4096,
+	}
+	return MustNew(geo)
+}
+
+func TestQD1Random4KRateMatchesTableII(t *testing.T) {
+	d := testDevice(t)
+	// Serial (queue-depth-1) page reads at random LPNs.
+	const n = 200
+	var now sim.Time
+	for i := 0; i < n; i++ {
+		lpn := int64((i * 37) % int(d.TotalPages()))
+		_, done := d.ReadPage(now, lpn)
+		now = done
+	}
+	iops := float64(n) / now.Seconds()
+	// Table II: 45K IOPS. Accept +-15%.
+	if iops < 38_000 || iops > 52_000 {
+		t.Fatalf("QD1 4K read rate = %.0f IOPS, want ~45K", iops)
+	}
+}
+
+func TestBlockReadBeatsNothingButParallelismHelps(t *testing.T) {
+	d := testDevice(t)
+	// High queue depth: issue 64 reads at t=0 across channels; completion
+	// should be far better than 64 serial reads.
+	var last sim.Time
+	for i := 0; i < 64; i++ {
+		_, done := d.ReadPage(0, int64(i))
+		last = sim.Max(last, done)
+	}
+	serial := 64 * (params.NVMeCmdCost + params.TPage + params.NVMeCompletionCost)
+	if last >= serial/2 {
+		t.Fatalf("QD64 completion %v shows no parallelism (serial would be %v)", last, serial)
+	}
+}
+
+func TestReadVectorBypassesNVMe(t *testing.T) {
+	d := testDevice(t)
+	_, done := d.ReadVectorAt(0, 0, 128)
+	want := params.Cycles(params.FTLCycles + params.FlushCycles + params.VectorTransferCycles(128))
+	if done != want {
+		t.Fatalf("vector read latency = %v, want %v", done, want)
+	}
+	if d.nvme.Served() != 0 {
+		t.Fatal("vector read must not touch the NVMe controller")
+	}
+}
+
+func TestReadVectorAddressing(t *testing.T) {
+	d := testDevice(t)
+	// Write a recognisable page, then read a vector out of its middle.
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(i % 251)
+	}
+	const lpn = 5
+	d.WritePageUntimed(lpn, page)
+	byteAddr := int64(lpn*4096 + 256)
+	got, _ := d.ReadVectorAt(0, byteAddr, 128)
+	for i := range got {
+		if got[i] != byte((256+i)%251) {
+			t.Fatalf("vector byte %d = %d, want %d", i, got[i], byte((256+i)%251))
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := testDevice(t)
+	data := make([]byte, 4096)
+	binary.LittleEndian.PutUint32(data, 0xabcd1234)
+	done := d.WritePage(0, 7, data)
+	got, _ := d.ReadPage(done, 7)
+	if binary.LittleEndian.Uint32(got) != 0xabcd1234 {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	d := testDevice(t)
+	d.ReadPage(0, 0)
+	d.ReadPage(0, 1)
+	d.WritePage(0, 2, []byte{1})
+	d.ReadVectorAt(0, 0, 128)
+	d.ReadPageInternal(0, 3)
+	s := d.Stats()
+	if s.BlockReads != 2 || s.BlockWrites != 1 || s.EVReads != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HostBytesRead != 2*4096 {
+		t.Fatalf("HostBytesRead = %d, want %d", s.HostBytesRead, 2*4096)
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestFlashStatsDistinguishVectorReads(t *testing.T) {
+	d := testDevice(t)
+	d.ReadVectorAt(0, 0, 128)
+	d.ReadPageInternal(0, 1)
+	fs := d.Array().Stats()
+	if fs.VectorReads != 1 || fs.PageReads != 1 {
+		t.Fatalf("flash stats = %+v", fs)
+	}
+	// Bus traffic: 128 bytes for the vector, 4096 for the page.
+	if fs.BytesTransferred != 128+4096 {
+		t.Fatalf("BytesTransferred = %d", fs.BytesTransferred)
+	}
+}
+
+func TestResetTime(t *testing.T) {
+	d := testDevice(t)
+	d.ReadPage(0, 0)
+	if d.Drained() == 0 {
+		t.Fatal("expected busy device")
+	}
+	d.ResetTime()
+	if d.Drained() != 0 {
+		t.Fatal("ResetTime did not idle the device")
+	}
+}
+
+func TestDefaultDevice(t *testing.T) {
+	d := Default()
+	if d.PageSize() != params.PageSize {
+		t.Fatalf("page size = %d", d.PageSize())
+	}
+	want := int64(params.SSDCapacityBytes / params.PageSize)
+	if got := d.TotalPages(); got > want || got < want-want/100 {
+		t.Fatalf("total pages = %d, want ~%d", got, want)
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(flash.Geometry{}); err == nil {
+		t.Fatal("expected error for zero geometry")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew should panic on bad geometry")
+		}
+	}()
+	MustNew(flash.Geometry{})
+}
+
+// Internal engine reads and block I/O share the flash: both paths must make
+// progress and the shared-resource contention must be visible in timing.
+func TestSharedFlashContention(t *testing.T) {
+	d := testDevice(t)
+	_, aloneDone := d.ReadVectorAt(0, 0, 128)
+	d.ResetTime()
+	// Occupy channel 0's die 0 with a block read first.
+	d.ReadPage(0, 0) // LPN 0 -> channel 0, die 0
+	_, contendedDone := d.ReadVectorAt(0, 0, 128)
+	if contendedDone <= aloneDone {
+		t.Fatalf("contended vector read (%v) should be slower than alone (%v)", contendedDone, aloneDone)
+	}
+}

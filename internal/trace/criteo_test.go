@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// validLine builds a well-formed Criteo TSV line.
+func validLine() string {
+	fields := []string{"1"}
+	for i := 0; i < CriteoDenseFeatures; i++ {
+		fields = append(fields, "42")
+	}
+	for i := 0; i < CriteoTables; i++ {
+		fields = append(fields, "68fd1e64")
+	}
+	return strings.Join(fields, "\t")
+}
+
+func TestParseCriteoLine(t *testing.T) {
+	rec, err := ParseCriteoLine(validLine(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Label != 1 {
+		t.Fatalf("label = %d", rec.Label)
+	}
+	if len(rec.Dense) != 13 || len(rec.Sparse) != 26 {
+		t.Fatalf("shapes: %d dense, %d sparse", len(rec.Dense), len(rec.Sparse))
+	}
+	// log(42+3) ~ 3.81.
+	if rec.Dense[0] < 3.7 || rec.Dense[0] > 3.9 {
+		t.Fatalf("dense[0] = %v, want ~3.81", rec.Dense[0])
+	}
+	for _, idx := range rec.Sparse {
+		if idx < 0 || idx >= 1000 {
+			t.Fatalf("sparse index %d out of range", idx)
+		}
+	}
+	// Identical tokens hash identically across tables here.
+	if rec.Sparse[0] != rec.Sparse[1] {
+		t.Fatal("same token should hash to the same row")
+	}
+}
+
+func TestParseCriteoMissingFields(t *testing.T) {
+	fields := []string{"0"}
+	for i := 0; i < CriteoDenseFeatures; i++ {
+		fields = append(fields, "") // all dense missing
+	}
+	for i := 0; i < CriteoTables; i++ {
+		fields = append(fields, "") // all categorical missing
+	}
+	rec, err := ParseCriteoLine(strings.Join(fields, "\t"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rec.Dense {
+		if d != 0 {
+			t.Fatal("missing dense should be zero")
+		}
+	}
+	for _, s := range rec.Sparse {
+		if s != 0 {
+			t.Fatal("missing categorical should map to bucket 0")
+		}
+	}
+}
+
+func TestParseCriteoErrors(t *testing.T) {
+	cases := []string{
+		"1\t2\t3", // too few fields
+		strings.Replace(validLine(), "1", "7", 1),  // bad label
+		strings.Replace(validLine(), "42", "x", 1), // bad integer
+	}
+	for i, line := range cases {
+		if _, err := ParseCriteoLine(line, 100); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestParseCriteoNegativeIntegerClamped(t *testing.T) {
+	line := strings.Replace(validLine(), "42", "-5", 1)
+	rec, err := ParseCriteoLine(line, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// log(0+3) ~ 1.0986
+	if rec.Dense[0] < 1.0 || rec.Dense[0] > 1.2 {
+		t.Fatalf("clamped dense = %v", rec.Dense[0])
+	}
+}
+
+func TestCriteoParserStream(t *testing.T) {
+	input := validLine() + "\n\n" + validLine() + "\n"
+	p, err := NewCriteoParser(strings.NewReader(input), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		_, err := p.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("parsed %d records, want 2 (blank line skipped)", n)
+	}
+}
+
+func TestCriteoParserBadRows(t *testing.T) {
+	if _, err := NewCriteoParser(strings.NewReader(""), 0); err == nil {
+		t.Fatal("rows 0 should fail")
+	}
+}
+
+func TestCriteoParserReportsLine(t *testing.T) {
+	input := validLine() + "\nbroken line\n"
+	p, _ := NewCriteoParser(strings.NewReader(input), 100)
+	if _, err := p.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name the line: %v", err)
+	}
+}
+
+func TestHashCategoricalProperties(t *testing.T) {
+	prop := func(tok string, rows16 uint16) bool {
+		rows := int64(rows16) + 1
+		h := HashCategorical(tok, rows)
+		if h < 0 || h >= rows {
+			return false
+		}
+		// Deterministic.
+		return h == HashCategorical(tok, rows)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	if HashCategorical("", 50) != 0 {
+		t.Fatal("empty token must map to bucket 0")
+	}
+	if HashCategorical("abc", 1<<30) == HashCategorical("abd", 1<<30) {
+		t.Fatal("adjacent tokens collide (suspicious)")
+	}
+}
+
+func TestRecordsToInference(t *testing.T) {
+	recs := []CriteoRecord{
+		{Sparse: seqSparse(0)},
+		{Sparse: seqSparse(100)},
+	}
+	out := RecordsToInference(recs, 4, 3)
+	if len(out) != 4 {
+		t.Fatalf("tables = %d", len(out))
+	}
+	for tIdx, idx := range out {
+		if len(idx) != 3 {
+			t.Fatalf("lookups = %d", len(idx))
+		}
+		for _, v := range idx {
+			if v != int64(tIdx) && v != int64(tIdx+100) {
+				t.Fatalf("table %d got foreign index %d", tIdx, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty records should panic")
+		}
+	}()
+	RecordsToInference(nil, 1, 1)
+}
+
+func seqSparse(base int64) []int64 {
+	s := make([]int64, CriteoTables)
+	for i := range s {
+		s[i] = base + int64(i)
+	}
+	return s
+}
+
+// Synthesised TSV must round-trip through the parser and preserve the
+// locality structure (hot share near the generator's hot mass).
+func TestSynthesizeCriteoRoundTrip(t *testing.T) {
+	gen := MustNew(Config{Tables: 26, Rows: 1 << 16, Lookups: 1, Seed: 9})
+	var sb strings.Builder
+	const n = 400
+	if err := SynthesizeCriteoTSV(&sb, n, gen); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewCriteoParser(strings.NewReader(sb.String()), 1<<16)
+	var recs []CriteoRecord
+	for {
+		rec, err := p.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != n {
+		t.Fatalf("round-tripped %d of %d records", len(recs), n)
+	}
+	// Labels are 0/1; dense features finite.
+	for _, r := range recs {
+		if r.Label != 0 && r.Label != 1 {
+			t.Fatal("bad label")
+		}
+	}
+	// The trace structure survives hashing: repeated hot tokens keep the
+	// distinct-index count well below the lookup count.
+	var flat []int64
+	for _, r := range recs {
+		flat = append(flat, r.Sparse[0])
+	}
+	st := Analyze(flat, 10)
+	if st.TotalIndices >= st.TotalLookups {
+		t.Fatal("no index reuse after round trip: locality lost")
+	}
+}

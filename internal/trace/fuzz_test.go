@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCriteoLine checks the parser never panics and, when it accepts
+// a line, produces a structurally valid record.
+func FuzzParseCriteoLine(f *testing.F) {
+	f.Add(validLine())
+	f.Add("")
+	f.Add("1\t\t\t")
+	f.Add(strings.Repeat("\t", 39))
+	f.Add("0" + strings.Repeat("\t5", 13) + strings.Repeat("\tdeadbeef", 26))
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseCriteoLine(line, 1000)
+		if err != nil {
+			return
+		}
+		if rec.Label != 0 && rec.Label != 1 {
+			t.Fatalf("accepted label %d", rec.Label)
+		}
+		if len(rec.Dense) != CriteoDenseFeatures || len(rec.Sparse) != CriteoTables {
+			t.Fatal("accepted record with wrong shape")
+		}
+		for _, s := range rec.Sparse {
+			if s < 0 || s >= 1000 {
+				t.Fatalf("accepted index %d out of range", s)
+			}
+		}
+	})
+}
+
+// FuzzAnalyze checks the statistics functions over arbitrary index streams.
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		lookups := make([]int64, len(raw))
+		for i, b := range raw {
+			lookups[i] = int64(b)
+		}
+		s := Analyze(lookups, 5)
+		if s.TotalLookups != int64(len(lookups)) {
+			t.Fatal("lookup count wrong")
+		}
+		if s.TotalIndices > s.TotalLookups {
+			t.Fatal("more distinct indices than lookups")
+		}
+		if s.SingleShare < 0 || s.SingleShare > 1 || s.TopKShare < 0 || s.TopKShare > 1 {
+			t.Fatal("shares out of range")
+		}
+		var bucketed int64
+		for _, n := range s.OccurrenceIndexCounts {
+			bucketed += n
+		}
+		if bucketed > s.TotalIndices {
+			t.Fatal("occurrence buckets exceed distinct indices")
+		}
+	})
+}

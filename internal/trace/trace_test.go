@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func baseConfig() Config {
+	return Config{
+		Tables:     4,
+		Rows:       1 << 20,
+		Lookups:    16,
+		HotMass:    0.65,
+		HotSetSize: 4096,
+		ZipfS:      1.05,
+		Seed:       1,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := baseConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Tables = 0 },
+		func(c *Config) { c.Rows = 0 },
+		func(c *Config) { c.Lookups = 0 },
+		func(c *Config) { c.HotMass = -0.1 },
+		func(c *Config) { c.HotMass = 1.5 },
+		func(c *Config) { c.HotSetSize = 0 },
+		func(c *Config) { c.HotSetSize = good.Rows + 1 },
+		func(c *Config) { c.ZipfS = 0 },
+	}
+	for i, mutate := range bad {
+		c := baseConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{Tables: 2, Rows: 1 << 20, Lookups: 8, Seed: 1}.Default()
+	if c.HotMass != 0.65 {
+		t.Fatalf("default HotMass = %v, want 0.65 (K=0.3)", c.HotMass)
+	}
+	if c.HotSetSize == 0 || c.ZipfS == 0 {
+		t.Fatal("defaults not applied")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithLocality(t *testing.T) {
+	for k, want := range map[float64]float64{0: 0.80, 0.3: 0.65, 1: 0.45, 2: 0.30} {
+		c, err := baseConfig().WithLocality(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.HotMass != want {
+			t.Fatalf("K=%v -> HotMass %v, want %v", k, c.HotMass, want)
+		}
+	}
+	if _, err := baseConfig().WithLocality(5); err == nil {
+		t.Fatal("unknown K should fail")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustNew(baseConfig())
+	b := MustNew(baseConfig())
+	for i := 0; i < 10; i++ {
+		ia, ib := a.Inference(), b.Inference()
+		for tbl := range ia {
+			for j := range ia[tbl] {
+				if ia[tbl][j] != ib[tbl][j] {
+					t.Fatal("generators with equal seeds diverged")
+				}
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	cfg2 := baseConfig()
+	cfg2.Seed = 2
+	a := MustNew(baseConfig())
+	b := MustNew(cfg2)
+	same := 0
+	total := 0
+	ia, ib := a.Inference(), b.Inference()
+	for tbl := range ia {
+		for j := range ia[tbl] {
+			total++
+			if ia[tbl][j] == ib[tbl][j] {
+				same++
+			}
+		}
+	}
+	if same == total {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestShapes(t *testing.T) {
+	g := MustNew(baseConfig())
+	inf := g.Inference()
+	if len(inf) != 4 {
+		t.Fatalf("tables = %d", len(inf))
+	}
+	for _, idx := range inf {
+		if len(idx) != 16 {
+			t.Fatalf("lookups = %d", len(idx))
+		}
+	}
+	batch := g.Batch(5)
+	if len(batch) != 5 {
+		t.Fatalf("batch = %d", len(batch))
+	}
+}
+
+func TestIndicesInRangeProperty(t *testing.T) {
+	prop := func(seed uint64, rows16 uint16) bool {
+		cfg := baseConfig()
+		cfg.Seed = seed
+		cfg.Rows = int64(rows16)%10000 + 100
+		cfg.HotSetSize = cfg.Rows / 10
+		if cfg.HotSetSize == 0 {
+			cfg.HotSetSize = 1
+		}
+		g := MustNew(cfg)
+		for _, tblIdx := range g.Inference() {
+			for _, idx := range tblIdx {
+				if idx < 0 || idx >= cfg.Rows {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The hot mass should approximately equal the share of lookups landing in
+// the hot set: the hit-ratio contract of Fig. 14.
+func TestHotMassConvergence(t *testing.T) {
+	for _, hm := range []float64{0.30, 0.45, 0.65, 0.80} {
+		cfg := baseConfig()
+		cfg.HotMass = hm
+		cfg.Tables = 1
+		g := MustNew(cfg)
+
+		// Identify the hot set by construction: ranks [0, HotSetSize).
+		hot := make(map[int64]bool, cfg.HotSetSize)
+		for r := int64(0); r < cfg.HotSetSize; r++ {
+			hot[g.scatter(0, r)] = true
+		}
+		var hits, total int
+		for i := 0; i < 2000; i++ {
+			for _, idx := range g.Inference()[0] {
+				total++
+				if hot[idx] {
+					hits++
+				}
+			}
+		}
+		got := float64(hits) / float64(total)
+		if math.Abs(got-hm) > 0.03 {
+			t.Errorf("HotMass %v: measured hot share %v", hm, got)
+		}
+	}
+}
+
+// Cold accesses are drawn without replacement, so the single-occurrence
+// share of distinct indices should be high, echoing the paper's 84.74%.
+func TestColdAccessesNearUnique(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Tables = 1
+	cfg.Rows = 1 << 24
+	g := MustNew(cfg)
+	batch := g.Batch(3000)
+	stats := Analyze(Flatten(batch, 0), 100)
+	if stats.SingleShare < 0.5 {
+		t.Fatalf("single-occurrence share = %v, want >= 0.5 (paper: 0.847)", stats.SingleShare)
+	}
+}
+
+// The Zipf head should concentrate mass: the top-K share must exceed the
+// uniform share by a wide margin.
+func TestZipfHeadConcentration(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Tables = 1
+	g := MustNew(cfg)
+	batch := g.Batch(2000)
+	flat := Flatten(batch, 0)
+	stats := Analyze(flat, 100)
+	// 100 indices out of a 4096-index hot set w/ Zipf 1.05 should carry
+	// a large share of the 65% hot mass.
+	if stats.TopKShare < 0.2 {
+		t.Fatalf("top-100 share = %v, want >= 0.2", stats.TopKShare)
+	}
+	if stats.TopKShare > 0.66 {
+		t.Fatalf("top-100 share = %v exceeds hot mass: generator broken", stats.TopKShare)
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	s := Analyze([]int64{1, 1, 1, 2, 2, 3}, 1)
+	if s.TotalLookups != 6 || s.TotalIndices != 3 {
+		t.Fatalf("totals = %+v", s)
+	}
+	if s.OccurrenceIndexCounts[0] != 1 || s.OccurrenceIndexCounts[1] != 1 || s.OccurrenceIndexCounts[2] != 1 {
+		t.Fatalf("occurrence buckets = %v", s.OccurrenceIndexCounts)
+	}
+	if math.Abs(s.SingleShare-1.0/3) > 1e-9 {
+		t.Fatalf("SingleShare = %v", s.SingleShare)
+	}
+	if len(s.Top) != 3 || s.Top[0].Index != 1 || s.Top[0].Count != 3 {
+		t.Fatalf("Top = %v", s.Top)
+	}
+	if s.TopKShare != 0.5 { // top-1 = index 1 with 3 of 6
+		t.Fatalf("TopKShare = %v", s.TopKShare)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s := Analyze(nil, 10)
+	if s.TotalLookups != 0 || s.TotalIndices != 0 || s.SingleShare != 0 || s.TopKShare != 0 {
+		t.Fatalf("empty analysis = %+v", s)
+	}
+}
+
+func TestFlattenPerTableAndAll(t *testing.T) {
+	batch := [][][]int64{
+		{{1, 2}, {3}},
+		{{4}, {5, 6}},
+	}
+	if got := Flatten(batch, 0); len(got) != 3 || got[0] != 1 || got[2] != 4 {
+		t.Fatalf("table 0 flatten = %v", got)
+	}
+	if got := Flatten(batch, -1); len(got) != 6 {
+		t.Fatalf("all-tables flatten = %v", got)
+	}
+}
+
+func TestDenseInputDeterministic(t *testing.T) {
+	g := MustNew(baseConfig())
+	a := g.DenseInput(3, 16)
+	b := g.DenseInput(3, 16)
+	if len(a) != 16 {
+		t.Fatalf("dim = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("DenseInput not deterministic")
+		}
+	}
+	c := g.DenseInput(4, 16)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("DenseInput identical across inference ids")
+	}
+}
+
+func TestScatterBijectiveOnSample(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Rows = 100003 // prime, definitely coprime with the multiplier
+	g := MustNew(cfg)
+	seen := make(map[int64]bool, cfg.Rows)
+	for r := int64(0); r < cfg.Rows; r++ {
+		v := g.scatter(0, r)
+		if seen[v] {
+			t.Fatalf("scatter collision at rank %d", r)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfRankBounds(t *testing.T) {
+	for _, s := range []float64{0.5, 1.0, 1.05, 2.0} {
+		cfg := baseConfig()
+		cfg.ZipfS = s
+		g := MustNew(cfg)
+		for i := 0; i < 5000; i++ {
+			r := g.zipfRank()
+			if r < 0 || r >= cfg.HotSetSize {
+				t.Fatalf("s=%v: rank %d out of range", s, r)
+			}
+		}
+	}
+}

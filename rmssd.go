@@ -1,0 +1,199 @@
+// Package rmssd is a simulation-based reproduction of "RM-SSD: In-Storage
+// Computing for Large-Scale Recommendation Inference" (Sun, Wan, Li, Yang,
+// Kuo & Xue, HPCA 2022).
+//
+// The package re-exports the library's public surface:
+//
+//   - recommendation models (Table III's DLRM-RMC1/2/3, plus NCF and WnD)
+//     with a host reference implementation producing real float32 CTR
+//     predictions;
+//   - the RM-SSD device: a simulated 4-channel flash SSD whose controller
+//     hosts the Embedding Lookup Engine (vector-grained in-storage reads
+//     and pooling) and the MLP Acceleration Engine (intra-layer
+//     decomposition, inter-layer composition, kernel search);
+//   - every baseline the paper compares against (DRAM, SSD-S/M, EMB-MMIO,
+//     EMB-PageSum, EMB-VectorSum, RecSSD);
+//   - synthetic trace generation with the paper's locality presets;
+//   - the experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	cfg := rmssd.RMC1()
+//	cfg.RowsPerTable = cfg.RowsForBudget(256 << 20) // scale tables down
+//	dev := rmssd.MustNewDevice(cfg, rmssd.DeviceOptions{})
+//	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
+//		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+//	})
+//	dense := gen.DenseInput(0, cfg.DenseDim)
+//	outs, done, _ := dev.InferBatch(0, []rmssd.Vector{dense}, gen.Batch(1))
+//	fmt.Printf("CTR=%.4f in %v simulated\n", outs[0], done)
+//
+// All timing in this library is simulated virtual time derived from the
+// paper's published delay equations (Table II and Section V); no result
+// depends on the wall clock, so every run is deterministic.
+package rmssd
+
+import (
+	"rmssd/internal/baseline"
+	"rmssd/internal/bench"
+	"rmssd/internal/core"
+	"rmssd/internal/engine"
+	"rmssd/internal/flash"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/tensor"
+	"rmssd/internal/trace"
+)
+
+// --- models ---
+
+// ModelConfig describes a recommendation model (see Table III).
+type ModelConfig = model.Config
+
+// Model is a materialised model: config plus deterministic weights.
+type Model = model.Model
+
+// Vector is a dense float32 vector.
+type Vector = tensor.Vector
+
+// Built-in model configurations.
+var (
+	// RMC1 is the embedding-dominated DLRM-RMC1 (8 tables x 80 lookups).
+	RMC1 = model.RMC1
+	// RMC2 is the most embedding-heavy model (32 tables x 120 lookups).
+	RMC2 = model.RMC2
+	// RMC3 is the MLP-dominated model (12.23 MB MLP).
+	RMC3 = model.RMC3
+	// NCF is Neural Collaborative Filtering (one lookup per table).
+	NCF = model.NCF
+	// WnD is Wide & Deep (26 single-lookup tables).
+	WnD = model.WnD
+	// AllModels returns every built-in configuration.
+	AllModels = model.AllConfigs
+	// ModelByName resolves a built-in configuration by name.
+	ModelByName = model.ConfigByName
+	// BuildModel materialises weights for a configuration.
+	BuildModel = model.Build
+)
+
+// TableIIIBudget is the paper's 30 GB embedding-table budget per model.
+const TableIIIBudget = model.TableIIIBudget
+
+// --- the RM-SSD device ---
+
+// Device is the full RM-SSD: simulated flash plus both in-storage engines
+// behind the MMIO/DMA host interface.
+type Device = core.RMSSD
+
+// DeviceOptions configures device construction.
+type DeviceOptions = core.Options
+
+// Breakdown reports a batch's stage times.
+type Breakdown = core.Breakdown
+
+// Design selects the MLP engine mapping; the zero value is the full RM-SSD.
+type Design = engine.Design
+
+// MLP engine mapping variants (Table VI's rows).
+const (
+	DesignSearched = engine.DesignSearched
+	DesignDefault  = engine.DesignDefault
+	DesignNaive    = engine.DesignNaive
+)
+
+// NewDevice builds an RM-SSD hosting the model: tables are laid out on the
+// simulated flash and registered with the EV Translator.
+func NewDevice(cfg ModelConfig, opts DeviceOptions) (*Device, error) {
+	return core.New(cfg, opts)
+}
+
+// MustNewDevice is NewDevice, panicking on error.
+func MustNewDevice(cfg ModelConfig, opts DeviceOptions) *Device {
+	d, err := NewDevice(cfg, opts)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NewNaiveDevice builds the RM-SSD-Naive comparison point: same hardware,
+// conventional layer-by-layer MLP mapping, no pipelining.
+func NewNaiveDevice(cfg ModelConfig, opts DeviceOptions) (*Device, error) {
+	opts.Design = engine.DesignNaive
+	return core.New(cfg, opts)
+}
+
+// Session is the paper's host runtime interface: fd-based table access
+// with ownership checks (RM_create_table / RM_open_table /
+// RM_send_inputs / RM_read_outputs).
+type Session = core.Session
+
+// Geometry describes the simulated flash array.
+type Geometry = flash.Geometry
+
+// DefaultGeometry returns the paper's Table II device: 32 GB, 4 channels.
+var DefaultGeometry = flash.DefaultGeometry
+
+// FPGA part budgets from Table VI.
+var (
+	XCVU9P   = params.XCVU9P
+	XC7A200T = params.XC7A200T
+)
+
+// --- baselines ---
+
+// System is a complete recommendation-inference deployment (a baseline).
+type System = baseline.System
+
+// Env bundles a model's tables laid out on a simulated SSD, shared by the
+// SSD-backed baselines.
+type Env = baseline.Env
+
+// NewEnv lays a model's tables out on a fresh simulated device.
+func NewEnv(cfg ModelConfig, geo Geometry) (*Env, error) { return baseline.NewEnv(cfg, geo) }
+
+// Baseline constructors (see the paper's evaluation for definitions).
+var (
+	NewDRAM         = baseline.NewDRAM
+	NewSSDS         = baseline.NewSSDS
+	NewSSDM         = baseline.NewSSDM
+	NewEmbMMIO      = baseline.NewEmbMMIO
+	NewEmbPageSum   = baseline.NewEmbPageSum
+	NewEmbVectorSum = baseline.NewEmbVectorSum
+	NewRecSSD       = baseline.NewRecSSD
+)
+
+// --- traces ---
+
+// TraceConfig parameterises synthetic input generation.
+type TraceConfig = trace.Config
+
+// TraceGenerator produces deterministic inference inputs.
+type TraceGenerator = trace.Generator
+
+// NewTrace builds a generator (defaults give the paper's 65 % locality).
+func NewTrace(cfg TraceConfig) (*TraceGenerator, error) { return trace.NewGenerator(cfg) }
+
+// MustNewTrace is NewTrace, panicking on error.
+var MustNewTrace = trace.MustNew
+
+// AnalyzeTrace computes Fig. 4-style access statistics.
+var AnalyzeTrace = trace.Analyze
+
+// --- experiments ---
+
+// Experiment is a runnable paper experiment (a table or figure).
+type Experiment = bench.Experiment
+
+// ExperimentOptions tunes experiment scale.
+type ExperimentOptions = bench.Options
+
+// ResultTable is a rendered experiment result.
+type ResultTable = bench.Table
+
+// Experiments lists every reproducible table and figure in paper order.
+var Experiments = bench.Experiments
+
+// FindExperiment resolves an experiment by name (e.g. "fig12").
+var FindExperiment = bench.Find
