@@ -1,0 +1,41 @@
+# Development entry points. `make check` mirrors the CI gate
+# (.github/workflows/ci.yml); run it before sending a change.
+
+GO ?= go
+
+.PHONY: build fmt vet lint test test-simdebug race fuzz-smoke bench check
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Domain-aware static analysis: determinism (wallclock), unit safety
+# (units), error hygiene (errcheck) and panic diagnosability (panicmsg).
+lint:
+	$(GO) run ./cmd/rmlint ./...
+
+test:
+	$(GO) test ./...
+
+# Re-run the simulator-heavy packages with runtime invariant checks on.
+test-simdebug:
+	$(GO) test -tags simdebug ./internal/sim/ ./internal/flash/ ./internal/core/
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseCriteoLine -fuzztime=10s ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=10s ./internal/trace/
+
+bench:
+	$(GO) run ./cmd/rmbench -experiment all
+
+check: build fmt vet lint test test-simdebug race
+	@echo "all checks passed"

@@ -48,7 +48,7 @@ func main() {
 	}
 
 	run := func(e bench.Experiment) {
-		start := time.Now()
+		start := time.Now() //lint:allow wallclock host-side progress report, not simulated time
 		for _, t := range e.Run(opts) {
 			if *csvOut {
 				fmt.Printf("# %s\n", t.Title)
@@ -57,10 +57,12 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Println()
-			} else {
-				t.Render(os.Stdout)
+			} else if err := t.Render(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
 			}
 		}
+		//lint:allow wallclock host-side progress report, not simulated time
 		fmt.Fprintf(os.Stderr, "[%s done in %v wall time]\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
 

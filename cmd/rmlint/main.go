@@ -1,0 +1,89 @@
+// Command rmlint runs rmssd's domain-aware static-analysis suite.
+//
+//	go run ./cmd/rmlint ./...
+//	go run ./cmd/rmlint -analyzers wallclock,units ./internal/... (subtree)
+//	go run ./cmd/rmlint -list
+//
+// rmlint exits non-zero if any diagnostic survives //lint:allow filtering,
+// making it suitable as a CI gate (see .github/workflows/ci.yml and
+// `make check`). See internal/lint for the analyzer suite: wallclock
+// (determinism), units (sim.Cycles vs time.Duration), errcheck (discarded
+// errors) and panicmsg (package-prefixed panics).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rmssd/internal/lint"
+)
+
+func main() {
+	var (
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		rootDir   = flag.String("root", "", "module root (default: nearest go.mod upward from the working directory)")
+		list      = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root := *rootDir
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rmlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	selected, err := lint.ByName(*analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadPatterns(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, selected)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rmlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found upward from the working directory")
+		}
+		dir = parent
+	}
+}

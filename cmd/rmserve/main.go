@@ -61,14 +61,21 @@ func main() {
 	})
 	s := &server{dev: dev, gen: gen, cfg: cfg}
 
+	mux := s.routes()
+	log.Printf("serving on %s (device batch %d, steady-state %.0f QPS)",
+		*addr, dev.NBatch(), dev.SteadyStateQPS(dev.NBatch()))
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// routes wires the server's endpoints into a mux; shared by main and the
+// concurrency tests so both exercise the same routing.
+func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/info", s.handleInfo)
 	mux.HandleFunc("/qps", s.handleQPS)
 	mux.HandleFunc("/infer", s.handleInfer)
 	mux.HandleFunc("/stats", s.handleStats)
-	log.Printf("serving on %s (device batch %d, steady-state %.0f QPS)",
-		*addr, dev.NBatch(), dev.SteadyStateQPS(dev.NBatch()))
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	return mux
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

@@ -2,9 +2,12 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -99,6 +102,68 @@ func TestHandleInfer(t *testing.T) {
 	s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(`{"batch":9999}`)))
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("huge batch status %d", rec.Code)
+	}
+}
+
+// TestConcurrentClients hammers every endpoint from parallel clients
+// through the real mux. The simulator underneath is single-threaded by
+// design, so the server's mutex is the only thing standing between HTTP
+// concurrency and data races on the device's virtual clock — run with
+// `go test -race ./cmd/rmserve` to make the race detector check it.
+func TestConcurrentClients(t *testing.T) {
+	s := testServer(t)
+	srv := httptest.NewServer(s.routes())
+	defer srv.Close()
+
+	const (
+		clients   = 8
+		perClient = 5
+		batch     = 2
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient*2)
+	check := func(resp *http.Response, err error, what string) {
+		if err != nil {
+			errs <- fmt.Errorf("%s: %v", what, err)
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			errs <- fmt.Errorf("%s: status %d: %s", what, resp.StatusCode, body)
+		}
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(srv.URL+"/infer", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"batch":%d}`, batch)))
+				check(resp, err, "POST /infer")
+				path := [...]string{"/info", "/qps?batch=4", "/stats"}[(c+i)%3]
+				resp, err = http.Get(srv.URL + path)
+				check(resp, err, "GET "+path)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Every submitted inference must be accounted for exactly once: lost or
+	// double-counted batches would mean the lock is not covering the
+	// device's virtual clock and sequence counter.
+	s.mu.Lock()
+	inferences, seq := s.dev.Inferences(), s.seq
+	s.mu.Unlock()
+	if want := int64(clients * perClient * batch); inferences != want {
+		t.Errorf("device served %d inferences, want %d", inferences, want)
+	}
+	if want := clients * perClient * batch; seq != want {
+		t.Errorf("trace sequence advanced to %d, want %d", seq, want)
 	}
 }
 

@@ -42,7 +42,10 @@ func main() {
 	fmt.Printf("SSD-S:  %8v per inference (read amplification %.1fx)\n", ssdsTime.Round(time.Microsecond), amp)
 
 	// RecSSD: page-grained in-SSD pooling plus a host vector cache.
-	env2, _ := rmssd.NewEnv(cfg, rmssd.DefaultGeometry())
+	env2, err := rmssd.NewEnv(cfg, rmssd.DefaultGeometry())
+	if err != nil {
+		panic(err)
+	}
 	rec := rmssd.NewRecSSD(env2)
 	now = 0
 	for i := 0; i < inferences; i++ {

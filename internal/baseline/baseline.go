@@ -114,7 +114,7 @@ func NewEnv(cfg model.Config, geo flash.Geometry) (*Env, error) {
 func MustNewEnv(cfg model.Config, geo flash.Geometry) *Env {
 	e, err := NewEnv(cfg, geo)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("baseline: %v", err))
 	}
 	return e
 }

@@ -76,9 +76,11 @@ type Table struct {
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// Render writes the table as aligned text.
-func (t *Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "== %s ==\n", t.Title)
+// Render writes the table as aligned text. The first write error, if any,
+// is returned; rendering stops at that point.
+func (t *Table) Render(w io.Writer) error {
+	ew := &errWriter{w: w}
+	ew.printf("== %s ==\n", t.Title)
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
@@ -99,7 +101,7 @@ func (t *Table) Render(w io.Writer) {
 				parts[i] = c
 			}
 		}
-		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		ew.println(strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
 	line(t.Header)
 	sep := make([]string, len(t.Header))
@@ -111,15 +113,39 @@ func (t *Table) Render(w io.Writer) {
 		line(row)
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
+		ew.printf("note: %s\n", n)
 	}
-	fmt.Fprintln(w)
+	ew.println()
+	return ew.err
+}
+
+// errWriter remembers the first write error and discards writes after it,
+// letting Render format freely and report failure once at the end.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) printf(format string, args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintf(ew.w, format, args...)
+}
+
+func (ew *errWriter) println(args ...any) {
+	if ew.err != nil {
+		return
+	}
+	_, ew.err = fmt.Fprintln(ew.w, args...)
 }
 
 // String renders the table to a string.
 func (t *Table) String() string {
 	var sb strings.Builder
-	t.Render(&sb)
+	if err := t.Render(&sb); err != nil {
+		panic(fmt.Sprintf("bench: rendering to a strings.Builder failed: %v", err))
+	}
 	return sb.String()
 }
 
@@ -193,7 +219,7 @@ func Find(name string) (Experiment, error) {
 func scaledConfig(name string, opts Options) model.Config {
 	cfg, err := model.ConfigByName(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("bench: %v", err))
 	}
 	cfg.RowsPerTable = cfg.RowsForBudget(opts.TableBytes)
 	if cfg.RowsPerTable < 1 {
@@ -229,7 +255,7 @@ func traceFor(cfg model.Config, opts Options) *trace.Generator {
 		var err error
 		tc, err = tc.WithLocality(opts.LocalityK)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("bench: %v", err))
 		}
 	}
 	return trace.MustNew(tc)

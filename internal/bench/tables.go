@@ -66,7 +66,10 @@ func Table5() *Table {
 		Header: []string{"Model", "Layer", "Kernel (kr x kc)", "Weights", "Cycles"},
 	}
 	for _, name := range []string{"RMC1", "RMC2", "RMC3", "NCF", "WnD"} {
-		cfg, _ := model.ConfigByName(name)
+		cfg, err := model.ConfigByName(name)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
 		m := model.MustBuild(cfg)
 		e, err := engine.NewMLPEngine(m, engine.DesignSearched, params.XCVU9P)
 		if err != nil {
@@ -95,7 +98,10 @@ func Table6() *Table {
 		Header: []string{"Model", "Unit", "LUT", "FF", "BRAM", "DSP", "fits XCVU9P", "fits XC7A200T"},
 	}
 	for _, name := range []string{"RMC1", "RMC2", "RMC3"} {
-		cfg, _ := model.ConfigByName(name)
+		cfg, err := model.ConfigByName(name)
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
 		m := model.MustBuild(cfg)
 		for _, d := range []engine.Design{engine.DesignNaive, engine.DesignDefault, engine.DesignSearched} {
 			big, err := engine.NewMLPEngine(m, d, params.XCVU9P)

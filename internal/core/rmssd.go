@@ -153,7 +153,7 @@ func New(cfg model.Config, opts Options) (*RMSSD, error) {
 func MustNew(cfg model.Config, opts Options) *RMSSD {
 	r, err := New(cfg, opts)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("core: %v", err))
 	}
 	return r
 }
@@ -244,12 +244,12 @@ func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]in
 		pooled[i] = p
 		embDone = sim.Max(embDone, done)
 	}
-	if k := params.Cycles(int(r.mlp.EmbKernelCycles(n))); embStart+k > embDone {
+	if k := params.Duration(r.mlp.EmbKernelCycles(n)); embStart+k > embDone {
 		embDone = embStart + k
 	}
 	bd.Emb = embDone - embStart
 
-	bd.Bot = params.Cycles(int(r.mlp.BottomStageCycles(n)))
+	bd.Bot = params.Duration(r.mlp.BottomStageCycles(n))
 	joined := sim.Max(embDone, embStart+bd.Bot)
 	if r.mlp.Design() == engine.DesignNaive {
 		// No intra-layer decomposition: the whole MLP runs after the
@@ -257,7 +257,7 @@ func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]in
 		joined = embDone + bd.Bot
 	}
 
-	bd.Top = params.Cycles(int(r.mlp.TopStageCycles(n)))
+	bd.Top = params.Duration(r.mlp.TopStageCycles(n))
 	topDone := joined + bd.Top
 
 	for i := 0; i < n; i++ {
@@ -284,16 +284,16 @@ func (r *RMSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, Br
 	for i := 0; i < n; i++ {
 		embDone = sim.Max(embDone, r.lookup.PoolTiming(embStart, sparses[i]))
 	}
-	if k := params.Cycles(int(r.mlp.EmbKernelCycles(n))); embStart+k > embDone {
+	if k := params.Duration(r.mlp.EmbKernelCycles(n)); embStart+k > embDone {
 		embDone = embStart + k
 	}
 	bd.Emb = embDone - embStart
-	bd.Bot = params.Cycles(int(r.mlp.BottomStageCycles(n)))
+	bd.Bot = params.Duration(r.mlp.BottomStageCycles(n))
 	joined := sim.Max(embDone, embStart+bd.Bot)
 	if r.mlp.Design() == engine.DesignNaive {
 		joined = embDone + bd.Bot
 	}
-	bd.Top = params.Cycles(int(r.mlp.TopStageCycles(n)))
+	bd.Top = params.Duration(r.mlp.TopStageCycles(n))
 	topDone := joined + bd.Top
 	readDone := r.ReadOutputs(topDone, n)
 	bd.Read = readDone - topDone

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rmssd/internal/params"
+	"rmssd/internal/sim"
 )
 
 // Search runs the kernel search algorithm of Section IV-C4. It picks the
@@ -102,7 +103,7 @@ func (e *MLPEngine) setMaxKernels() {
 // constraintsOK checks Eq. 2's throughput constraints against the locked
 // embedding-stage budget, plus Eq. 3/Eq. 4. The Le kernel itself must stay
 // within the budget so the embedding stage never slows down.
-func (e *MLPEngine) constraintsOK(nbatch int, embBudget int64) bool {
+func (e *MLPEngine) constraintsOK(nbatch int, embBudget sim.Cycles) bool {
 	if e.EmbKernelCycles(nbatch) > embBudget {
 		return false
 	}
@@ -276,7 +277,7 @@ func (e *MLPEngine) totalPE() int {
 // shrinkKernels greedily halves kernel dimensions while all constraints
 // hold, taking the biggest PE saving each round (Rule Four: "Large kr, kc
 // pair is picked first and reduced to approaching the limit").
-func (e *MLPEngine) shrinkKernels(nbatch, channels, dies int, embBudget int64) {
+func (e *MLPEngine) shrinkKernels(nbatch, channels, dies int, embBudget sim.Cycles) {
 	vars := e.searchVars()
 	for {
 		bestGain := 0
@@ -308,7 +309,7 @@ type KernelSummary struct {
 	Layer  string
 	Kr, Kc int
 	InDRAM bool
-	Cycles int64
+	Cycles sim.Cycles
 }
 
 // Kernels returns the per-layer kernel configuration in pipeline order.

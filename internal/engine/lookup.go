@@ -127,9 +127,9 @@ func (e *LookupEngine) Stats() LookupStats { return e.stats }
 // sumCycles is the EV Sum occupancy per returned vector: each of the
 // vector's dimensions is independent, accumulated across EVSumLanes
 // parallel fp32 adders.
-func (e *LookupEngine) sumCycles() int {
+func (e *LookupEngine) sumCycles() sim.Cycles {
 	dim := e.st.Model().Cfg.EVDim
-	c := (dim + params.EVSumLanes - 1) / params.EVSumLanes
+	c := sim.Cycles((dim + params.EVSumLanes - 1) / params.EVSumLanes)
 	if c < 1 {
 		c = 1
 	}
@@ -164,7 +164,7 @@ func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]
 		}
 	}
 	evSize := cfg.EVSize()
-	sumOcc := params.Cycles(e.sumCycles())
+	sumOcc := params.Duration(e.sumCycles())
 	issue := at
 	var done sim.Time
 	for t, rows := range sparse {

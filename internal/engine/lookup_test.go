@@ -9,6 +9,7 @@ import (
 	"rmssd/internal/hostio"
 	"rmssd/internal/model"
 	"rmssd/internal/params"
+	"rmssd/internal/sim"
 	"rmssd/internal/ssd"
 	"rmssd/internal/tensor"
 )
@@ -196,7 +197,7 @@ func TestEVSumKeepsUpWithFlash(t *testing.T) {
 	// occupancy (ceil(dim/lanes) cycles) is far below the per-vector
 	// flash service time.
 	for _, cfg := range []model.Config{model.RMC1(), model.RMC2()} {
-		sumCycles := (cfg.EVDim + params.EVSumLanes - 1) / params.EVSumLanes
+		sumCycles := sim.Cycles((cfg.EVDim + params.EVSumLanes - 1) / params.EVSumLanes)
 		flashCycles := params.FlushCycles / params.DiesPerChannel
 		if sumCycles*4 > flashCycles {
 			t.Fatalf("%s: EV Sum %d cycles vs flash %d: sum unit too slow",

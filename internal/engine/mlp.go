@@ -68,17 +68,13 @@ type FCLayer struct {
 // block boundaries). DRAM-resident layers are additionally floored at the
 // weight-fetch time RC/Dwidth (Rule Two): a kernel larger than the DRAM
 // interface can feed simply starves.
-func (l *FCLayer) Cycles(ii int) int64 {
+func (l *FCLayer) Cycles(ii int) sim.Cycles {
 	if l == nil {
 		return 0
 	}
-	blocksR := int64((l.R + l.Kr - 1) / l.Kr)
-	blocksC := int64((l.C + l.Kc - 1) / l.Kc)
-	c := blocksR * blocksC * int64(ii)
+	c := fpga.KernelStreamCycles(l.R, l.C, l.Kr, l.Kc, ii)
 	if l.InDRAM {
-		if bw := int64(l.R) * int64(l.C) / fpga.DRAMWordsPerCycle; bw > c {
-			c = bw
-		}
+		c = sim.MaxCycles(c, fpga.DRAMFetchCycles(l.R, l.C))
 	}
 	return c
 }
@@ -306,8 +302,8 @@ func clampKernel(dim, k int) int {
 // adjacent layers exchange scan direction and overlap, so each pair costs
 // the max of its two members (Eq. 1b/1c). The naive design has no
 // composition, so layers serialize.
-func (e *MLPEngine) pairCycles(layers []*FCLayer) int64 {
-	var total int64
+func (e *MLPEngine) pairCycles(layers []*FCLayer) sim.Cycles {
+	var total sim.Cycles
 	if e.design == DesignNaive {
 		for _, l := range layers {
 			total += l.Cycles(e.ii)
@@ -317,18 +313,17 @@ func (e *MLPEngine) pairCycles(layers []*FCLayer) int64 {
 	for i := 0; i < len(layers); i += 2 {
 		a := layers[i].Cycles(e.ii)
 		if i+1 < len(layers) {
-			if b := layers[i+1].Cycles(e.ii); b > a {
-				a = b
-			}
+			a = sim.MaxCycles(a, layers[i+1].Cycles(e.ii))
 		}
 		total += a
 	}
 	return total
 }
 
-// batches returns how many II-deep pipeline waves the batch needs: batch
-// items up to the initiation interval share the kernel pipeline slots. The
-// naive GEMM design processes items one at a time (no slot sharing).
+// batches returns how many II-deep pipeline waves the batch needs (a
+// dimensionless multiplier for per-wave cycle counts): batch items up to the
+// initiation interval share the kernel pipeline slots. The naive GEMM design
+// processes items one at a time (no slot sharing).
 func (e *MLPEngine) batches(nbatch int) int64 {
 	if e.design == DesignNaive {
 		if nbatch < 1 {
@@ -344,46 +339,42 @@ func (e *MLPEngine) batches(nbatch int) int64 {
 }
 
 // BottomStageCycles returns T_bot' for the batch (Eq. 1b).
-func (e *MLPEngine) BottomStageCycles(nbatch int) int64 {
-	return e.pairCycles(e.Bottom) * e.batches(nbatch)
+func (e *MLPEngine) BottomStageCycles(nbatch int) sim.Cycles {
+	return e.pairCycles(e.Bottom).Times(e.batches(nbatch))
 }
 
 // TopStageCycles returns T_top' for the batch (Eq. 1c).
-func (e *MLPEngine) TopStageCycles(nbatch int) int64 {
-	return e.pairCycles(e.Top) * e.batches(nbatch)
+func (e *MLPEngine) TopStageCycles(nbatch int) sim.Cycles {
+	return e.pairCycles(e.Top).Times(e.batches(nbatch))
 }
 
 // EmbKernelCycles returns the FC component of the extended embedding stage
 // (Eq. 1a's second term) for the batch.
-func (e *MLPEngine) EmbKernelCycles(nbatch int) int64 {
+func (e *MLPEngine) EmbKernelCycles(nbatch int) sim.Cycles {
 	if e.Emb == nil {
 		return 0
 	}
-	return e.Emb.Cycles(e.ii) * e.batches(nbatch)
+	return e.Emb.Cycles(e.ii).Times(e.batches(nbatch))
 }
 
 // flashCycles returns the flash-array vector-read time of the batch in
 // FPGA cycles (Eq. 1a's first term).
-func (e *MLPEngine) flashCycles(nbatch, channels, dies int) int64 {
-	return int64(TembEstimate(e.m.Cfg, nbatch, channels, dies) / params.CycleTime)
+func (e *MLPEngine) flashCycles(nbatch, channels, dies int) sim.Cycles {
+	return sim.DurationToCycles(TembEstimate(e.m.Cfg, nbatch, channels, dies), params.CycleTime)
 }
 
 // EmbStageCycles returns T_emb' (Eq. 1a): the max of the flash vector-read
 // time and the Le kernel time for the batch.
-func (e *MLPEngine) EmbStageCycles(nbatch, channels, dies int) int64 {
-	flash := e.flashCycles(nbatch, channels, dies)
-	if k := e.EmbKernelCycles(nbatch); k > flash {
-		return k
-	}
-	return flash
+func (e *MLPEngine) EmbStageCycles(nbatch, channels, dies int) sim.Cycles {
+	return sim.MaxCycles(e.flashCycles(nbatch, channels, dies), e.EmbKernelCycles(nbatch))
 }
 
 // StageTimes returns the three pipeline stage times for a batch, in
 // simulated time.
 func (e *MLPEngine) StageTimes(nbatch, channels, dies int) (emb, bot, top sim.Time) {
-	emb = params.Cycles(int(e.EmbStageCycles(nbatch, channels, dies)))
-	bot = params.Cycles(int(e.BottomStageCycles(nbatch)))
-	top = params.Cycles(int(e.TopStageCycles(nbatch)))
+	emb = params.Duration(e.EmbStageCycles(nbatch, channels, dies))
+	bot = params.Duration(e.BottomStageCycles(nbatch))
+	top = params.Duration(e.TopStageCycles(nbatch))
 	return emb, bot, top
 }
 

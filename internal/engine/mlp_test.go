@@ -6,6 +6,7 @@ import (
 
 	"rmssd/internal/model"
 	"rmssd/internal/params"
+	"rmssd/internal/sim"
 	"rmssd/internal/tensor"
 )
 
@@ -137,7 +138,7 @@ func TestRuleOneDRAMAssignment(t *testing.T) {
 		t.Fatal("the 2560x1024 layer must be DRAM-resident")
 	}
 	// Rule Two's time bound: RC/Dwidth cycles.
-	want := int64(2560) * 1024 / 16
+	want := sim.Cycles(2560) * 1024 / 16
 	for _, l := range dram {
 		if l.R == 2560 {
 			if got := l.Cycles(params.KernelII); got != want {
@@ -294,7 +295,7 @@ func TestCompositionHalvesTowerTime(t *testing.T) {
 	// Inter-layer composition (Fig. 9): pairing reduces the tower time
 	// versus serialising all layers.
 	e := buildEngine(t, testCfg("RMC1"), DesignDefault)
-	var serial int64
+	var serial sim.Cycles
 	for _, l := range e.Top {
 		serial += l.Cycles(params.KernelII)
 	}

@@ -144,8 +144,8 @@ func NewArray(geo Geometry) (*Array, error) {
 	a := &Array{
 		geo:    geo,
 		store:  NewPageStore(geo.PageSize),
-		tFlush: params.Cycles(params.FlushCycles),
-		tTrans: params.Cycles(params.PageTransferCycles),
+		tFlush: params.Duration(params.FlushCycles),
+		tTrans: params.Duration(params.PageTransferCycles),
 	}
 	for c := 0; c < geo.Channels; c++ {
 		a.dies = append(a.dies, sim.NewPool(fmt.Sprintf("ch%d.die", c), geo.DiesPerChannel))
@@ -209,7 +209,7 @@ func (a *Array) ReadVector(at sim.Time, p PPA, col, size int) ([]byte, sim.Time)
 	}
 	die := a.dies[p.Channel].Get(p.Die)
 	_, flushDone := die.Acquire(at, a.tFlush)
-	trans := params.Cycles(params.VectorTransferCycles(size))
+	trans := params.Duration(params.VectorTransferCycles(size))
 	_, done := a.buses[p.Channel].Acquire(flushDone, trans)
 	a.stats.VectorReads++
 	a.stats.BytesFlushed += int64(a.geo.PageSize)

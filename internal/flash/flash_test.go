@@ -116,12 +116,12 @@ func TestReadVectorLatencyIdle(t *testing.T) {
 	a, _ := NewArray(smallGeometry())
 	const evSize = 128 // dim-32 fp32 vector
 	_, done := a.ReadVector(0, PPA{}, 0, evSize)
-	want := params.Cycles(params.FlushCycles + params.VectorTransferCycles(evSize))
+	want := params.Duration(params.FlushCycles + params.VectorTransferCycles(evSize))
 	if done != want {
 		t.Fatalf("vector read latency = %v, want %v", done, want)
 	}
 	// And it must match the paper's C_EV equation within a cycle.
-	cycles := int(done / params.CycleTime)
+	cycles := sim.DurationToCycles(done, params.CycleTime)
 	wantCycles := params.EVReadCycles(evSize)
 	if diff := cycles - wantCycles; diff < -1 || diff > 1 {
 		t.Fatalf("C_EV = %d cycles, want %d (0.293*EVsize+2800)", cycles, wantCycles)
@@ -328,7 +328,10 @@ func TestVectorTransferMonotone(t *testing.T) {
 
 func TestEVReadCyclesPaperValues(t *testing.T) {
 	// Table II: C_EV = 0.293*EVsize + 2800 cycles.
-	for _, tc := range []struct{ size, want int }{
+	for _, tc := range []struct {
+		size int
+		want sim.Cycles
+	}{
 		{128, 2837}, // dim 32: 0.293*128 = 37.5
 		{256, 2875}, // dim 64: 0.293*256 = 75
 	} {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"rmssd/internal/params"
+	"rmssd/internal/sim"
 )
 
 // Resources is a bundle of FPGA fabric resources.
@@ -153,3 +154,24 @@ func WeightBRAM(weightBytes int64, peUnits int) float64 {
 // DRAMWordsPerCycle is the number of fp32 weights the off-chip DRAM can
 // deliver per FPGA cycle (Dwidth = 64 bytes = 16 words).
 const DRAMWordsPerCycle = params.DRAMDataWidthBytes / 4
+
+// KernelStreamCycles returns the kernel-streaming time of an R-input,
+// C-output FC layer with a kr x kc kernel at initiation interval ii:
+// ceil(R/kr) * ceil(C/kc) * II (Section IV-C1's RC/(kr*kc)*II with integer
+// block boundaries).
+func KernelStreamCycles(r, c, kr, kc, ii int) sim.Cycles {
+	if kr < 1 || kc < 1 || ii < 1 {
+		panic(fmt.Sprintf("fpga: kernel %dx%d at II %d", kr, kc, ii))
+	}
+	blocksR := int64((r + kr - 1) / kr)
+	blocksC := int64((c + kc - 1) / kc)
+	return sim.Cycles(blocksR * blocksC * int64(ii))
+}
+
+// DRAMFetchCycles returns Rule Two's weight-fetch floor for a DRAM-resident
+// R x C layer: the off-chip interface delivers DRAMWordsPerCycle fp32 words
+// per cycle, so streaming the layer's weights can never take fewer than
+// RC/Dwidth cycles regardless of kernel size.
+func DRAMFetchCycles(r, c int) sim.Cycles {
+	return sim.Cycles(int64(r) * int64(c) / DRAMWordsPerCycle)
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The directive suppresses diagnostics of the named analyzer on its own
+// line (trailing comment) and on the line directly below it (comment above
+// the offending statement).
+const directivePrefix = "//lint:allow"
+
+// directiveKey identifies one suppression site.
+type directiveKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// directiveSet indexes the //lint:allow directives of one package.
+type directiveSet map[directiveKey]bool
+
+// allows reports whether a diagnostic of the analyzer at pos is suppressed.
+func (s directiveSet) allows(analyzer string, pos token.Position) bool {
+	return s[directiveKey{pos.Filename, pos.Line, analyzer}] ||
+		s[directiveKey{pos.Filename, pos.Line - 1, analyzer}]
+}
+
+// collectDirectives scans the package's comments for //lint:allow
+// directives. Malformed directives (unknown analyzer, missing reason) are
+// returned as diagnostics so they cannot silently fail to suppress.
+func collectDirectives(p *Package) (directiveSet, []Diagnostic) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	set := directiveSet{}
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowfoo — not our directive
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, p.Diag("directive", c.Pos(),
+						"malformed %s directive: missing analyzer name", directivePrefix))
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad = append(bad, p.Diag("directive", c.Pos(),
+						"%s names unknown analyzer %q", directivePrefix, name))
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, p.Diag("directive", c.Pos(),
+						"%s %s: missing reason — say why the finding is intentional", directivePrefix, name))
+					continue
+				}
+				pos := p.Position(c.Pos())
+				set[directiveKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+	return set, bad
+}

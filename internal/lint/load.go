@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages using only the standard library.
+//
+// Imports are resolved in two tiers: module-local paths through Resolve
+// (recursively loading the imported package from source) and everything
+// else through the compiler's stdlib importer. The loader caches packages,
+// so a diamond import graph is checked once per node.
+type Loader struct {
+	// Fset positions every file loaded through this loader.
+	Fset *token.FileSet
+	// Resolve maps an import path to a source directory and canonical
+	// package path, or ok=false to defer to the stdlib importer.
+	Resolve func(path string) (dir, pkgPath string, ok bool)
+
+	std     types.Importer
+	cache   map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader(resolve func(string) (string, string, bool)) *Loader {
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		Resolve: resolve,
+		std:     importer.Default(),
+		cache:   map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// NewModuleLoader returns a loader rooted at the Go module in rootDir,
+// resolving imports under the module path to the module's directories.
+func NewModuleLoader(rootDir string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(rootDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	rootDir, err = filepath.Abs(rootDir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %v", err)
+	}
+	return newLoader(func(path string) (string, string, bool) {
+		if path == modPath {
+			return rootDir, path, true
+		}
+		if rest, ok := strings.CutPrefix(path, modPath+"/"); ok {
+			return filepath.Join(rootDir, filepath.FromSlash(rest)), path, true
+		}
+		return "", "", false
+	}), nil
+}
+
+// NewTreeLoader returns a loader for a bare source tree (test fixtures):
+// the import path "x/y" resolves to rootDir/x/y. Used by the analyzer
+// fixture tests, where tiny stand-in packages (e.g. a fake "sim") live in
+// testdata directories outside the module proper.
+func NewTreeLoader(rootDir string) *Loader {
+	return newLoader(func(path string) (string, string, bool) {
+		dir := filepath.Join(rootDir, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, path, true
+		}
+		return "", "", false
+	})
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer, letting type-checked packages pull in
+// their dependencies through the loader.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, pkgPath, ok := l.Resolve(path); ok {
+		p, err := l.LoadDir(dir, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// LoadDir parses and type-checks the package in dir under the canonical
+// path pkgPath. Non-test files matching the default build context are
+// loaded (so `//go:build simdebug` variants are analyzed in their default
+// configuration). Results are cached by pkgPath.
+func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
+	if p, ok := l.cache[pkgPath]; ok {
+		return p, nil
+	}
+	if l.loading[pkgPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", pkgPath)
+	}
+	l.loading[pkgPath] = true
+	defer delete(l.loading, pkgPath)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %v", dir, err)
+	}
+	var files []*ast.File
+	names := append([]string{}, bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []string
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if len(typeErrs) < 10 {
+				typeErrs = append(typeErrs, err.Error())
+			}
+		},
+	}
+	tpkg, err := conf.Check(pkgPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type errors in %s:\n  %s", pkgPath, strings.Join(typeErrs, "\n  "))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %v", pkgPath, err)
+	}
+	p := &Package{Path: pkgPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.cache[pkgPath] = p
+	return p, nil
+}
+
+// LoadPatterns loads the packages matched by the command-line patterns,
+// relative to the module in rootDir. Supported forms are "./..." (the whole
+// module), "dir/..." (a subtree) and plain directories. Directories named
+// testdata or vendor, hidden directories and underscore-prefixed
+// directories are skipped, mirroring the go tool.
+func LoadPatterns(rootDir string, patterns []string) ([]*Package, error) {
+	loader, err := NewModuleLoader(rootDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(rootDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	var dirs []string
+	seen := map[string]bool{}
+	addDir := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := walkGoDirs(rootDir, addDir); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(rootDir, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+			if err := walkGoDirs(base, addDir); err != nil {
+				return nil, err
+			}
+		default:
+			addDir(filepath.Join(rootDir, filepath.FromSlash(pat)))
+		}
+	}
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(rootDir, dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		pkgPath := modPath
+		if rel != "." {
+			pkgPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p, err := loader.LoadDir(dir, pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// walkGoDirs calls add for every directory under root that contains at
+// least one buildable non-test Go file.
+func walkGoDirs(root string, add func(dir string)) error {
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := build.ImportDir(path, 0); err == nil {
+			add(path)
+		}
+		return nil
+	})
+}

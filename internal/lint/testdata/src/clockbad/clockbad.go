@@ -1,0 +1,32 @@
+// Package clockbad seeds wall-clock and unseeded-randomness violations for
+// the wallclock analyzer, alongside the blessed seeded constructions.
+package clockbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func BadNow() time.Time {
+	return time.Now() // want:wallclock
+}
+
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want:wallclock
+}
+
+func BadGlobalRand() int {
+	return rand.Int() // want:wallclock
+}
+
+func GoodSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func GoodMethod(r *rand.Rand) float64 {
+	return r.Float64() // method on a seeded source, not the global one
+}
+
+func GoodDuration() time.Duration {
+	return 3 * time.Millisecond // constants and types from time are fine
+}

@@ -1,0 +1,25 @@
+// Package directives exercises //lint:allow handling: well-formed
+// directives suppress (line above and same line), malformed ones are
+// diagnostics of the pseudo-analyzer "directive" and do not suppress.
+package directives
+
+import "time"
+
+func SuppressedAbove() time.Time {
+	//lint:allow wallclock fixture exercises the line-above suppression path
+	return time.Now()
+}
+
+func SuppressedSameLine() time.Time {
+	return time.Now() //lint:allow wallclock fixture exercises the same-line path
+}
+
+//lint:allow nosuch some reason
+
+//lint:allow wallclock
+
+//lint:allow
+
+func Unsuppressed() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,42 @@
+// Package errbad seeds discarded-error violations for the errcheck
+// analyzer, alongside the exempt shapes (defer, best-effort console output,
+// in-memory buffers).
+package errbad
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error { return errors.New("errbad: boom") }
+
+func pair() (int, error) { return 0, nil }
+
+func Discards() {
+	fail()         // want:errcheck
+	go fail()      // want:errcheck
+	v, _ := pair() // want:errcheck
+	_ = v
+}
+
+func Handles() error {
+	defer fail() // exempt: conventional cleanup discard
+	if err := fail(); err != nil {
+		return err
+	}
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = v // blank assign of a non-error is fine
+	return nil
+}
+
+func BestEffort(sb *strings.Builder) {
+	fmt.Println("hello")             // exempt: best-effort console output
+	fmt.Fprintln(os.Stderr, "hello") // exempt: stderr
+	sb.WriteString("hello")          // exempt: strings.Builder never fails
+	fmt.Fprintf(sb, "%s\n", "hello") // exempt: in-memory buffer target
+}

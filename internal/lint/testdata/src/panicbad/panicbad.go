@@ -1,0 +1,28 @@
+// Package panicbad seeds panic-message violations for the panicmsg
+// analyzer: messages must carry the "panicbad: " prefix.
+package panicbad
+
+import (
+	"errors"
+	"fmt"
+)
+
+func BarePanic() {
+	panic("index out of range") // want:panicmsg
+}
+
+func FormatPanic(n int) {
+	panic(fmt.Sprintf("bad shape %d", n)) // want:panicmsg
+}
+
+func ValuePanic() {
+	panic(errors.New("boom")) // want:panicmsg
+}
+
+func GoodPanic() {
+	panic("panicbad: good message")
+}
+
+func GoodFormat(n int) {
+	panic(fmt.Sprintf("panicbad: bad shape %d", n))
+}

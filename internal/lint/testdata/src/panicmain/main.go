@@ -1,0 +1,7 @@
+// Command panicmain shows the panicmsg command exemption: main packages
+// may panic without a package prefix.
+package main
+
+func main() {
+	panic("unprefixed is fine in a command")
+}

@@ -1,0 +1,19 @@
+// Package sim is a fixture stand-in for rmssd/internal/sim: just enough
+// surface for the units analyzer, which matches the Cycles type by name and
+// package name.
+package sim
+
+import "time"
+
+// Cycles mirrors the real sim.Cycles.
+type Cycles int64
+
+// Duration is the blessed Cycles -> time.Duration bridge.
+func (c Cycles) Duration(cycleTime time.Duration) time.Duration {
+	return time.Duration(c) * cycleTime
+}
+
+// DurationToCycles is the blessed time.Duration -> Cycles bridge.
+func DurationToCycles(d, cycleTime time.Duration) Cycles {
+	return Cycles(d / cycleTime)
+}

@@ -1,0 +1,31 @@
+// Package unitsfix seeds one violation of each direction for the units
+// analyzer, alongside uses of the blessed converters that must stay silent.
+package unitsfix
+
+import (
+	"time"
+
+	"sim"
+)
+
+const cycleTime = 5 * time.Nanosecond
+
+func BadToDuration(c sim.Cycles) time.Duration {
+	return time.Duration(c) // want:units
+}
+
+func BadToCycles(d time.Duration) sim.Cycles {
+	return sim.Cycles(d) // want:units
+}
+
+func GoodToDuration(c sim.Cycles) time.Duration {
+	return c.Duration(cycleTime)
+}
+
+func GoodToCycles(d time.Duration) sim.Cycles {
+	return sim.DurationToCycles(d, cycleTime)
+}
+
+func GoodUnrelated(n int64) sim.Cycles {
+	return sim.Cycles(n) // int -> Cycles is fine; only Duration is guarded
+}

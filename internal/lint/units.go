@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Units guards the boundary between the repository's two unit systems.
+//
+// The paper's Table II timing model mixes FPGA cycle counts (sim.Cycles,
+// 5 ns each at 200 MHz) with simulated durations (time.Duration). Both are
+// 64-bit integers underneath, so a raw conversion compiles and silently
+// reinterprets 4000 cycles as 4 µs instead of 20 µs — corrupting every
+// figure downstream. The Go type system already rejects Cycles+Duration
+// arithmetic; this analyzer closes the remaining hole by rejecting raw
+// conversions between the two. The blessed bridges are:
+//
+//	c.Duration(cycleTime)                  // Cycles -> Duration
+//	params.Duration(c)                     // Cycles -> Duration at the FPGA clock
+//	sim.DurationToCycles(d, cycleTime)     // Duration -> Cycles
+//
+// The converters themselves live in package sim, which is exempt.
+var Units = &Analyzer{
+	Name: "units",
+	Doc:  "flags raw conversions between sim.Cycles and time.Duration (use the converters)",
+	Run:  runUnits,
+}
+
+// isCyclesType reports whether t is the sim.Cycles named type (matched by
+// name and package name so fixture stand-ins are recognized too).
+func isCyclesType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Cycles" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// isDurationType reports whether t is time.Duration (or an alias of it,
+// such as sim.Time).
+func isDurationType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func runUnits(p *Package) []Diagnostic {
+	if p.Types.Name() == "sim" {
+		return nil // the converter implementations live here
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true // a real call, not a conversion
+			}
+			target := tv.Type
+			argT := p.Info.Types[call.Args[0]].Type
+			if argT == nil {
+				return true
+			}
+			switch {
+			case isDurationType(target) && isCyclesType(argT):
+				out = append(out, p.Diag("units", call.Pos(),
+					"raw time.Duration(...) conversion from sim.Cycles loses the clock; use Cycles.Duration(cycleTime) or params.Duration"))
+			case isCyclesType(target) && isDurationType(argT):
+				out = append(out, p.Diag("units", call.Pos(),
+					"raw sim.Cycles(...) conversion from time.Duration loses the clock; use sim.DurationToCycles(d, cycleTime)"))
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -296,7 +296,7 @@ func Build(cfg Config) (*Model, error) {
 func MustBuild(cfg Config) *Model {
 	m, err := Build(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("model: %v", err))
 	}
 	return m
 }
@@ -385,7 +385,7 @@ func (m *Model) Interact(bottomOut tensor.Vector, pooled []tensor.Vector) tensor
 // truth. sparse[t] lists the pooled lookup rows for table t.
 func (m *Model) Infer(dense tensor.Vector, sparse [][]int64) float32 {
 	if len(sparse) != m.Cfg.Tables {
-		panic(fmt.Sprintf("model %s: %d sparse inputs, want %d", m.Cfg.Name, len(sparse), m.Cfg.Tables))
+		panic(fmt.Sprintf("model: %s: %d sparse inputs, want %d", m.Cfg.Name, len(sparse), m.Cfg.Tables))
 	}
 	pooled := make([]tensor.Vector, m.Cfg.Tables)
 	for t := range pooled {

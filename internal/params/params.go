@@ -9,7 +9,11 @@
 // on the ratio structure, which the published equations fix.
 package params
 
-import "time"
+import (
+	"time"
+
+	"rmssd/internal/sim"
+)
 
 // FPGA clock, Section V-A: "The FPGA runs at 200MHz (5ns)".
 const (
@@ -18,6 +22,10 @@ const (
 	// CycleTime is the duration of one FPGA cycle (5 ns).
 	CycleTime = time.Duration(1e9/FPGAClockHz) * time.Nanosecond
 )
+
+// pageReadCycles is the untyped Cpage constant, shared by the typed
+// PageReadCycles below and the constant-folded TPage duration.
+const pageReadCycles = 4000
 
 // Emulated SSD settings, Table II.
 const (
@@ -44,13 +52,15 @@ const (
 	// Random4KIOPS is the calibrated random-read throughput of the block
 	// path (Table II: 45K IOPS).
 	Random4KIOPS = 45_000
-	// PageReadCycles is Cpage, the whole-page read delay (Table II:
-	// 4000 cycles = 20 us at 5 ns/cycle).
-	PageReadCycles = 4000
 )
 
+// PageReadCycles is Cpage, the whole-page read delay (Table II:
+// 4000 cycles = 20 us at 5 ns/cycle). Typed sim.Cycles: cycle counts do not
+// mix with time.Duration without an explicit, lint-checked conversion.
+const PageReadCycles sim.Cycles = pageReadCycles
+
 // TPage is the flash page read latency (Table II: 20 us).
-const TPage = PageReadCycles * CycleTime
+const TPage = pageReadCycles * CycleTime
 
 // Flash timing split, Section V-A: "Tpage can be divided into flash buffer
 // flush Tflush and data transfer Ttrans. The ratio of Tflush and Ttrans is
@@ -66,23 +76,23 @@ const (
 // Derivation (Section V-A): Tev = EVsize/Psize*Ttrans + Tflush with
 // Ttrans = 0.3*Tpage = 1200 cycles and Tflush = 0.7*Tpage = 2800 cycles,
 // so C_EV = 1200/4096*EVsize + 2800 = 0.293*EVsize + 2800.
-func EVReadCycles(evSize int) int {
-	return int(float64(evSize)*TransferFraction*PageReadCycles/PageSize) + FlushCycles
+func EVReadCycles(evSize int) sim.Cycles {
+	return sim.Cycles(float64(evSize)*TransferFraction*pageReadCycles/PageSize) + FlushCycles
 }
 
 // FlushCycles and page-transfer cycles derived from Table II.
 const (
 	// FlushCycles is the die-side buffer flush time in cycles (0.7*Cpage).
-	FlushCycles = PageReadCycles * 7 / 10
+	FlushCycles sim.Cycles = pageReadCycles * 7 / 10
 	// PageTransferCycles is the channel-bus occupancy of a full-page
 	// transfer in cycles (0.3*Cpage).
-	PageTransferCycles = PageReadCycles * 3 / 10
+	PageTransferCycles sim.Cycles = pageReadCycles * 3 / 10
 )
 
 // VectorTransferCycles returns the channel-bus occupancy, in cycles, of a
 // vector-grained transfer of evSize bytes: EVsize/Psize * Ttrans.
-func VectorTransferCycles(evSize int) int {
-	c := evSize * PageTransferCycles / PageSize
+func VectorTransferCycles(evSize int) sim.Cycles {
+	c := sim.Cycles(evSize) * PageTransferCycles / PageSize
 	if c < 1 {
 		c = 1
 	}
@@ -91,7 +101,7 @@ func VectorTransferCycles(evSize int) int {
 
 // FTLCycles is the per-request address-translation cost of the FTL in FPGA
 // cycles. The linear mapping of Section V-A is a shift and an add.
-const FTLCycles = 4
+const FTLCycles sim.Cycles = 4
 
 // MMIO and DMA costs, Section VI-C: "the time overhead is negligible with
 // only less than tens of microseconds (less than 1%) for each inference".
@@ -229,8 +239,10 @@ const DefaultLocalityK = 0.3
 // the unit accumulates a full vector in ceil(dim/EVSumLanes) cycles.
 const EVSumLanes = 16
 
-// Cycles converts a cycle count to simulated time.
-func Cycles(n int) time.Duration { return time.Duration(n) * CycleTime }
+// Duration converts a typed cycle count to simulated time at the repo-wide
+// FPGA clock. It is the blessed bridge from the cycle domain into the
+// duration domain (sim.Cycles.Duration with the clock already applied).
+func Duration(c sim.Cycles) time.Duration { return c.Duration(CycleTime) }
 
 // NVMe block-path costs. Calibrated so QD1 random 4K reads land at the
 // Table II rate: Tpage (20us) + command processing + completion = 22.2us

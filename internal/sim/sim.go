@@ -42,6 +42,7 @@ func (r *Resource) Acquire(at Time, d time.Duration) (start, end Time) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative duration %v on %s", d, r.name))
 	}
+	prevFree := r.nextFree
 	start = at
 	if r.nextFree > start {
 		start = r.nextFree
@@ -50,6 +51,7 @@ func (r *Resource) Acquire(at Time, d time.Duration) (start, end Time) {
 	r.nextFree = end
 	r.busy += d
 	r.served++
+	debugAcquire(r, at, start, end, prevFree)
 	return start, end
 }
 

@@ -1,6 +1,8 @@
 package ssd
 
 import (
+	"fmt"
+
 	"rmssd/internal/flash"
 	"rmssd/internal/ftl"
 	"rmssd/internal/params"
@@ -32,7 +34,7 @@ func NewDynamic(geo flash.Geometry) (*Device, error) {
 func MustNewDynamic(geo flash.Geometry) *Device {
 	d, err := NewDynamic(geo)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ssd: %v", err))
 	}
 	return d
 }
@@ -85,7 +87,7 @@ func (d *Device) WritePageDynamic(at sim.Time, lpn int64, data []byte) sim.Time 
 	}
 	_, cmdDone := d.nvme.Acquire(at, params.NVMeCmdCost)
 	d.path.Push(ftl.BlockIO)
-	done := d.dynWrite(cmdDone+params.Cycles(params.FTLCycles), lpn, data)
+	done := d.dynWrite(cmdDone+params.Duration(params.FTLCycles), lpn, data)
 	d.path.Pop()
 	d.stats.BlockWrites++
 	return done + params.NVMeCompletionCost

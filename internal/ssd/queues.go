@@ -86,7 +86,10 @@ func SaturationDepth(dev *Device, eps float64, n int, seed uint64) int {
 	prev := 0.0
 	for depth := 1; depth <= 256; depth *= 2 {
 		dev.ResetTime()
-		qp, _ := NewQueuePair(dev, depth)
+		qp, err := NewQueuePair(dev, depth)
+		if err != nil {
+			panic(fmt.Sprintf("ssd: %v", err))
+		}
 		iops := qp.MeasureRandomReadIOPS(n, seed)
 		if prev > 0 && iops < prev*(1+eps) {
 			return depth / 2

@@ -12,6 +12,8 @@
 package ssd
 
 import (
+	"fmt"
+
 	"rmssd/internal/flash"
 	"rmssd/internal/ftl"
 	"rmssd/internal/params"
@@ -49,7 +51,7 @@ func New(geo flash.Geometry) (*Device, error) {
 func MustNew(geo flash.Geometry) *Device {
 	d, err := New(geo)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ssd: %v", err))
 	}
 	return d
 }
@@ -97,7 +99,7 @@ func (d *Device) ReadPage(at sim.Time, lpn int64) ([]byte, sim.Time) {
 		return make([]byte, d.PageSize()), cmdDone + params.NVMeCompletionCost
 	}
 	d.path.Push(ftl.BlockIO)
-	data, flashDone := d.arr.ReadPage(cmdDone+params.Cycles(params.FTLCycles), ppa)
+	data, flashDone := d.arr.ReadPage(cmdDone+params.Duration(params.FTLCycles), ppa)
 	d.path.Pop()
 	return data, flashDone + params.NVMeCompletionCost
 }
@@ -111,7 +113,7 @@ func (d *Device) WritePage(at sim.Time, lpn int64, data []byte) sim.Time {
 	_, cmdDone := d.nvme.Acquire(at, params.NVMeCmdCost)
 	ppa := d.ftl.Translate(lpn)
 	d.path.Push(ftl.BlockIO)
-	done := d.arr.WritePage(cmdDone+params.Cycles(params.FTLCycles), ppa, data)
+	done := d.arr.WritePage(cmdDone+params.Duration(params.FTLCycles), ppa, data)
 	d.path.Pop()
 	d.stats.BlockWrites++
 	return done + params.NVMeCompletionCost
@@ -127,10 +129,10 @@ func (d *Device) ReadVectorAt(at sim.Time, byteAddr int64, size int) ([]byte, si
 	ppa, mapped := d.translateRead(lpn)
 	d.stats.EVReads++
 	if !mapped {
-		return make([]byte, size), at + params.Cycles(params.FTLCycles)
+		return make([]byte, size), at + params.Duration(params.FTLCycles)
 	}
 	d.path.Push(ftl.EVRead)
-	data, done := d.arr.ReadVector(at+params.Cycles(params.FTLCycles), ppa, col, size)
+	data, done := d.arr.ReadVector(at+params.Duration(params.FTLCycles), ppa, col, size)
 	d.path.Pop()
 	return data, done
 }
@@ -141,10 +143,10 @@ func (d *Device) ReadPageInternal(at sim.Time, lpn int64) ([]byte, sim.Time) {
 	ppa, mapped := d.translateRead(lpn)
 	d.stats.EVReads++
 	if !mapped {
-		return make([]byte, d.PageSize()), at + params.Cycles(params.FTLCycles)
+		return make([]byte, d.PageSize()), at + params.Duration(params.FTLCycles)
 	}
 	d.path.Push(ftl.EVRead)
-	data, done := d.arr.ReadPage(at+params.Cycles(params.FTLCycles), ppa)
+	data, done := d.arr.ReadPage(at+params.Duration(params.FTLCycles), ppa)
 	d.path.Pop()
 	return data, done
 }
@@ -161,7 +163,7 @@ func (d *Device) ReadPageTiming(at sim.Time, lpn int64) sim.Time {
 		return cmdDone + params.NVMeCompletionCost
 	}
 	d.path.Push(ftl.BlockIO)
-	done := d.arr.ReadPageTiming(cmdDone+params.Cycles(params.FTLCycles), ppa)
+	done := d.arr.ReadPageTiming(cmdDone+params.Duration(params.FTLCycles), ppa)
 	d.path.Pop()
 	return done + params.NVMeCompletionCost
 }
@@ -172,10 +174,10 @@ func (d *Device) ReadPageInternalTiming(at sim.Time, lpn int64) sim.Time {
 	ppa, mapped := d.translateRead(lpn)
 	d.stats.EVReads++
 	if !mapped {
-		return at + params.Cycles(params.FTLCycles)
+		return at + params.Duration(params.FTLCycles)
 	}
 	d.path.Push(ftl.EVRead)
-	done := d.arr.ReadPageTiming(at+params.Cycles(params.FTLCycles), ppa)
+	done := d.arr.ReadPageTiming(at+params.Duration(params.FTLCycles), ppa)
 	d.path.Pop()
 	return done
 }

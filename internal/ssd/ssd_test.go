@@ -57,7 +57,7 @@ func TestBlockReadBeatsNothingButParallelismHelps(t *testing.T) {
 func TestReadVectorBypassesNVMe(t *testing.T) {
 	d := testDevice(t)
 	_, done := d.ReadVectorAt(0, 0, 128)
-	want := params.Cycles(params.FTLCycles + params.FlushCycles + params.VectorTransferCycles(128))
+	want := params.Duration(params.FTLCycles + params.FlushCycles + params.VectorTransferCycles(128))
 	if done != want {
 		t.Fatalf("vector read latency = %v, want %v", done, want)
 	}

@@ -128,7 +128,7 @@ func NewGenerator(cfg Config) (*Generator, error) {
 func MustNew(cfg Config) *Generator {
 	g, err := NewGenerator(cfg)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("trace: %v", err))
 	}
 	return g
 }

@@ -35,6 +35,8 @@
 package rmssd
 
 import (
+	"fmt"
+
 	"rmssd/internal/baseline"
 	"rmssd/internal/bench"
 	"rmssd/internal/core"
@@ -112,7 +114,7 @@ func NewDevice(cfg ModelConfig, opts DeviceOptions) (*Device, error) {
 func MustNewDevice(cfg ModelConfig, opts DeviceOptions) *Device {
 	d, err := NewDevice(cfg, opts)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("rmssd: %v", err))
 	}
 	return d
 }
