@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet lint test test-simdebug race fuzz-smoke bench check
+.PHONY: build fmt vet lint test test-simdebug race fuzz-smoke bench bench-perf check
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ test:
 
 # Re-run the simulator-heavy packages with runtime invariant checks on.
 test-simdebug:
-	$(GO) test -tags simdebug ./internal/sim/ ./internal/flash/ ./internal/core/
+	$(GO) test -tags simdebug ./internal/sim/ ./internal/flash/ ./internal/core/ ./internal/ftl/ ./internal/ssd/ ./internal/engine/
 
 race:
 	$(GO) test -race ./...
@@ -35,7 +35,12 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=10s ./internal/trace/
 
 bench:
-	$(GO) run ./cmd/rmbench -experiment all
+	$(GO) run ./cmd/rmbench -exp all
+
+# Host-side perf trajectory: times a fixed sweep at -parallel 1 vs N and
+# hammers the sharded serving pool, writing BENCH_simcore.json.
+bench-perf:
+	$(GO) run ./cmd/rmperf
 
 check: build fmt vet lint test test-simdebug race
 	@echo "all checks passed"

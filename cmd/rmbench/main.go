@@ -23,13 +23,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment name (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list available experiments")
-		iters   = flag.Int("iters", 0, "measured iterations per cell (0 = default)")
-		tableMB = flag.Int64("table-mb", 0, "embedding table budget in MiB (0 = paper's 30 GB)")
-		seed    = flag.Uint64("seed", 0, "trace seed (0 = default)")
-		k       = flag.Float64("k", 0, "trace locality K: 0.3 default; 0, 1, 2 per Fig. 14")
-		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		exp      = flag.String("exp", "all", "experiment name (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		iters    = flag.Int("iters", 0, "measured iterations per cell (0 = default)")
+		tableMB  = flag.Int64("table-mb", 0, "embedding table budget in MiB (0 = paper's 30 GB)")
+		seed     = flag.Uint64("seed", 0, "trace seed (0 = default)")
+		k        = flag.Float64("k", 0, "trace locality K: 0.3 default; 0, 1, 2 per Fig. 14")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		parallel = flag.Int("parallel", 0, "worker goroutines for independent cells (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -45,6 +46,7 @@ func main() {
 		TableBytes: *tableMB << 20,
 		Seed:       *seed,
 		LocalityK:  *k,
+		Parallel:   *parallel,
 	}
 
 	run := func(e bench.Experiment) {

@@ -1,0 +1,290 @@
+// Command rmperf measures the host-side performance of the parallel
+// simulation core and writes a machine-readable report (BENCH_simcore.json)
+// so the perf trajectory is tracked across PRs.
+//
+// Two measurements:
+//
+//  1. Sweep: a fixed set of rmbench experiments is evaluated twice — once
+//     with -parallel 1 (the plain sequential loop) and once with -parallel N
+//     worker goroutines — and the wall-clock for each run is recorded, along
+//     with whether the rendered tables were byte-identical (they must be:
+//     every cell is a pure function of its options and index).
+//
+//  2. Serving: the sharded rmserve front-end (N devices, each with its own
+//     virtual clock, behind the coalescing pool) is hammered by concurrent
+//     clients and the host-side request throughput is recorded next to the
+//     aggregate simulated steady-state QPS.
+//
+// Every number here is a host measurement, so the wall clock is the right
+// clock; each use is annotated for the wallclock analyzer. Simulated
+// figures (tables, QPS) remain exclusively virtual-time products.
+//
+// Usage:
+//
+//	rmperf                          # defaults, writes BENCH_simcore.json
+//	rmperf -o - -exps fig10,fig12   # custom sweep, JSON to stdout
+//	rmperf -maxprocs 4              # pin GOMAXPROCS for the measurement
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"rmssd"
+	"rmssd/internal/bench"
+	"rmssd/internal/serving"
+)
+
+// SweepReport records the fixed-sweep wall-clock comparison.
+type SweepReport struct {
+	Experiments       []string `json:"experiments"`
+	TableMB           int64    `json:"table_mb"`
+	Parallel          int      `json:"parallel"`
+	SequentialSeconds float64  `json:"sequential_seconds"`
+	ParallelSeconds   float64  `json:"parallel_seconds"`
+	Speedup           float64  `json:"speedup"`
+	ByteIdentical     bool     `json:"byte_identical"`
+}
+
+// ServeReport records the sharded-serving throughput measurement.
+type ServeReport struct {
+	Model             string  `json:"model"`
+	TableMB           int64   `json:"table_mb"`
+	Shards            int     `json:"shards"`
+	Clients           int     `json:"clients"`
+	Requests          int64   `json:"requests"`
+	Inferences        int64   `json:"inferences"`
+	MeanBatch         float64 `json:"mean_coalesced_batch"`
+	WallSeconds       float64 `json:"wall_seconds"`
+	HostRequestsPerS  float64 `json:"host_requests_per_second"`
+	HostInferPerS     float64 `json:"host_inferences_per_second"`
+	SimulatedAggQPS   float64 `json:"simulated_aggregate_qps"`
+	SimulatedShardQPS float64 `json:"simulated_per_shard_qps"`
+}
+
+// Report is the full BENCH_simcore.json payload.
+type Report struct {
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	Note       string      `json:"note,omitempty"`
+	Sweep      SweepReport `json:"sweep"`
+	Serve      ServeReport `json:"rmserve"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_simcore.json", "output path ('-' = stdout)")
+		exps     = flag.String("exps", "fig10,fig12,ablation", "comma-separated sweep experiments")
+		tableMB  = flag.Int64("table-mb", 256, "sweep embedding table budget in MiB")
+		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+		maxprocs = flag.Int("maxprocs", 0, "if > 0, set GOMAXPROCS for the whole measurement")
+		model    = flag.String("model", "RMC1", "serving model (RMC1/RMC2/RMC3/NCF/WnD)")
+		srvMB    = flag.Int64("serve-table-mb", 64, "serving embedding table budget in MiB")
+		shards   = flag.Int("shards", 0, "serving device shards (0 = GOMAXPROCS)")
+		clients  = flag.Int("clients", 16, "concurrent serving clients")
+		requests = flag.Int("requests", 2000, "total serving requests")
+		reqBatch = flag.Int("req-batch", 4, "inferences per serving request")
+	)
+	flag.Parse()
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
+
+	rep := Report{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	if rep.NumCPU < 4 {
+		rep.Note = fmt.Sprintf("host exposes %d CPU(s); wall-clock speedup requires real cores — rerun on a >=4-core host for the parallel-vs-sequential comparison to be meaningful", rep.NumCPU)
+	}
+
+	names := strings.Split(*exps, ",")
+	rep.Sweep = runSweep(names, *tableMB, *parallel)
+	rep.Serve = runServe(*model, *srvMB, *shards, *clients, *requests, *reqBatch)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rmperf: wrote %s (sweep %.2fs -> %.2fs, %.2fx; serving %.0f req/s on %d shards)\n",
+		*out, rep.Sweep.SequentialSeconds, rep.Sweep.ParallelSeconds, rep.Sweep.Speedup,
+		rep.Serve.HostRequestsPerS, rep.Serve.Shards)
+}
+
+// renderSweep evaluates the named experiments and returns the wall-clock
+// spent plus every rendered table, for the byte-identity check.
+func renderSweep(names []string, opts bench.Options) (float64, []string, error) {
+	var tables []string
+	start := time.Now() //lint:allow wallclock host-side perf harness measures real elapsed time
+	for _, name := range names {
+		e, err := bench.Find(strings.TrimSpace(name))
+		if err != nil {
+			return 0, nil, err
+		}
+		for _, t := range e.Run(opts) {
+			tables = append(tables, t.String())
+		}
+	}
+	//lint:allow wallclock host-side perf harness measures real elapsed time
+	return time.Since(start).Seconds(), tables, nil
+}
+
+// runSweep times the fixed sweep sequentially and in parallel and checks
+// the outputs are byte-identical.
+func runSweep(names []string, tableMB int64, parallel int) SweepReport {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	seqOpts := bench.Options{TableBytes: tableMB << 20, Parallel: 1}
+	parOpts := bench.Options{TableBytes: tableMB << 20, Parallel: parallel}
+
+	seqSec, seqTabs, err := renderSweep(names, seqOpts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	parSec, parTabs, err := renderSweep(names, parOpts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	identical := len(seqTabs) == len(parTabs)
+	if identical {
+		for i := range seqTabs {
+			if seqTabs[i] != parTabs[i] {
+				identical = false
+				break
+			}
+		}
+	}
+	rep := SweepReport{
+		Experiments:       names,
+		TableMB:           tableMB,
+		Parallel:          parallel,
+		SequentialSeconds: seqSec,
+		ParallelSeconds:   parSec,
+		ByteIdentical:     identical,
+	}
+	if parSec > 0 {
+		rep.Speedup = seqSec / parSec
+	}
+	return rep
+}
+
+// perfShard is one serving backend: an independent device replica with its
+// own virtual clock and trace stream. The pool calls ServeBatch from a
+// single goroutine per shard, so no locking is needed.
+type perfShard struct {
+	dev *rmssd.Device
+	gen *rmssd.TraceGenerator
+	cfg rmssd.ModelConfig
+	now time.Duration
+	seq int
+}
+
+// ServeBatch implements serving.Batcher.
+func (s *perfShard) ServeBatch(n int) serving.BatchResult {
+	denses := make([]rmssd.Vector, n)
+	for i := range denses {
+		denses[i] = s.gen.DenseInput(s.seq+i, s.cfg.DenseDim)
+	}
+	sparses := s.gen.Batch(n)
+	s.seq += n
+	outs, done, _ := s.dev.InferBatch(s.now, denses, sparses)
+	lat := done - s.now
+	s.now = done
+	return serving.BatchResult{Preds: outs, Latency: lat}
+}
+
+// runServe builds the sharded pool and measures host-side throughput under
+// concurrent clients.
+func runServe(modelName string, tableMB int64, nshards, clients, requests, reqBatch int) ServeReport {
+	cfg, err := rmssd.ModelByName(modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg.RowsPerTable = cfg.RowsForBudget(tableMB << 20)
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+	devParallel := 1
+	if nshards == 1 {
+		devParallel = 0 // channel-parallel lanes inside the single device
+	}
+	var first *rmssd.Device
+	backends := make([]serving.Batcher, 0, nshards)
+	for i := 0; i < nshards; i++ {
+		dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{Parallel: devParallel})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if first == nil {
+			first = dev
+		}
+		backends = append(backends, &perfShard{
+			dev: dev, cfg: cfg,
+			gen: rmssd.MustNewTrace(rmssd.TraceConfig{
+				Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+				Seed: 1 + uint64(i)*0x9e37,
+			}),
+		})
+	}
+	pool := serving.NewPool(backends, first.NBatch(), 256)
+
+	start := time.Now() //lint:allow wallclock host-side perf harness measures real elapsed time
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := c; r < requests; r += clients {
+				if _, err := pool.Infer(reqBatch); err != nil {
+					panic(err) // unreachable: reqBatch > 0
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	//lint:allow wallclock host-side perf harness measures real elapsed time
+	wall := time.Since(start).Seconds()
+	pool.Close()
+
+	st := pool.Stats()
+	perShardQPS := first.SteadyStateQPS(first.NBatch())
+	rep := ServeReport{
+		Model:             cfg.Name,
+		TableMB:           tableMB,
+		Shards:            nshards,
+		Clients:           clients,
+		Requests:          st.Requests,
+		Inferences:        st.Inferences,
+		MeanBatch:         st.MeanBatch,
+		WallSeconds:       wall,
+		SimulatedAggQPS:   perShardQPS * float64(nshards),
+		SimulatedShardQPS: perShardQPS,
+	}
+	if wall > 0 {
+		rep.HostRequestsPerS = float64(st.Requests) / wall
+		rep.HostInferPerS = float64(st.Inferences) / wall
+	}
+	return rep
+}

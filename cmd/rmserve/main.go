@@ -1,14 +1,21 @@
 // Command rmserve exposes a simulated RM-SSD behind an HTTP API: a
 // self-contained playground for exploring the device interactively.
 //
-//	rmserve -model RMC1 -table-mb 256 -addr :8080
+//	rmserve -model RMC1 -table-mb 256 -shards 4 -addr :8080
 //
 // Endpoints:
 //
-//	GET  /info             device and model configuration
-//	GET  /qps?batch=N      steady-state throughput at a device batch size
+//	GET  /info             device, model and shard configuration
+//	GET  /qps?batch=N      analytic steady-state throughput (per shard and aggregate)
 //	POST /infer            {"batch": N} -> CTR predictions + simulated timing
-//	GET  /stats            flash traffic counters
+//	GET  /stats            aggregate flash traffic, per-shard clocks, observed QPS
+//
+// The server hosts -shards independent devices (default GOMAXPROCS), each
+// with its own virtual clock, behind a batching front-end that coalesces
+// concurrent requests landing on the same shard into one device batch
+// (Section VI's consecutive-small-batch pipelining). There is no global
+// lock: shards share no simulation state, so request handling scales with
+// host cores while each shard's timeline stays deterministic.
 //
 // All timing in responses is simulated; the server itself is just a thin
 // shell around the deterministic library.
@@ -19,22 +26,96 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
 
 	"rmssd"
+	"rmssd/internal/serving"
 )
 
-// server wraps the device with a lock: the simulator is single-threaded by
-// design (virtual time is global to the device).
-type server struct {
-	mu  sync.Mutex
+// deviceShard is one independent device replica: its own virtual clock,
+// trace stream and sequence counter. The pool calls ServeBatch from one
+// goroutine; the mutex only fences those calls against stats readers.
+type deviceShard struct {
+	id  int
 	dev *rmssd.Device
 	gen *rmssd.TraceGenerator
 	cfg rmssd.ModelConfig
-	now time.Duration // device-side simulated clock
-	seq int
+
+	mu  sync.Mutex
+	now time.Duration // shard-local simulated clock
+	seq int           // trace sequence cursor
+}
+
+// ServeBatch implements serving.Batcher: run n inferences as one device
+// batch at the shard's virtual now.
+func (d *deviceShard) ServeBatch(n int) serving.BatchResult {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	denses := make([]rmssd.Vector, n)
+	for i := range denses {
+		denses[i] = d.gen.DenseInput(d.seq+i, d.cfg.DenseDim)
+	}
+	sparses := d.gen.Batch(n)
+	d.seq += n
+	outs, done, bd := d.dev.InferBatch(d.now, denses, sparses)
+	lat := done - d.now
+	d.now = done
+	return serving.BatchResult{Preds: outs, Latency: lat, Meta: bd}
+}
+
+// snapshot returns the shard's counters consistently.
+func (d *deviceShard) snapshot() (fs rmssd.FlashStats, inferences int64, now time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dev.Device().Array().Stats(), d.dev.Inferences(), d.now
+}
+
+// server is the sharded HTTP front-end.
+type server struct {
+	cfg    rmssd.ModelConfig
+	shards []*deviceShard
+	pool   *serving.Pool
+}
+
+// newServer builds nshards independent devices for cfg. When several
+// shards exist, each device simulates its flash channels sequentially
+// (shard-level parallelism already saturates the host); a single shard
+// keeps the device's own channel-parallel lanes.
+func newServer(cfg rmssd.ModelConfig, nshards int, seed uint64, maxBatch, queueDepth int) (*server, error) {
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+	devParallel := 1
+	if nshards == 1 {
+		devParallel = 0 // GOMAXPROCS lanes inside the single device
+	}
+	s := &server{cfg: cfg}
+	backends := make([]serving.Batcher, 0, nshards)
+	for i := 0; i < nshards; i++ {
+		dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{Parallel: devParallel})
+		if err != nil {
+			return nil, err
+		}
+		if maxBatch <= 0 {
+			maxBatch = dev.NBatch()
+		}
+		sh := &deviceShard{
+			id:  i,
+			dev: dev,
+			cfg: cfg,
+			gen: rmssd.MustNewTrace(rmssd.TraceConfig{
+				Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+				Seed: seed + uint64(i)*0x9e37,
+			}),
+		}
+		s.shards = append(s.shards, sh)
+		backends = append(backends, sh)
+	}
+	s.pool = serving.NewPool(backends, maxBatch, queueDepth)
+	return s, nil
 }
 
 func main() {
@@ -43,6 +124,9 @@ func main() {
 		tableMB   = flag.Int64("table-mb", 256, "embedding table budget in MiB")
 		addr      = flag.String("addr", ":8080", "listen address")
 		seed      = flag.Uint64("seed", 1, "trace seed")
+		shards    = flag.Int("shards", 0, "independent device shards (0 = GOMAXPROCS)")
+		maxBatch  = flag.Int("max-batch", 0, "coalesced device batch cap (0 = device NBatch)")
+		queue     = flag.Int("queue", 256, "per-shard request queue depth")
 	)
 	flag.Parse()
 
@@ -51,19 +135,17 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg.RowsPerTable = cfg.RowsForBudget(*tableMB << 20)
-	log.Printf("building RM-SSD for %s (%d MiB tables)...", cfg.Name, *tableMB)
-	dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{})
+	log.Printf("building RM-SSD shards for %s (%d MiB tables)...", cfg.Name, *tableMB)
+	s, err := newServer(cfg, *shards, *seed, *maxBatch, *queue)
 	if err != nil {
 		log.Fatal(err)
 	}
-	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
-		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: *seed,
-	})
-	s := &server{dev: dev, gen: gen, cfg: cfg}
 
 	mux := s.routes()
-	log.Printf("serving on %s (device batch %d, steady-state %.0f QPS)",
-		*addr, dev.NBatch(), dev.SteadyStateQPS(dev.NBatch()))
+	dev := s.shards[0].dev
+	log.Printf("serving on %s (%d shards, device batch %d, aggregate steady-state %.0f QPS)",
+		*addr, len(s.shards), dev.NBatch(),
+		dev.SteadyStateQPS(dev.NBatch())*float64(len(s.shards)))
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -87,8 +169,6 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"model":        s.cfg.Name,
 		"tables":       s.cfg.Tables,
@@ -96,7 +176,8 @@ func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		"evDim":        s.cfg.EVDim,
 		"rowsPerTable": s.cfg.RowsPerTable,
 		"tableBytes":   s.cfg.TableBytes(),
-		"deviceBatch":  s.dev.NBatch(),
+		"deviceBatch":  s.shards[0].dev.NBatch(),
+		"shards":       len(s.shards),
 	})
 }
 
@@ -110,12 +191,15 @@ func (s *server) handleQPS(w http.ResponseWriter, r *http.Request) {
 		}
 		batch = v
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// SteadyStateQPS and Latency are pure functions of the configuration;
+	// no shard state is involved.
+	per := s.shards[0].dev.SteadyStateQPS(batch)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"batch":          batch,
-		"steadyStateQPS": s.dev.SteadyStateQPS(batch),
-		"batchLatency":   s.dev.Latency(batch).String(),
+		"shards":         len(s.shards),
+		"steadyStateQPS": per,
+		"aggregateQPS":   per * float64(len(s.shards)),
+		"batchLatency":   s.shards[0].dev.Latency(batch).String(),
 	})
 }
 
@@ -141,20 +225,17 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "batch too large (max 256)"})
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	denses := make([]rmssd.Vector, req.Batch)
-	for i := range denses {
-		denses[i] = s.gen.DenseInput(s.seq+i, s.cfg.DenseDim)
+	resp, err := s.pool.Infer(req.Batch)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
 	}
-	sparses := s.gen.Batch(req.Batch)
-	s.seq += req.Batch
-	outs, done, bd := s.dev.InferBatch(s.now, denses, sparses)
-	latency := done - s.now
-	s.now = done
+	bd, _ := resp.Meta.(rmssd.Breakdown)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"predictions":      outs,
-		"simulatedLatency": latency.String(),
+		"predictions":      resp.Preds,
+		"simulatedLatency": resp.Latency.String(),
+		"shard":            resp.Shard,
+		"coalescedBatch":   resp.BatchSize,
 		"breakdown": map[string]string{
 			"send": bd.Send.String(),
 			"emb":  bd.Emb.String(),
@@ -166,13 +247,39 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	fs := s.dev.Device().Array().Stats()
+	var (
+		vectorReads, pageReads, bytesTransferred, inferences int64
+		observedQPS                                          float64
+		perShard                                             []map[string]interface{}
+	)
+	for _, sh := range s.shards {
+		fs, inf, now := sh.snapshot()
+		vectorReads += fs.VectorReads
+		pageReads += fs.PageReads
+		bytesTransferred += fs.BytesTransferred
+		inferences += inf
+		var qps float64
+		if now > 0 {
+			qps = float64(inf) / now.Seconds()
+		}
+		observedQPS += qps
+		perShard = append(perShard, map[string]interface{}{
+			"shard":      sh.id,
+			"inferences": inf,
+			"simClock":   now.String(),
+			"qps":        qps,
+		})
+	}
+	ps := s.pool.Stats()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"vectorReads":      fs.VectorReads,
-		"pageReads":        fs.PageReads,
-		"bytesTransferred": fs.BytesTransferred,
-		"inferences":       s.dev.Inferences(),
+		"vectorReads":      vectorReads,
+		"pageReads":        pageReads,
+		"bytesTransferred": bytesTransferred,
+		"inferences":       inferences,
+		"observedQPS":      observedQPS,
+		"requests":         ps.Requests,
+		"deviceBatches":    ps.Batches,
+		"meanBatch":        ps.MeanBatch,
+		"shards":           perShard,
 	})
 }

@@ -14,22 +14,20 @@ import (
 	"rmssd"
 )
 
-func testServer(t *testing.T) *server {
+func testServer(t *testing.T, shards int) *server {
 	t.Helper()
 	cfg := rmssd.RMC1()
 	cfg.RowsPerTable = cfg.RowsForBudget(16 << 20)
-	dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{})
+	s, err := newServer(cfg, shards, 1, 8, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
-		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 1,
-	})
-	return &server{dev: dev, gen: gen, cfg: cfg}
+	t.Cleanup(s.pool.Close)
+	return s
 }
 
 func TestHandleInfo(t *testing.T) {
-	s := testServer(t)
+	s := testServer(t, 2)
 	rec := httptest.NewRecorder()
 	s.handleInfo(rec, httptest.NewRequest(http.MethodGet, "/info", nil))
 	if rec.Code != http.StatusOK {
@@ -42,16 +40,25 @@ func TestHandleInfo(t *testing.T) {
 	if body["model"] != "RMC1" || body["tables"].(float64) != 8 {
 		t.Fatalf("body = %v", body)
 	}
+	if body["shards"].(float64) != 2 {
+		t.Fatalf("shards = %v", body["shards"])
+	}
 }
 
 func TestHandleQPS(t *testing.T) {
-	s := testServer(t)
+	s := testServer(t, 3)
 	rec := httptest.NewRecorder()
 	s.handleQPS(rec, httptest.NewRequest(http.MethodGet, "/qps?batch=4", nil))
 	var body map[string]interface{}
-	json.NewDecoder(rec.Body).Decode(&body)
-	if body["steadyStateQPS"].(float64) <= 0 {
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	per := body["steadyStateQPS"].(float64)
+	if per <= 0 {
 		t.Fatal("no QPS reported")
+	}
+	if agg := body["aggregateQPS"].(float64); agg != per*3 {
+		t.Fatalf("aggregate %v != 3x per-shard %v", agg, per)
 	}
 	// Invalid batch rejected.
 	rec = httptest.NewRecorder()
@@ -62,7 +69,7 @@ func TestHandleQPS(t *testing.T) {
 }
 
 func TestHandleInfer(t *testing.T) {
-	s := testServer(t)
+	s := testServer(t, 2)
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(`{"batch":2}`))
 	s.handleInfer(rec, req)
@@ -72,6 +79,8 @@ func TestHandleInfer(t *testing.T) {
 	var body struct {
 		Predictions      []float64         `json:"predictions"`
 		SimulatedLatency string            `json:"simulatedLatency"`
+		Shard            int               `json:"shard"`
+		CoalescedBatch   int               `json:"coalescedBatch"`
 		Breakdown        map[string]string `json:"breakdown"`
 	}
 	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
@@ -87,6 +96,9 @@ func TestHandleInfer(t *testing.T) {
 	}
 	if _, err := time.ParseDuration(body.SimulatedLatency); err != nil {
 		t.Fatalf("latency %q: %v", body.SimulatedLatency, err)
+	}
+	if body.Shard < 0 || body.Shard >= 2 || body.CoalescedBatch < 2 {
+		t.Fatalf("shard=%d coalesced=%d", body.Shard, body.CoalescedBatch)
 	}
 	if len(body.Breakdown) != 5 {
 		t.Fatalf("breakdown = %v", body.Breakdown)
@@ -106,12 +118,12 @@ func TestHandleInfer(t *testing.T) {
 }
 
 // TestConcurrentClients hammers every endpoint from parallel clients
-// through the real mux. The simulator underneath is single-threaded by
-// design, so the server's mutex is the only thing standing between HTTP
-// concurrency and data races on the device's virtual clock — run with
-// `go test -race ./cmd/rmserve` to make the race detector check it.
+// through the real mux. The shards share no simulation state — each has its
+// own device, virtual clock and trace stream — so the only synchronisation
+// is the pool's per-shard queues and each shard's stats mutex; run with
+// `go test -race ./cmd/rmserve` to make the race detector check them.
 func TestConcurrentClients(t *testing.T) {
-	s := testServer(t)
+	s := testServer(t, 4)
 	srv := httptest.NewServer(s.routes())
 	defer srv.Close()
 
@@ -128,7 +140,11 @@ func TestConcurrentClients(t *testing.T) {
 			return
 		}
 		defer resp.Body.Close()
-		body, _ := io.ReadAll(resp.Body)
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			errs <- fmt.Errorf("%s: read body: %v", what, err)
+			return
+		}
 		if resp.StatusCode != http.StatusOK {
 			errs <- fmt.Errorf("%s: status %d: %s", what, resp.StatusCode, body)
 		}
@@ -153,33 +169,65 @@ func TestConcurrentClients(t *testing.T) {
 		t.Error(err)
 	}
 
-	// Every submitted inference must be accounted for exactly once: lost or
-	// double-counted batches would mean the lock is not covering the
-	// device's virtual clock and sequence counter.
-	s.mu.Lock()
-	inferences, seq := s.dev.Inferences(), s.seq
-	s.mu.Unlock()
+	// Every submitted inference must be accounted for exactly once across
+	// the shards: lost or double-counted batches would mean the pool
+	// dropped or duplicated a coalesced request.
+	var inferences int64
+	var seq int
+	for _, sh := range s.shards {
+		_, inf, _ := sh.snapshot()
+		inferences += inf
+		sh.mu.Lock()
+		seq += sh.seq
+		sh.mu.Unlock()
+	}
 	if want := int64(clients * perClient * batch); inferences != want {
-		t.Errorf("device served %d inferences, want %d", inferences, want)
+		t.Errorf("shards served %d inferences, want %d", inferences, want)
 	}
 	if want := clients * perClient * batch; seq != want {
-		t.Errorf("trace sequence advanced to %d, want %d", seq, want)
+		t.Errorf("trace sequences advanced to %d, want %d", seq, want)
+	}
+	if ps := s.pool.Stats(); ps.Requests != clients*perClient {
+		t.Errorf("pool answered %d requests, want %d", ps.Requests, clients*perClient)
+	}
+}
+
+// TestShardsIndependentClocks: two shards serve without advancing each
+// other's virtual time.
+func TestShardsIndependentClocks(t *testing.T) {
+	s := testServer(t, 2)
+	// Address shard 0 twice and shard 1 once via direct ServeBatch.
+	s.shards[0].ServeBatch(1)
+	s.shards[0].ServeBatch(1)
+	s.shards[1].ServeBatch(1)
+	_, _, now0 := s.shards[0].snapshot()
+	_, _, now1 := s.shards[1].snapshot()
+	if now0 <= now1 || now1 <= 0 {
+		t.Fatalf("clocks: shard0=%v shard1=%v", now0, now1)
 	}
 }
 
 func TestHandleStats(t *testing.T) {
-	s := testServer(t)
+	s := testServer(t, 2)
 	// Run one inference so counters move.
 	rec := httptest.NewRecorder()
 	s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(`{}`)))
 	rec = httptest.NewRecorder()
 	s.handleStats(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
 	var body map[string]interface{}
-	json.NewDecoder(rec.Body).Decode(&body)
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
 	if body["vectorReads"].(float64) <= 0 {
 		t.Fatal("no vector reads counted")
 	}
 	if body["pageReads"].(float64) != 0 {
 		t.Fatal("RM-SSD inference must not issue page reads")
+	}
+	if body["observedQPS"].(float64) <= 0 {
+		t.Fatal("no observed QPS")
+	}
+	if len(body["shards"].([]interface{})) != 2 {
+		t.Fatalf("shards = %v", body["shards"])
 	}
 }

@@ -14,7 +14,7 @@ func ExampleNewDevice() {
 
 	dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{})
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("rmssd_test: %v", err))
 	}
 	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
 		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 42,
@@ -63,7 +63,7 @@ func ExampleTraceGenerator() {
 func ExampleFindExperiment() {
 	e, err := rmssd.FindExperiment("table2")
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("rmssd_test: %v", err))
 	}
 	tabs := e.Run(rmssd.ExperimentOptions{Iterations: 1, TableBytes: 32 << 20})
 	fmt.Println(tabs[0].Rows[1][0], tabs[0].Rows[1][1])

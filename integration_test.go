@@ -1,6 +1,7 @@
 package rmssd_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -20,7 +21,7 @@ import (
 func integCfg(name string) model.Config {
 	cfg, err := model.ConfigByName(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("rmssd_test: %v", err))
 	}
 	cfg.RowsPerTable = cfg.RowsForBudget(48 << 20)
 	return cfg

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -26,7 +27,7 @@ func testGeo() flash.Geometry {
 func smallCfg(name string) model.Config {
 	c, err := model.ConfigByName(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("baseline: %v", err))
 	}
 	c.RowsPerTable = 2048
 	return c

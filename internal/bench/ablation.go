@@ -121,23 +121,27 @@ func ablationFlashParallelism(opts Options) *Table {
 		Header: []string{"Channels", "Dies/channel", "bEV (Mvec/s)", "RM-SSD QPS"},
 	}
 	cfg := scaledConfig("RMC1", opts)
-	for _, channels := range []int{2, 4, 8} {
-		for _, dies := range []int{1, 3, 6} {
-			g := flash.DefaultGeometry()
-			g.Channels = channels
-			g.DiesPerChannel = dies
-			// Keep capacity roughly constant.
-			g.BlocksPerPlane = g.BlocksPerPlane * (4 * 3) / (channels * dies)
-			r, err := core.New(cfg, core.Options{Geometry: g})
-			if err != nil {
-				t.AddRow(fmt.Sprintf("%d", channels), fmt.Sprintf("%d", dies), "-", "error: "+err.Error())
-				continue
-			}
-			bev := engine.VectorReadBandwidth(cfg.EVSize(), channels, dies) / 1e6
-			t.AddRow(fmt.Sprintf("%d", channels), fmt.Sprintf("%d", dies),
-				fmt.Sprintf("%.2f", bev), fmtQPS(r.SteadyStateQPS(r.NBatch())))
+	channelSet := []int{2, 4, 8}
+	dieSet := []int{1, 3, 6}
+	// One cell per (channels, dies) point: each builds its own device.
+	rows := make([][]string, len(channelSet)*len(dieSet))
+	runIndexed(opts.Parallel, len(rows), func(idx int) {
+		channels, dies := channelSet[idx/len(dieSet)], dieSet[idx%len(dieSet)]
+		g := flash.DefaultGeometry()
+		g.Channels = channels
+		g.DiesPerChannel = dies
+		// Keep capacity roughly constant.
+		g.BlocksPerPlane = g.BlocksPerPlane * (4 * 3) / (channels * dies)
+		r, err := core.New(cfg, core.Options{Geometry: g})
+		if err != nil {
+			rows[idx] = []string{fmt.Sprintf("%d", channels), fmt.Sprintf("%d", dies), "-", "error: " + err.Error()}
+			return
 		}
-	}
+		bev := engine.VectorReadBandwidth(cfg.EVSize(), channels, dies).UnitsPerSecond(cfg.EVSize()) / 1e6
+		rows[idx] = []string{fmt.Sprintf("%d", channels), fmt.Sprintf("%d", dies),
+			fmt.Sprintf("%.2f", bev), fmtQPS(r.SteadyStateQPS(r.NBatch()))}
+	})
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"vector-read bandwidth scales with channels x dies until the channel bus saturates")
 	return t
@@ -153,22 +157,38 @@ func ablationScaleOut(opts Options) *Table {
 		Header: []string{"Devices", "Tables/device", "Aggregate QPS", "Scaling"},
 	}
 	cfg := scaledConfig("RMC2", opts)
-	var base float64
-	for _, devices := range []int{1, 2, 4, 8} {
+	deviceSet := []int{1, 2, 4, 8}
+	// Two-pass: the per-device QPS cells are independent (each builds its
+	// own sharded device); the scaling column needs the devices==1 base, so
+	// it is derived sequentially from the collected cells afterwards.
+	type soCell struct {
+		tables int
+		qps    float64
+	}
+	cells := make([]soCell, len(deviceSet))
+	runIndexed(opts.Parallel, len(deviceSet), func(i int) {
 		shard := cfg
-		shard.Tables = cfg.Tables / devices
+		shard.Tables = cfg.Tables / deviceSet[i]
 		if shard.Tables == 0 {
-			continue
+			return
 		}
 		// Keep the per-model budget constant: each shard holds its share.
 		r := rmssdFor(shard, engine.DesignSearched)
 		nb := r.NBatch()
-		qps := r.SteadyStateQPS(nb) // every device serves each inference's shard
-		if devices == 1 {
-			base = qps
+		// Every device serves each inference's shard.
+		cells[i] = soCell{shard.Tables, r.SteadyStateQPS(nb)}
+	})
+	var base float64
+	for i, devices := range deviceSet {
+		c := cells[i]
+		if c.tables == 0 {
+			continue
 		}
-		t.AddRow(fmt.Sprintf("%d", devices), fmt.Sprintf("%d", shard.Tables),
-			fmtQPS(qps), fmt.Sprintf("%.2fx", qps/base))
+		if devices == 1 {
+			base = c.qps
+		}
+		t.AddRow(fmt.Sprintf("%d", devices), fmt.Sprintf("%d", c.tables),
+			fmtQPS(c.qps), fmt.Sprintf("%.2fx", c.qps/base))
 	}
 	t.Notes = append(t.Notes,
 		"the inference completes when the slowest shard finishes; with equal shards",
@@ -187,17 +207,22 @@ func ablationQueueDepth(opts Options) *Table {
 		Header: []string{"QD", "IOPS", "Bandwidth (MB/s)"},
 	}
 	cfg := scaledConfig("RMC1", opts)
-	for _, qd := range []int{1, 4, 16, 64} {
+	depths := []int{1, 4, 16, 64}
+	// One cell per queue depth, each over its own fresh device.
+	rows := make([][]string, len(depths))
+	runIndexed(opts.Parallel, len(depths), func(i int) {
+		qd := depths[i]
 		dev := envFor(cfg).Dev
 		qp, err := ssd.NewQueuePair(dev, qd)
 		if err != nil {
-			t.AddRow(fmt.Sprintf("%d", qd), "error: "+err.Error(), "-")
-			continue
+			rows[i] = []string{fmt.Sprintf("%d", qd), "error: " + err.Error(), "-"}
+			return
 		}
 		iops := qp.MeasureRandomReadIOPS(512, opts.Seed+uint64(qd))
-		t.AddRow(fmt.Sprintf("%d", qd), fmt.Sprintf("%.0f", iops),
-			fmt.Sprintf("%.0f", iops*4096/1e6))
-	}
+		rows[i] = []string{fmt.Sprintf("%d", qd), fmt.Sprintf("%.0f", iops),
+			fmt.Sprintf("%.0f", iops*4096/1e6)}
+	})
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"QD1 lands at Table II's 45K IOPS; deeper queues expose the flash array's",
 		"internal parallelism — the bandwidth the in-storage engines exploit directly")

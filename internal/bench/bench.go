@@ -15,6 +15,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -43,6 +44,12 @@ type Options struct {
 	// LocalityK selects the input-trace locality (Fig. 14 presets).
 	// Default 0.3 (65 % hit ratio).
 	LocalityK float64
+	// Parallel bounds the number of goroutines used to evaluate
+	// independent experiment cells (each cell builds its own systems and
+	// devices and writes only its own output slot, so the rendered tables
+	// are byte-identical at any setting). 0 means GOMAXPROCS; 1 runs the
+	// plain sequential loop.
+	Parallel int
 }
 
 // withDefaults fills unset fields.
@@ -61,6 +68,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 0xbe9c
+	}
+	if o.Parallel == 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
 	}
 	return o
 }

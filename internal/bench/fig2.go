@@ -44,33 +44,57 @@ func Fig2(opts Options) []*Table {
 		Title:  "Fig. 2(d-f): execution time breakdown (%)",
 		Header: []string{"Model", "Batch", "System", "top-mlp", "bot-mlp", "concat", "emb-op", "emb-fs", "emb-ssd", "other"},
 	}
-	for _, name := range []string{"RMC1", "RMC2", "RMC3"} {
+	models := []string{"RMC1", "RMC2", "RMC3"}
+	batches := []int{1, 32, 64}
+	systems := []struct {
+		build func(cfg model.Config) baseline.BatchSystem
+	}{
+		{func(cfg model.Config) baseline.BatchSystem { return baseline.NewSSDS(envFor(cfg)) }},
+		{func(cfg model.Config) baseline.BatchSystem { return baseline.NewSSDM(envFor(cfg)) }},
+		{func(cfg model.Config) baseline.BatchSystem { return baseline.NewDRAM(model.MustBuild(cfg)) }},
+	}
+	// One cell per (model, batch, system): each builds its own system on a
+	// fresh device, so the 27 cells are independent and the two tables are
+	// assembled by index afterwards.
+	type f2Cell struct {
+		time  string
+		bdRow []string
+	}
+	grid := make([]f2Cell, len(models)*len(batches)*len(systems))
+	runIndexed(opts.Parallel, len(grid), func(idx int) {
+		si := idx % len(systems)
+		bi := (idx / len(systems)) % len(batches)
+		mi := idx / (len(systems) * len(batches))
+		name, batch := models[mi], batches[bi]
 		cfg := scaledConfig(name, opts)
-		for _, batch := range []int{1, 32, 64} {
-			iters := opts.Iterations
-			if batch > 1 && iters > 20 {
-				iters = 20
+		iters := opts.Iterations
+		if batch > 1 && iters > 20 {
+			iters = 20
+		}
+		warm := iters / 2
+		sys := systems[si].build(cfg)
+		gen := traceFor(cfg, opts)
+		next := func() [][][]int64 { return gen.Batch(batch) }
+		total := runBatchSystem(sys, next, warm, iters)
+		tt := float64(total.Total())
+		pct := func(d float64) string { return fmt.Sprintf("%.1f", 100*d/tt) }
+		grid[idx] = f2Cell{
+			time: fmtSeconds(scaleTo1K(total, iters)),
+			bdRow: []string{name, fmt.Sprintf("%d", batch), sys.Name(),
+				pct(float64(total.TopMLP)), pct(float64(total.BotMLP)), pct(float64(total.Concat)),
+				pct(float64(total.EmbOp)), pct(float64(total.EmbFS)), pct(float64(total.EmbSSD)),
+				pct(float64(total.Other))},
+		}
+	})
+	for mi, name := range models {
+		for bi, batch := range batches {
+			row := []string{name, fmt.Sprintf("%d", batch)}
+			for si := range systems {
+				c := grid[(mi*len(batches)+bi)*len(systems)+si]
+				row = append(row, c.time)
+				bdTab.Rows = append(bdTab.Rows, c.bdRow)
 			}
-			warm := iters / 2
-			var cells []string
-			systems := []baseline.BatchSystem{
-				baseline.NewSSDS(envFor(cfg)),
-				baseline.NewSSDM(envFor(cfg)),
-				baseline.NewDRAM(model.MustBuild(cfg)),
-			}
-			for _, sys := range systems {
-				gen := traceFor(cfg, opts)
-				next := func() [][][]int64 { return gen.Batch(batch) }
-				total := runBatchSystem(sys, next, warm, iters)
-				cells = append(cells, fmtSeconds(scaleTo1K(total, iters)))
-				tt := float64(total.Total())
-				pct := func(d float64) string { return fmt.Sprintf("%.1f", 100*d/tt) }
-				bdTab.AddRow(name, fmt.Sprintf("%d", batch), sys.Name(),
-					pct(float64(total.TopMLP)), pct(float64(total.BotMLP)), pct(float64(total.Concat)),
-					pct(float64(total.EmbOp)), pct(float64(total.EmbFS)), pct(float64(total.EmbSSD)),
-					pct(float64(total.Other)))
-			}
-			timeTab.AddRow(name, fmt.Sprintf("%d", batch), cells[0], cells[1], cells[2])
+			timeTab.AddRow(row...)
 		}
 	}
 	timeTab.Notes = append(timeTab.Notes,

@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runIndexed evaluates cell(0) … cell(n-1), using up to parallel worker
+// goroutines. Cells must be independent: each builds whatever systems or
+// devices it measures and writes only its own output slot (a distinct
+// index of a pre-sized slice). Because every cell is a deterministic
+// function of (opts, index) and results are assembled by index afterwards,
+// the rendered tables are byte-identical at any parallelism — parallel <= 1
+// runs the plain sequential loop, which the differential tests pin the
+// parallel schedules against.
+func runIndexed(parallel, n int, cell func(i int)) {
+	if parallel <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			cell(i)
+		}
+		return
+	}
+	if parallel > n {
+		parallel = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunIndexedCoversAllCells: every index is evaluated exactly once at
+// any parallelism.
+func TestRunIndexedCoversAllCells(t *testing.T) {
+	for _, parallel := range []int{0, 1, 2, 7, 64} {
+		const n = 37
+		var counts [n]atomic.Int32
+		runIndexed(parallel, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("parallel=%d: cell %d evaluated %d times", parallel, i, c)
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequential is the differential test for the parallel
+// sweep evaluator: every experiment in the registry must render
+// byte-identical tables with Parallel=1 (the plain sequential loop) and
+// Parallel=4 (worker goroutines racing over the cells). Each cell builds
+// its own systems and writes only its own slot, so any divergence here
+// means a cell leaked state into another — exactly the bug class the
+// parallel sweeps must exclude.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment registry twice")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			seqOpts := quickOpts()
+			seqOpts.Parallel = 1
+			parOpts := quickOpts()
+			parOpts.Parallel = 4
+			if e.Name == "writeload" {
+				// WriteLoad needs smaller tables (see TestWriteLoad).
+				seqOpts.TableBytes = 16 << 20
+				parOpts.TableBytes = 16 << 20
+			}
+			seq := e.Run(seqOpts)
+			par := e.Run(parOpts)
+			if len(seq) != len(par) {
+				t.Fatalf("table count differs: %d sequential vs %d parallel", len(seq), len(par))
+			}
+			for i := range seq {
+				if s, p := seq[i].String(), par[i].String(); s != p {
+					t.Errorf("table %d (%s) differs between -parallel 1 and -parallel 4:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+						i, seq[i].Title, s, p)
+				}
+			}
+		})
+	}
+}

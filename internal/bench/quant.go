@@ -53,8 +53,10 @@ func QuantStudy(opts Options) []*Table {
 
 		fp32Bytes := cfg.TableBytes()
 		int8Bytes := int64(cfg.Tables) * cfg.RowsPerTable * int64(embedding.QuantizedEVSize(cfg.EVDim))
-		bevFP := engine.VectorReadBandwidth(cfg.EVSize(), params.NumChannels, params.DiesPerChannel) / 1e6
-		bevQ := engine.VectorReadBandwidth(embedding.QuantizedEVSize(cfg.EVDim), params.NumChannels, params.DiesPerChannel) / 1e6
+		bevFP := engine.VectorReadBandwidth(cfg.EVSize(), params.NumChannels, params.DiesPerChannel).
+			UnitsPerSecond(cfg.EVSize()) / 1e6
+		bevQ := engine.VectorReadBandwidth(embedding.QuantizedEVSize(cfg.EVDim), params.NumChannels, params.DiesPerChannel).
+			UnitsPerSecond(embedding.QuantizedEVSize(cfg.EVDim)) / 1e6
 		t.AddRow(name,
 			fmt.Sprintf("%.2e", maxDev),
 			fmt.Sprintf("%.2e", sumDev/float64(samples)),

@@ -48,6 +48,11 @@ type Options struct {
 	// construction (use reduced table sizes), and the device can take
 	// concurrent update writes during inference.
 	Dynamic bool
+	// Parallel is the number of host goroutines used to simulate the
+	// flash channels of one lookup batch. 0 means GOMAXPROCS; 1 forces
+	// the exact sequential path. Lane partitioning keeps results
+	// byte-identical at any setting (see engine/parallel.go).
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +150,7 @@ func New(cfg model.Config, opts Options) (*RMSSD, error) {
 		m:      m,
 		mmio:   NewMMIOManager(),
 	}
+	r.lookup.SetParallel(opts.Parallel)
 	r.mmio.Poke(RegTableCount, uint64(cfg.Tables))
 	return r, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -28,7 +29,7 @@ func smallGeometry() flash.Geometry {
 func smallCfg(name string) model.Config {
 	c, err := model.ConfigByName(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("core: %v", err))
 	}
 	c.RowsPerTable = 2048
 	return c

@@ -61,8 +61,13 @@ func TestSessionAuthorization(t *testing.T) {
 func TestSessionSendReadProtocol(t *testing.T) {
 	r := newSmall(t, "RMC1", 0)
 	s := r.NewSession("u")
-	s.CreateTable(0)
-	fd, _ := s.OpenTable(0)
+	if err := s.CreateTable(0); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := s.OpenTable(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Read before send fails.
 	if _, err := s.ReadOutputs(0); err == nil {
@@ -89,8 +94,13 @@ func TestSessionSendReadProtocol(t *testing.T) {
 		t.Fatal("bad fd allowed")
 	}
 	s2 := r.NewSession("u")
-	s2.CreateTable(1)
-	fd2, _ := s2.OpenTable(1)
+	if err := s2.CreateTable(1); err != nil {
+		t.Fatal(err)
+	}
+	fd2, err := s2.OpenTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := s2.SendInputs(0, fd2, 0); err == nil {
 		t.Fatal("zero batch allowed")
 	}

@@ -13,6 +13,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"rmssd/internal/embedding"
@@ -106,6 +107,11 @@ type LookupEngine struct {
 	dev   *ssd.Device
 	sum   *sim.Resource // EV Sum adder-tree unit
 	stats LookupStats
+
+	// parallel is the number of host goroutines used to simulate the flash
+	// channels of one batch (see parallel.go). <=1 keeps the original
+	// sequential path; results are byte-identical either way.
+	parallel int
 }
 
 // NewLookupEngine wires the engine to a store's device.
@@ -120,6 +126,25 @@ func NewLookupEngine(st *embedding.Store, dev *ssd.Device) *LookupEngine {
 
 // Translator exposes the translator (for tests and tools).
 func (e *LookupEngine) Translator() *Translator { return e.tr }
+
+// SetParallel sets the number of host goroutines used to simulate the flash
+// channels of one lookup batch. n <= 0 means GOMAXPROCS. Lane partitioning
+// keeps results byte-identical to the sequential schedule (parallel.go), so
+// this only trades host CPU for wall-clock.
+func (e *LookupEngine) SetParallel(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.parallel = n
+}
+
+// Parallel returns the effective host-parallelism degree (at least 1).
+func (e *LookupEngine) Parallel() int {
+	if e.parallel <= 1 {
+		return 1
+	}
+	return e.parallel
+}
 
 // Stats returns a snapshot of engine counters.
 func (e *LookupEngine) Stats() LookupStats { return e.stats }
@@ -155,6 +180,9 @@ func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]
 	cfg := e.st.Model().Cfg
 	if len(sparse) != cfg.Tables {
 		panic(fmt.Sprintf("engine: %d sparse inputs, want %d", len(sparse), cfg.Tables))
+	}
+	if e.Parallel() > 1 && e.dev.Channels() > 1 {
+		return e.poolParallel(at, sparse, materialize)
 	}
 	var pooled []tensor.Vector
 	if materialize {
@@ -193,10 +221,11 @@ func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]
 }
 
 // VectorReadBandwidth returns bEV: the steady-state vector-read bandwidth
-// of the flash array in vectors/second, the denominator of Eq. 1a. The
-// per-channel rate is limited by the slower of the die-side flush pipeline
+// of the flash array as a typed byte rate, the denominator of Eq. 1a (whose
+// vectors/second form is bev.UnitsPerSecond(evSize)). The per-channel rate
+// is limited by the slower of the die-side flush pipeline
 // (FlushCycles/DiesPerChannel per vector) and the bus transfer.
-func VectorReadBandwidth(evSize, channels, diesPerChannel int) float64 {
+func VectorReadBandwidth(evSize, channels, diesPerChannel int) sim.ByteRate {
 	flushPer := float64(params.FlushCycles) / float64(diesPerChannel)
 	busPer := float64(params.VectorTransferCycles(evSize))
 	per := flushPer
@@ -204,7 +233,9 @@ func VectorReadBandwidth(evSize, channels, diesPerChannel int) float64 {
 		per = busPer
 	}
 	cyclesPerSec := float64(params.FPGAClockHz)
-	return cyclesPerSec / per * float64(channels)
+	vecPerSec := cyclesPerSec / per * float64(channels)
+	//lint:allow units analytic vectors/s * bytes/vector -> ByteRate, constructed once here
+	return sim.ByteRate(vecPerSec * float64(evSize))
 }
 
 // TembEstimate returns the analytic embedding-stage time of Eq. 1a's first
@@ -212,5 +243,5 @@ func VectorReadBandwidth(evSize, channels, diesPerChannel int) float64 {
 func TembEstimate(cfg model.Config, nbatch, channels, diesPerChannel int) sim.Time {
 	bev := VectorReadBandwidth(cfg.EVSize(), channels, diesPerChannel)
 	vectors := float64(nbatch) * float64(cfg.Tables) * float64(cfg.Lookups)
-	return sim.Time(vectors / bev * 1e9)
+	return sim.Time(vectors / bev.UnitsPerSecond(cfg.EVSize()) * 1e9)
 }

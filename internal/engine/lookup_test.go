@@ -162,18 +162,19 @@ func TestPoolPanicsOnWrongTableCount(t *testing.T) {
 func TestVectorReadBandwidth(t *testing.T) {
 	// dim-32 vectors (128 B): flush-limited at 700 cycles/vector/channel
 	// with 4 dies -> 4 channels / 3.5us = ~1.14M vectors/s.
-	bev := VectorReadBandwidth(128, 4, 4)
+	bev := VectorReadBandwidth(128, 4, 4).UnitsPerSecond(128)
 	if bev < 1.0e6 || bev > 1.3e6 {
 		t.Fatalf("bEV(128B) = %v, want ~1.14e6", bev)
 	}
 	// dim-64 (256 B) is still flush-limited with 4 dies (75 < 700).
-	if b := VectorReadBandwidth(256, 4, 4); b != bev {
+	if b := VectorReadBandwidth(256, 4, 4).UnitsPerSecond(256); b != bev {
 		t.Fatalf("bEV(256B) = %v, want %v (flush-limited)", b, bev)
 	}
 	// With 64 dies per channel the bus becomes the limit and larger
-	// vectors are slower.
-	b128 := VectorReadBandwidth(128, 4, 64)
-	b256 := VectorReadBandwidth(256, 4, 64)
+	// vectors are slower (in vectors/second; the byte rate is bus-bound
+	// either way).
+	b128 := VectorReadBandwidth(128, 4, 64).UnitsPerSecond(128)
+	b256 := VectorReadBandwidth(256, 4, 64).UnitsPerSecond(256)
 	if b256 >= b128 {
 		t.Fatalf("bus-limited: bEV(256)=%v should be < bEV(128)=%v", b256, b128)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -38,7 +39,7 @@ func referencePooled(m *model.Model, seed uint64) (tensor.Vector, [][]int64, []t
 func testCfg(name string) model.Config {
 	c, err := model.ConfigByName(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("engine: %v", err))
 	}
 	c.RowsPerTable = 4096
 	return c

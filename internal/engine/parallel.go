@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"sync"
+
+	"rmssd/internal/flash"
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/ssd"
+	"rmssd/internal/tensor"
+)
+
+// Lane-parallel lookup scheduling.
+//
+// The sequential pool() interleaves four kinds of work per lookup: index
+// parsing and EV translation (shared translator state, strict per-cycle
+// clocking), FTL translation and device bookkeeping (shared device state),
+// flash scheduling (channel-local resources), and EV Sum accumulation
+// (one shared resource plus float adds whose order matters bit-for-bit).
+//
+// Only the flash scheduling is expensive — it is the term that grows with
+// channels, dies and lookups — and it is exactly the part that decomposes by
+// channel: a vector read touches one die pool and one bus, both owned by the
+// PPA's channel, and sim.Resource is FCFS, so each channel's subsequence can
+// replay on its own goroutine with bit-identical (start, end) intervals.
+//
+// poolParallel therefore runs three phases:
+//
+//  1. prepare (sequential, original global order): clock the index stream,
+//     translate rows to device addresses, run the FTL and device counters
+//     via ssd.PrepareVectorRead, and bucket requests by channel.
+//  2. flash (parallel): one flash.Lane per channel, lanes strided over
+//     min(parallel, channels) workers. Each lane replays its bucket in the
+//     phase-1 order; workers write only their own request slots.
+//  3. reduce (sequential, original global order): decode and accumulate
+//     floats and replay the EV Sum resource exactly as the sequential path
+//     would, then take the same max over completion times.
+//
+// Every shared mutation happens in phase 1 or 3 in the original order;
+// phase 2 touches only channel-disjoint state (asserted under simdebug via
+// lane binding). Hence Pool's results — values, times, and all counters —
+// are byte-identical to the sequential path at any parallelism degree.
+
+// pendingRead is one lookup's state across the three phases.
+type pendingRead struct {
+	table int
+	vr    ssd.VectorRead
+	data  []byte
+	done  sim.Time
+}
+
+func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time) {
+	cfg := e.st.Model().Cfg
+	evSize := cfg.EVSize()
+	sumOcc := params.Duration(e.sumCycles())
+
+	// Phase 1 — sequential prepare in global order.
+	total := 0
+	for _, rows := range sparse {
+		total += len(rows)
+	}
+	reqs := make([]pendingRead, 0, total)
+	perCh := make([][]int32, e.dev.Channels())
+	issue := at
+	for t, rows := range sparse {
+		for _, row := range rows {
+			// One index parsed per cycle (Read EV Req, Fig. 6).
+			issue += params.CycleTime
+			addr := e.tr.Lookup(t, row)
+			vr := e.dev.PrepareVectorRead(issue, addr, evSize)
+			idx := len(reqs)
+			reqs = append(reqs, pendingRead{table: t, vr: vr})
+			if vr.Mapped {
+				perCh[vr.PPA.Channel] = append(perCh[vr.PPA.Channel], int32(idx))
+			} else {
+				// Never-written page on a dynamic device: completes at
+				// translation time with zeros, no flash involvement.
+				reqs[idx].done = vr.Start
+				if materialize {
+					reqs[idx].data = make([]byte, evSize)
+				}
+			}
+			e.stats.Lookups++
+			e.stats.BytesPooled += int64(evSize)
+		}
+	}
+
+	// Phase 2 — parallel flash scheduling, one lane per channel.
+	arr := e.dev.Array()
+	lanes := make([]*flash.Lane, len(perCh))
+	for ch := range perCh {
+		if len(perCh[ch]) > 0 {
+			lanes[ch] = arr.Lane(ch)
+		}
+	}
+	workers := e.Parallel()
+	if workers > len(perCh) {
+		workers = len(perCh)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ch := w; ch < len(perCh); ch += workers {
+				lane := lanes[ch]
+				if lane == nil {
+					continue
+				}
+				for _, i := range perCh[ch] {
+					r := &reqs[i]
+					if materialize {
+						r.data, r.done = lane.ReadVector(r.vr.Start, r.vr.PPA, r.vr.Col, r.vr.Size)
+					} else {
+						r.done = lane.ReadVectorTiming(r.vr.Start, r.vr.PPA, r.vr.Col, r.vr.Size)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, lane := range lanes {
+		if lane != nil {
+			lane.Close()
+		}
+	}
+
+	// Phase 3 — sequential reduce in global order.
+	var pooled []tensor.Vector
+	if materialize {
+		pooled = make([]tensor.Vector, cfg.Tables)
+		for t := range pooled {
+			pooled[t] = make(tensor.Vector, cfg.EVDim)
+		}
+	}
+	var done sim.Time
+	for i := range reqs {
+		r := &reqs[i]
+		if materialize {
+			tensor.AccumulateInto(pooled[r.table], model.DecodeEV(r.data))
+		}
+		_, sumDone := e.sum.Acquire(r.done, sumOcc)
+		done = sim.Max(done, sumDone)
+	}
+	if done < issue {
+		done = issue
+	}
+	return pooled, done
+}

@@ -100,6 +100,17 @@ func TestFlatIndexDense(t *testing.T) {
 	}
 }
 
+// mustArray builds an Array over the given geometry, failing the test if
+// the geometry is rejected.
+func mustArray(t *testing.T, g Geometry) *Array {
+	t.Helper()
+	a, err := NewArray(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
 func TestReadPageLatencyIdle(t *testing.T) {
 	a, err := NewArray(smallGeometry())
 	if err != nil {
@@ -113,7 +124,7 @@ func TestReadPageLatencyIdle(t *testing.T) {
 }
 
 func TestReadVectorLatencyIdle(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	const evSize = 128 // dim-32 fp32 vector
 	_, done := a.ReadVector(0, PPA{}, 0, evSize)
 	want := params.Duration(params.FlushCycles + params.VectorTransferCycles(evSize))
@@ -129,7 +140,7 @@ func TestReadVectorLatencyIdle(t *testing.T) {
 }
 
 func TestVectorReadFasterThanPageRead(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	_, pageDone := a.ReadPage(0, PPA{Die: 0})
 	a.ResetTime()
 	_, vecDone := a.ReadVector(0, PPA{Die: 0}, 0, 128)
@@ -145,7 +156,7 @@ func TestVectorGrainedThroughputGain(t *testing.T) {
 	const n = 256
 	const evSize = 128
 
-	pageArr, _ := NewArray(g)
+	pageArr := mustArray(t, g)
 	var pageDone sim.Time
 	for i := 0; i < n; i++ {
 		ppa := PPA{Channel: i % g.Channels, Die: (i / g.Channels) % g.DiesPerChannel, Page: i % g.PagesPerBlock}
@@ -153,7 +164,7 @@ func TestVectorGrainedThroughputGain(t *testing.T) {
 		pageDone = sim.Max(pageDone, done)
 	}
 
-	vecArr, _ := NewArray(g)
+	vecArr := mustArray(t, g)
 	var vecDone sim.Time
 	for i := 0; i < n; i++ {
 		ppa := PPA{Channel: i % g.Channels, Die: (i / g.Channels) % g.DiesPerChannel, Page: i % g.PagesPerBlock}
@@ -170,7 +181,7 @@ func TestVectorGrainedThroughputGain(t *testing.T) {
 }
 
 func TestReadVectorBoundsPanic(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	cases := []struct{ col, size int }{
 		{-1, 10}, {0, 0}, {4000, 200}, {0, 5000},
 	}
@@ -187,7 +198,7 @@ func TestReadVectorBoundsPanic(t *testing.T) {
 }
 
 func TestPPARangePanic(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic on out-of-range PPA")
@@ -197,7 +208,7 @@ func TestPPARangePanic(t *testing.T) {
 }
 
 func TestWriteThenRead(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	data := make([]byte, 4096)
 	binary.LittleEndian.PutUint64(data[8:], 0xdeadbeef)
 	a.WritePage(0, PPA{Block: 1, Page: 2}, data)
@@ -208,7 +219,7 @@ func TestWriteThenRead(t *testing.T) {
 }
 
 func TestWriteShortPagePadded(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	a.WritePage(0, PPA{}, []byte{1, 2, 3})
 	got := a.PeekPage(PPA{})
 	if len(got) != 4096 || got[0] != 1 || got[3] != 0 {
@@ -217,7 +228,7 @@ func TestWriteShortPagePadded(t *testing.T) {
 }
 
 func TestWriteOversizePanics(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -227,7 +238,7 @@ func TestWriteOversizePanics(t *testing.T) {
 }
 
 func TestFillerSynthesis(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	a.SetFiller(func(idx uint64, col int, buf []byte) {
 		full := make([]byte, a.Geometry().PageSize)
 		binary.LittleEndian.PutUint64(full, idx)
@@ -247,7 +258,7 @@ func TestFillerSynthesis(t *testing.T) {
 }
 
 func TestStatsAccounting(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	a.ReadPage(0, PPA{})
 	a.ReadVector(0, PPA{}, 0, 128)
 	a.WritePage(0, PPA{}, []byte{1})
@@ -268,7 +279,7 @@ func TestStatsAccounting(t *testing.T) {
 }
 
 func TestResetTime(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	a.ReadPage(0, PPA{})
 	if a.Drained() == 0 {
 		t.Fatal("expected non-zero drain time")
@@ -280,7 +291,7 @@ func TestResetTime(t *testing.T) {
 }
 
 func TestBusUtilization(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	_, done := a.ReadPage(0, PPA{Channel: 0})
 	u := a.BusUtilization(done)
 	if u[0] <= 0 {
@@ -349,7 +360,7 @@ func TestPageReadIs20us(t *testing.T) {
 }
 
 func TestEraseBlock(t *testing.T) {
-	a, _ := NewArray(smallGeometry())
+	a := mustArray(t, smallGeometry())
 	p := PPA{Channel: 1, Die: 1, Block: 2, Page: 3}
 	a.WritePage(0, p, []byte{0xab})
 	blk := PPA{Channel: 1, Die: 1, Block: 2}

@@ -1,0 +1,18 @@
+//go:build !simdebug
+
+package ftl
+
+import "rmssd/internal/flash"
+
+// Debug reports whether the simdebug runtime-invariant layer is compiled in.
+// Build with `-tags simdebug` to enable it.
+const Debug = false
+
+// debugLinearRoundTrip is a no-op in normal builds; the compiler removes the call.
+func debugLinearRoundTrip(f *FTL, lpn int64, p flash.PPA) {}
+
+// debugLBARoundTrip is a no-op in normal builds.
+func debugLBARoundTrip(f *FTL, lba, lpn int64, col int) {}
+
+// debugDynMapping is a no-op in normal builds.
+func debugDynMapping(d *DynamicFTL, lpn, flat int64) {}

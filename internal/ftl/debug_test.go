@@ -1,0 +1,36 @@
+//go:build simdebug
+
+package ftl
+
+import "testing"
+
+// The invariants themselves are exercised by the whole suite running under
+// -tags simdebug; these tests pin down that a corrupted mapping actually
+// trips them, so the checks cannot silently rot into no-ops.
+
+func TestDynMappingInvariantFires(t *testing.T) {
+	d := NewDynamic(dynGeo())
+	ppa, _ := d.Write(3)
+	flat := int64(d.geo.FlatIndex(ppa))
+	d.p2l[flat] = -7 // corrupt one side of the mapping
+	defer func() {
+		if recover() == nil {
+			t.Fatal("corrupted p2l table not caught by debugDynMapping")
+		}
+	}()
+	d.Translate(3)
+}
+
+func TestLinearRoundTripInvariantFires(t *testing.T) {
+	f := New(dynGeo())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-geometry PPA not caught by debugLinearRoundTrip")
+		}
+	}()
+	g := f.geo
+	debugLinearRoundTrip(f, 0, f.Translate(0)) // sanity: valid PPA passes
+	bad := f.Translate(0)
+	bad.Channel = g.Channels // one past the last channel
+	debugLinearRoundTrip(f, 0, bad)
+}

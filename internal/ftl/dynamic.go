@@ -133,6 +133,7 @@ func (d *DynamicFTL) Translate(lpn int64) (flash.PPA, bool) {
 	if flat < 0 {
 		return flash.PPA{}, false
 	}
+	debugDynMapping(d, lpn, flat)
 	return d.ppaOf(flat), true
 }
 
@@ -170,6 +171,7 @@ func (d *DynamicFTL) Write(lpn int64) (flash.PPA, []Relocation) {
 	d.p2l[flat] = lpn
 	unit.validCount[d.blockOf(flat)]++
 	d.stats.HostWrites++
+	debugDynMapping(d, lpn, flat)
 	return d.ppaOf(flat), relocs
 }
 
@@ -259,6 +261,7 @@ func (d *DynamicFTL) collect(u *ftlUnit) []Relocation {
 		d.p2l[dst] = lpn
 		u.validCount[d.blockOf(dst)]++
 		d.stats.GCCopies++
+		debugDynMapping(d, lpn, dst)
 		relocs = append(relocs, Relocation{LPN: lpn, From: d.ppaOf(flat), To: d.ppaOf(dst)})
 	}
 	if u.validCount[victim] != 0 {

@@ -62,6 +62,7 @@ func (f *FTL) Translate(lpn int64) flash.PPA {
 	p.Page = int(i % int64(g.PagesPerBlock))
 	i /= int64(g.PagesPerBlock)
 	p.Block = int(i)
+	debugLinearRoundTrip(f, lpn, p)
 	return p
 }
 
@@ -84,7 +85,9 @@ func (f *FTL) LBAToPage(lba int64) (lpn int64, col int) {
 	if lba < 0 {
 		panic(fmt.Sprintf("ftl: negative LBA %d", lba))
 	}
-	return lba / int64(f.sectorsPer), int(lba%int64(f.sectorsPer)) * SectorSize
+	lpn, col = lba/int64(f.sectorsPer), int(lba%int64(f.sectorsPer))*SectorSize
+	debugLBARoundTrip(f, lba, lpn, col)
+	return lpn, col
 }
 
 // PageToLBA returns the first sector LBA of a logical page.

@@ -23,6 +23,16 @@ func testFS(t *testing.T) *FS {
 	return NewFS(ssd.MustNew(geo), 64<<10) // 64 KiB extents
 }
 
+// mustCreate creates a file on fs, failing the test on error.
+func mustCreate(t *testing.T, fs *FS, name string, size int64) *File {
+	t.Helper()
+	f, err := fs.Create(name, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 func TestCreateAndExtents(t *testing.T) {
 	fs := testFS(t)
 	f, err := fs.Create("table0", 200<<10) // 200 KiB -> 4 extents of 64K (last partial)
@@ -74,8 +84,8 @@ func TestCreateErrors(t *testing.T) {
 
 func TestFilesDoNotOverlap(t *testing.T) {
 	fs := testFS(t)
-	a, _ := fs.Create("a", 100<<10)
-	b, _ := fs.Create("b", 100<<10)
+	a := mustCreate(t, fs, "a", 100<<10)
+	b := mustCreate(t, fs, "b", 100<<10)
 	used := map[int64]string{}
 	for _, f := range []*File{a, b} {
 		for _, e := range f.Extents() {
@@ -91,7 +101,7 @@ func TestFilesDoNotOverlap(t *testing.T) {
 
 func TestAddrOfMonotoneWithinExtent(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 300<<10)
+	f := mustCreate(t, fs, "t", 300<<10)
 	prop := func(raw uint32) bool {
 		off := int64(raw) % f.Size()
 		addr := f.AddrOf(off)
@@ -110,7 +120,7 @@ func TestAddrOfMonotoneWithinExtent(t *testing.T) {
 
 func TestAddrOfOutOfRangePanics(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 4096)
+	f := mustCreate(t, fs, "t", 4096)
 	for _, off := range []int64{-1, 4096} {
 		func() {
 			defer func() {
@@ -125,7 +135,7 @@ func TestAddrOfOutOfRangePanics(t *testing.T) {
 
 func TestWriteAtReadBack(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 64<<10)
+	f := mustCreate(t, fs, "t", 64<<10)
 	data := make([]byte, 10000)
 	for i := range data {
 		data[i] = byte(i)
@@ -223,7 +233,7 @@ func TestHitRatio(t *testing.T) {
 
 func TestReadAtHitVsMissTiming(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 1<<20)
+	f := mustCreate(t, fs, "t", 1<<20)
 	h := NewHost(fs, 1<<20)
 	_, missDone := h.ReadAt(0, f, 0, 128)
 	fs.Device().ResetTime()
@@ -238,7 +248,7 @@ func TestReadAtHitVsMissTiming(t *testing.T) {
 
 func TestReadAmplificationVectorReads(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 4<<20)
+	f := mustCreate(t, fs, "t", 4<<20)
 	h := NewHost(fs, 0) // no cache: every read goes to the device
 	// 64 reads of 128 bytes from distinct pages.
 	for i := 0; i < 64; i++ {
@@ -260,7 +270,7 @@ func TestReadAmplificationVectorReads(t *testing.T) {
 
 func TestReadCrossingPages(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 64<<10)
+	f := mustCreate(t, fs, "t", 64<<10)
 	h := NewHost(fs, 1<<20)
 	_, done := h.ReadAt(0, f, 4000, 200) // spans 2 pages
 	if h.Stats().DeviceReads != 2 {
@@ -273,7 +283,7 @@ func TestReadCrossingPages(t *testing.T) {
 
 func TestReadMMIOBypassesCache(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 1<<20)
+	f := mustCreate(t, fs, "t", 1<<20)
 	h := NewHost(fs, 1<<20)
 	h.ReadMMIO(0, f, 0, 128)
 	h.ReadMMIO(0, f, 0, 128) // same page again: still device traffic
@@ -290,7 +300,7 @@ func TestReadMMIOBypassesCache(t *testing.T) {
 
 func TestReadMMIOFasterThanFS(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 1<<20)
+	f := mustCreate(t, fs, "t", 1<<20)
 	h := NewHost(fs, 0)
 	_, fsDone := h.ReadAt(0, f, 0, 128)
 	fs.Device().ResetTime()
@@ -302,7 +312,7 @@ func TestReadMMIOFasterThanFS(t *testing.T) {
 
 func TestWarmHost(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 1<<20)
+	f := mustCreate(t, fs, "t", 1<<20)
 	h := NewHost(fs, 1<<20)
 	h.Warm(f, 0, 8192)
 	if h.Cache().Len() != 2 {
@@ -319,7 +329,7 @@ func TestWarmHost(t *testing.T) {
 
 func TestReadAtZeroLength(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 4096)
+	f := mustCreate(t, fs, "t", 4096)
 	h := NewHost(fs, 0)
 	data, done := h.ReadAt(5, f, 0, 0)
 	if data != nil || done != 5 {
@@ -329,7 +339,7 @@ func TestReadAtZeroLength(t *testing.T) {
 
 func TestResetStats(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 1<<20)
+	f := mustCreate(t, fs, "t", 1<<20)
 	h := NewHost(fs, 1<<20)
 	h.ReadAtTiming(0, f, 0, 128)
 	h.ResetStats()
@@ -348,7 +358,7 @@ func TestTimingAndDataPathsAgree(t *testing.T) {
 	// ReadAt and ReadAtTiming must produce identical timing and stats.
 	mk := func() (*Host, *File) {
 		fs := testFS(t)
-		f, _ := fs.Create("t", 1<<20)
+		f := mustCreate(t, fs, "t", 1<<20)
 		return NewHost(fs, 64<<10), f
 	}
 	h1, f1 := mk()
@@ -370,7 +380,7 @@ func TestTimingAndDataPathsAgree(t *testing.T) {
 
 func TestReadaheadTrafficAndCaching(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 1<<20)
+	f := mustCreate(t, fs, "t", 1<<20)
 	h := NewHost(fs, 1<<20)
 	h.SetReadahead(2)
 	h.ReadAtTiming(0, f, 0, 128) // miss page 0 -> readahead pages 1, 2
@@ -396,7 +406,7 @@ func TestReadaheadCanExceedVectorCeiling(t *testing.T) {
 	// With readahead, amplification exceeds PageSize/EVsize — matching
 	// the paper's RMC2 measurement (17.9x > the 16x ceiling).
 	fs := testFS(t)
-	f, _ := fs.Create("t", 4<<20)
+	f := mustCreate(t, fs, "t", 4<<20)
 	h := NewHost(fs, 0) // cacheless: misses everywhere
 	h.SetReadahead(1)
 	for i := 0; i < 32; i++ {
@@ -409,7 +419,7 @@ func TestReadaheadCanExceedVectorCeiling(t *testing.T) {
 
 func TestReadaheadStopsAtFileEnd(t *testing.T) {
 	fs := testFS(t)
-	f, _ := fs.Create("t", 2*4096)
+	f := mustCreate(t, fs, "t", 2*4096)
 	h := NewHost(fs, 1<<20)
 	h.SetReadahead(8)
 	h.ReadAtTiming(0, f, 4096, 128) // last page: nothing to read ahead
@@ -422,7 +432,7 @@ func TestSetReadaheadNegativeClamps(t *testing.T) {
 	fs := testFS(t)
 	h := NewHost(fs, 0)
 	h.SetReadahead(-5)
-	f, _ := fs.Create("t", 1<<20)
+	f := mustCreate(t, fs, "t", 1<<20)
 	h.ReadAtTiming(0, f, 0, 128)
 	if h.Stats().DeviceReads != 1 {
 		t.Fatal("negative readahead should clamp to 0")

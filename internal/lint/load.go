@@ -106,10 +106,23 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
+// buildContext returns the build context used for file selection: the
+// default context plus the simdebug tag, so the invariant-checked variants
+// (debug_on.go) are analyzed instead of their no-op `!simdebug` stubs. The
+// stubs are trivial by construction; the invariants are where the
+// determinism-sensitive code lives.
+func buildContext() build.Context {
+	ctx := build.Default
+	ctx.BuildTags = append(append([]string{}, ctx.BuildTags...), "simdebug")
+	return ctx
+}
+
 // LoadDir parses and type-checks the package in dir under the canonical
-// path pkgPath. Non-test files matching the default build context are
-// loaded (so `//go:build simdebug` variants are analyzed in their default
-// configuration). Results are cached by pkgPath.
+// path pkgPath. Non-test files matching the simdebug build context are
+// loaded; this is the dependency-resolution load (test files never
+// participate in imports, which keeps the module's import graph acyclic for
+// the loader even when a package's tests reach back into it). Results are
+// cached by pkgPath.
 func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	if p, ok := l.cache[pkgPath]; ok {
 		return p, nil
@@ -120,13 +133,61 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	l.loading[pkgPath] = true
 	defer delete(l.loading, pkgPath)
 
-	bp, err := build.ImportDir(dir, 0)
+	ctx := buildContext()
+	bp, err := ctx.ImportDir(dir, 0)
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %v", dir, err)
 	}
-	var files []*ast.File
-	names := append([]string{}, bp.GoFiles...)
+	p, err := l.check(dir, pkgPath, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[pkgPath] = p
+	return p, nil
+}
+
+// LoadDirWithTests loads the directory's analysis units: the package
+// including its in-package _test.go files, plus — when present — the
+// external "_test" package. Test files see the same analyzers as shipped
+// code: a test that reads the wall clock or drops an error undermines
+// exactly the guarantees it exists to pin down.
+func (l *Loader) LoadDirWithTests(dir, pkgPath string) ([]*Package, error) {
+	ctx := buildContext()
+	bp, err := ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %v", dir, err)
+	}
+	loadKey := pkgPath + " [tests]"
+	if l.loading[loadKey] {
+		return nil, fmt.Errorf("lint: import cycle through %s", loadKey)
+	}
+	l.loading[loadKey] = true
+	defer delete(l.loading, loadKey)
+
+	var out []*Package
+	p, err := l.check(dir, pkgPath, append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...))
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, p)
+	if len(bp.XTestGoFiles) > 0 {
+		// The external test package imports the package under test through
+		// the regular (cached, non-test) dependency load.
+		xp, err := l.check(dir, pkgPath+"_test", bp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, xp)
+	}
+	return out, nil
+}
+
+// check parses the named files in dir and type-checks them as one package
+// under pkgPath.
+func (l *Loader) check(dir, pkgPath string, names []string) (*Package, error) {
+	names = append([]string{}, names...)
 	sort.Strings(names)
+	var files []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
@@ -157,9 +218,7 @@ func (l *Loader) LoadDir(dir, pkgPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: %s: %v", pkgPath, err)
 	}
-	p := &Package{Path: pkgPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
-	l.cache[pkgPath] = p
-	return p, nil
+	return &Package{Path: pkgPath, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // LoadPatterns loads the packages matched by the command-line patterns,
@@ -211,18 +270,19 @@ func LoadPatterns(rootDir string, patterns []string) ([]*Package, error) {
 		if rel != "." {
 			pkgPath = modPath + "/" + filepath.ToSlash(rel)
 		}
-		p, err := loader.LoadDir(dir, pkgPath)
+		ps, err := loader.LoadDirWithTests(dir, pkgPath)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, p)
+		pkgs = append(pkgs, ps...)
 	}
 	return pkgs, nil
 }
 
 // walkGoDirs calls add for every directory under root that contains at
-// least one buildable non-test Go file.
+// least one buildable non-test Go file under the analysis build context.
 func walkGoDirs(root string, add func(dir string)) error {
+	ctx := buildContext()
 	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -235,7 +295,7 @@ func walkGoDirs(root string, add func(dir string)) error {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
 			return filepath.SkipDir
 		}
-		if _, err := build.ImportDir(path, 0); err == nil {
+		if _, err := ctx.ImportDir(path, 0); err == nil {
 			add(path)
 		}
 		return nil

@@ -17,3 +17,14 @@ func (c Cycles) Duration(cycleTime time.Duration) time.Duration {
 func DurationToCycles(d, cycleTime time.Duration) Cycles {
 	return Cycles(d / cycleTime)
 }
+
+// ByteRate mirrors the real sim.ByteRate.
+type ByteRate float64
+
+// RateOver is the blessed measurement -> ByteRate bridge.
+func RateOver(n int64, d time.Duration) ByteRate {
+	return ByteRate(float64(n) / d.Seconds())
+}
+
+// BytesPerSecond is the blessed ByteRate -> scalar bridge.
+func (r ByteRate) BytesPerSecond() float64 { return float64(r) }

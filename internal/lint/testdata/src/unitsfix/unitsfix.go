@@ -29,3 +29,23 @@ func GoodToCycles(d time.Duration) sim.Cycles {
 func GoodUnrelated(n int64) sim.Cycles {
 	return sim.Cycles(n) // int -> Cycles is fine; only Duration is guarded
 }
+
+func BadToByteRate(x float64) sim.ByteRate {
+	return sim.ByteRate(x) // want:units
+}
+
+func BadFromByteRate(r sim.ByteRate) float64 {
+	return float64(r) // want:units
+}
+
+func GoodToByteRate(n int64, d time.Duration) sim.ByteRate {
+	return sim.RateOver(n, d)
+}
+
+func GoodFromByteRate(r sim.ByteRate) float64 {
+	return r.BytesPerSecond()
+}
+
+func GoodConstantRate() sim.ByteRate {
+	return sim.ByteRate(1e9) // a literal rate carries its unit in context
+}

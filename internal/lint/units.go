@@ -19,10 +19,19 @@ import (
 //	params.Duration(c)                     // Cycles -> Duration at the FPGA clock
 //	sim.DurationToCycles(d, cycleTime)     // Duration -> Cycles
 //
+// The same reasoning protects bandwidth figures: sim.ByteRate (bytes per
+// simulated second) is a float64 underneath, so a raw conversion quietly
+// turns vectors/second into bytes/second or back. Raw sim.ByteRate(x) and
+// float64(rate) conversions of non-constant values are rejected; the
+// blessed bridges are:
+//
+//	sim.RateOver(n, d)                     // measurement -> ByteRate
+//	r.BytesPerSecond(), r.UnitsPerSecond(…)  // ByteRate -> scalar, unit named
+//
 // The converters themselves live in package sim, which is exempt.
 var Units = &Analyzer{
 	Name: "units",
-	Doc:  "flags raw conversions between sim.Cycles and time.Duration (use the converters)",
+	Doc:  "flags raw conversions between sim.Cycles and time.Duration, and raw sim.ByteRate<->float64 conversions (use the converters)",
 	Run:  runUnits,
 }
 
@@ -48,6 +57,23 @@ func isDurationType(t types.Type) bool {
 	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
 }
 
+// isByteRateType reports whether t is the sim.ByteRate named type (matched
+// like isCyclesType so fixture stand-ins are recognized too).
+func isByteRateType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "ByteRate" && obj.Pkg() != nil && obj.Pkg().Name() == "sim"
+}
+
+// isFloat64Type reports whether t is the predeclared float64.
+func isFloat64Type(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
 func runUnits(p *Package) []Diagnostic {
 	if p.Types.Name() == "sim" {
 		return nil // the converter implementations live here
@@ -68,6 +94,7 @@ func runUnits(p *Package) []Diagnostic {
 			if argT == nil {
 				return true
 			}
+			argConst := p.Info.Types[call.Args[0]].Value != nil
 			switch {
 			case isDurationType(target) && isCyclesType(argT):
 				out = append(out, p.Diag("units", call.Pos(),
@@ -75,6 +102,12 @@ func runUnits(p *Package) []Diagnostic {
 			case isCyclesType(target) && isDurationType(argT):
 				out = append(out, p.Diag("units", call.Pos(),
 					"raw sim.Cycles(...) conversion from time.Duration loses the clock; use sim.DurationToCycles(d, cycleTime)"))
+			case isByteRateType(target) && isFloat64Type(argT) && !argConst:
+				out = append(out, p.Diag("units", call.Pos(),
+					"raw sim.ByteRate(...) conversion from float64 loses the unit; use sim.RateOver(bytes, duration)"))
+			case isFloat64Type(target) && isByteRateType(argT):
+				out = append(out, p.Diag("units", call.Pos(),
+					"raw float64(...) conversion from sim.ByteRate loses the unit; use BytesPerSecond/MBPerSecond/UnitsPerSecond"))
 			}
 			return true
 		})

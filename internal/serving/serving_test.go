@@ -32,6 +32,16 @@ func baseCfg() Config {
 	}
 }
 
+// mustRun drives the closed-loop simulation, failing the test on error.
+func mustRun(t *testing.T, srv Server, cfg Config) Result {
+	t.Helper()
+	res, err := Run(srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestValidate(t *testing.T) {
 	good := baseCfg()
 	if err := good.Validate(); err != nil {
@@ -105,10 +115,10 @@ func TestBatchingGrowsUnderLoad(t *testing.T) {
 	srv := scaledServer{per: 100 * time.Microsecond}
 	lowCfg := baseCfg()
 	lowCfg.ArrivalRate = 200
-	low, _ := Run(srv, lowCfg)
+	low := mustRun(t, srv, lowCfg)
 	highCfg := baseCfg()
 	highCfg.ArrivalRate = 6000
-	high, _ := Run(srv, highCfg)
+	high := mustRun(t, srv, highCfg)
 	if high.MeanBatch <= low.MeanBatch {
 		t.Fatalf("mean batch should grow with load: %v -> %v", low.MeanBatch, high.MeanBatch)
 	}
@@ -119,8 +129,8 @@ func TestBatchingGrowsUnderLoad(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	srv := scaledServer{per: 200 * time.Microsecond}
-	a, _ := Run(srv, baseCfg())
-	b, _ := Run(srv, baseCfg())
+	a := mustRun(t, srv, baseCfg())
+	b := mustRun(t, srv, baseCfg())
 	if a != b {
 		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
 	}
@@ -128,10 +138,10 @@ func TestDeterminism(t *testing.T) {
 
 func TestSeedChangesArrivals(t *testing.T) {
 	srv := scaledServer{per: 200 * time.Microsecond}
-	a, _ := Run(srv, baseCfg())
+	a := mustRun(t, srv, baseCfg())
 	cfg2 := baseCfg()
 	cfg2.Seed = 2
-	b, _ := Run(srv, cfg2)
+	b := mustRun(t, srv, cfg2)
 	if a.Elapsed == b.Elapsed {
 		t.Fatal("different seeds produced identical runs (suspicious)")
 	}

@@ -1,0 +1,232 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sharded serving front-end.
+//
+// A single simulated device is inherently serial: its virtual clock is one
+// global timeline, so a server wrapping one device must serialise every
+// request behind a mutex no matter how many host cores exist. The scalable
+// shape — the one the paper's own evaluation uses when it provisions one
+// RM-SSD per model replica — is N independent devices, each with its own
+// virtual clock, behind a dispatcher.
+//
+// Pool implements that front-end: requests are assigned to shards
+// round-robin, and each shard's goroutine coalesces everything queued for
+// it into one device batch before serving (the consecutive-small-batch
+// pipelining of Section VI: many small host requests ride one device batch,
+// amortising the MMIO/DMA and kernel-launch overheads). Because shards
+// share no simulation state, the host serves requests on all cores with no
+// global lock, and each shard's timeline remains exactly as deterministic
+// as a single-device server's.
+
+// BatchResult is the outcome of one coalesced device batch.
+type BatchResult struct {
+	// Preds holds one prediction per inference, in submission order.
+	// Timing-only backends may leave it nil.
+	Preds []float32
+	// Latency is the simulated latency of the whole device batch.
+	Latency time.Duration
+	// Meta carries backend-specific detail (e.g. a stage breakdown)
+	// through to every response that rode this batch.
+	Meta interface{}
+}
+
+// Batcher is one shard's backend: an independent simulated device. The pool
+// calls ServeBatch from exactly one goroutine per shard, so implementations
+// need no locking against the pool itself (only against external readers of
+// their own state, e.g. a stats endpoint).
+type Batcher interface {
+	// ServeBatch runs n inferences as one device batch at the shard's
+	// current virtual time and advances that shard's clock.
+	ServeBatch(n int) BatchResult
+}
+
+// Response is what one submitted request gets back.
+type Response struct {
+	Preds     []float32     // this request's slice of the batch predictions
+	Latency   time.Duration // simulated latency of the coalesced batch
+	BatchSize int           // total inferences in the coalesced batch
+	Shard     int           // which shard served it
+	Coalesced int           // how many requests rode the same batch
+	Meta      interface{}   // backend meta for the batch
+}
+
+// submission is one queued request.
+type submission struct {
+	n     int
+	reply chan Response
+}
+
+// shard is one backend plus its queue and worker state.
+type shard struct {
+	id      int
+	b       Batcher
+	subs    chan submission
+	served  atomic.Int64 // inferences
+	batches atomic.Int64 // device batches issued
+	reqs    atomic.Int64 // requests answered
+}
+
+// Pool is the sharded batching front-end.
+type Pool struct {
+	shards   []*shard
+	maxBatch int
+	rr       atomic.Uint64
+	wg       sync.WaitGroup
+}
+
+// NewPool builds a pool over the given backends. maxBatch caps the
+// coalesced device batch (a request larger than maxBatch still runs, as its
+// own batch); queueDepth bounds how many requests may wait per shard before
+// submitters block.
+func NewPool(backends []Batcher, maxBatch, queueDepth int) *Pool {
+	if len(backends) == 0 {
+		panic("serving: pool needs at least one backend")
+	}
+	if maxBatch <= 0 {
+		maxBatch = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	p := &Pool{maxBatch: maxBatch}
+	for i, b := range backends {
+		s := &shard{id: i, b: b, subs: make(chan submission, queueDepth)}
+		p.shards = append(p.shards, s)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			s.run(maxBatch)
+		}()
+	}
+	return p
+}
+
+// Shards returns the number of shards.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Infer submits n inferences and blocks until a shard serves them. The
+// request may be coalesced with others queued on the same shard.
+func (p *Pool) Infer(n int) (Response, error) {
+	if n <= 0 {
+		return Response{}, fmt.Errorf("serving: batch %d", n)
+	}
+	s := p.shards[(p.rr.Add(1)-1)%uint64(len(p.shards))]
+	reply := make(chan Response, 1)
+	s.subs <- submission{n: n, reply: reply}
+	return <-reply, nil
+}
+
+// Stats is an aggregate snapshot of pool activity.
+type Stats struct {
+	Requests   int64   // requests answered
+	Inferences int64   // inferences served
+	Batches    int64   // device batches issued
+	MeanBatch  float64 // inferences per device batch
+	PerShard   []int64 // inferences per shard
+}
+
+// Stats returns the aggregate counters.
+func (p *Pool) Stats() Stats {
+	var st Stats
+	for _, s := range p.shards {
+		n := s.served.Load()
+		st.Inferences += n
+		st.Batches += s.batches.Load()
+		st.Requests += s.reqs.Load()
+		st.PerShard = append(st.PerShard, n)
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.Inferences) / float64(st.Batches)
+	}
+	return st
+}
+
+// Close drains the shards and stops their goroutines. No Infer may be in
+// flight or issued afterwards.
+func (p *Pool) Close() {
+	for _, s := range p.shards {
+		close(s.subs)
+	}
+	p.wg.Wait()
+}
+
+// run is the shard worker: take one request, opportunistically coalesce
+// whatever else is already queued up to maxBatch, serve it all as one
+// device batch and fan the results back out.
+func (s *shard) run(maxBatch int) {
+	var carry *submission // request deferred because it would overflow maxBatch
+	for {
+		var first submission
+		if carry != nil {
+			first, carry = *carry, nil
+		} else {
+			var ok bool
+			first, ok = <-s.subs
+			if !ok {
+				return
+			}
+		}
+		batch := []submission{first}
+		total := first.n
+		open := true
+	coalesce:
+		for total < maxBatch {
+			select {
+			case more, ok := <-s.subs:
+				if !ok {
+					open = false
+					break coalesce
+				}
+				if total+more.n > maxBatch {
+					carry = &more
+					break coalesce
+				}
+				batch = append(batch, more)
+				total += more.n
+			default:
+				break coalesce
+			}
+		}
+
+		res := s.b.ServeBatch(total)
+		s.served.Add(int64(total))
+		s.batches.Add(1)
+		s.reqs.Add(int64(len(batch)))
+		off := 0
+		for _, sub := range batch {
+			r := Response{
+				Latency:   res.Latency,
+				BatchSize: total,
+				Shard:     s.id,
+				Coalesced: len(batch),
+				Meta:      res.Meta,
+			}
+			if len(res.Preds) >= off+sub.n {
+				r.Preds = res.Preds[off : off+sub.n]
+			}
+			off += sub.n
+			sub.reply <- r
+		}
+		if !open {
+			if carry != nil {
+				// Serve the deferred request before exiting.
+				res := s.b.ServeBatch(carry.n)
+				s.served.Add(int64(carry.n))
+				s.batches.Add(1)
+				s.reqs.Add(1)
+				carry.reply <- Response{
+					Preds: res.Preds, Latency: res.Latency,
+					BatchSize: carry.n, Shard: s.id, Coalesced: 1, Meta: res.Meta,
+				}
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package serving
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBatcher records the batch sizes it serves and checks the pool's
+// single-goroutine-per-shard contract.
+type fakeBatcher struct {
+	mu      sync.Mutex
+	sizes   []int
+	inCall  atomic.Bool
+	delayed bool // sleep briefly so concurrent submitters pile up
+}
+
+func (f *fakeBatcher) ServeBatch(n int) BatchResult {
+	if !f.inCall.CompareAndSwap(false, true) {
+		panic("serving: ServeBatch reentered on one shard")
+	}
+	defer f.inCall.Store(false)
+	if f.delayed {
+		//lint:allow wallclock deliberate host-side delay so concurrent submitters pile up on one shard
+		time.Sleep(time.Millisecond)
+	}
+	f.mu.Lock()
+	f.sizes = append(f.sizes, n)
+	f.mu.Unlock()
+	preds := make([]float32, n)
+	for i := range preds {
+		preds[i] = 0.5
+	}
+	return BatchResult{Preds: preds, Latency: time.Duration(n) * time.Microsecond, Meta: "m"}
+}
+
+func TestPoolServesAndCounts(t *testing.T) {
+	backends := []Batcher{&fakeBatcher{}, &fakeBatcher{}}
+	p := NewPool(backends, 8, 16)
+	defer p.Close()
+
+	const reqs = 10
+	for i := 0; i < reqs; i++ {
+		resp, err := p.Infer(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Preds) != 2 || resp.Preds[0] != 0.5 {
+			t.Fatalf("preds = %v", resp.Preds)
+		}
+		if resp.Meta != "m" || resp.BatchSize < 2 || resp.Latency <= 0 {
+			t.Fatalf("resp = %+v", resp)
+		}
+		if resp.Shard < 0 || resp.Shard >= 2 {
+			t.Fatalf("shard = %d", resp.Shard)
+		}
+	}
+	st := p.Stats()
+	if st.Inferences != reqs*2 || st.Requests != reqs {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(st.PerShard) != 2 || st.PerShard[0]+st.PerShard[1] != reqs*2 {
+		t.Fatalf("per-shard = %v", st.PerShard)
+	}
+	// Round-robin: sequential requests alternate shards evenly.
+	if st.PerShard[0] != st.PerShard[1] {
+		t.Fatalf("round-robin skew: %v", st.PerShard)
+	}
+	if _, err := p.Infer(0); err == nil {
+		t.Fatal("Infer(0) must error")
+	}
+}
+
+// TestPoolCoalesces checks the consecutive-small-batch pipelining: under a
+// concurrent burst, queued requests ride shared device batches, so the
+// number of device batches is (almost surely) below the request count and
+// no coalesced batch exceeds maxBatch.
+func TestPoolCoalesces(t *testing.T) {
+	const (
+		maxBatch = 8
+		clients  = 32
+		perEach  = 8
+	)
+	fb := &fakeBatcher{delayed: true}
+	p := NewPool([]Batcher{fb}, maxBatch, clients*perEach)
+
+	var wg sync.WaitGroup
+	var coalesced atomic.Int64
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perEach; i++ {
+				resp, err := p.Infer(1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.Coalesced > 1 {
+					coalesced.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+
+	st := p.Stats()
+	if st.Inferences != clients*perEach {
+		t.Fatalf("served %d inferences, want %d", st.Inferences, clients*perEach)
+	}
+	for _, n := range fb.sizes {
+		if n > maxBatch {
+			t.Fatalf("batch of %d exceeds maxBatch %d", n, maxBatch)
+		}
+	}
+	if st.Batches >= int64(clients*perEach) {
+		t.Fatalf("no coalescing: %d batches for %d requests", st.Batches, clients*perEach)
+	}
+	if coalesced.Load() == 0 {
+		t.Fatal("no request observed a coalesced batch")
+	}
+	if st.MeanBatch <= 1 {
+		t.Fatalf("mean batch %v", st.MeanBatch)
+	}
+}
+
+// TestPoolLargeRequestRunsAlone: a request bigger than maxBatch is not
+// split and still runs.
+func TestPoolLargeRequestRunsAlone(t *testing.T) {
+	fb := &fakeBatcher{}
+	p := NewPool([]Batcher{fb}, 4, 8)
+	defer p.Close()
+	resp, err := p.Infer(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.BatchSize != 9 || len(resp.Preds) != 9 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}

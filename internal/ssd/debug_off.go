@@ -1,0 +1,13 @@
+//go:build !simdebug
+
+package ssd
+
+// Debug reports whether the simdebug runtime-invariant layer is compiled in.
+// Build with `-tags simdebug` to enable it.
+const Debug = false
+
+// debugInflight is a no-op in normal builds; the compiler removes the call.
+func debugInflight(qp *QueuePair, inflight int) {}
+
+// debugDrained is a no-op in normal builds.
+func debugDrained(qp *QueuePair, inflight int) {}

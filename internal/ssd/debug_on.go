@@ -1,0 +1,28 @@
+//go:build simdebug
+
+package ssd
+
+import "fmt"
+
+// Debug reports whether the simdebug runtime-invariant layer is compiled in.
+const Debug = true
+
+// debugInflight asserts the NVMe queue pair's accounting after every
+// submission and completion: the number of commands in flight must stay in
+// [0, depth]. More in flight than the depth means the doorbell model leaked
+// a submission past the bounded queue (the calibration against the paper's
+// QD-1 figure would silently measure a deeper queue); a negative count means
+// a completion fired twice.
+func debugInflight(qp *QueuePair, inflight int) {
+	if inflight < 0 || inflight > qp.depth {
+		panic(fmt.Sprintf("ssd: invariant violated: %d commands in flight on depth-%d queue pair", inflight, qp.depth))
+	}
+}
+
+// debugDrained asserts every issued command completed by the time the event
+// queue ran dry.
+func debugDrained(qp *QueuePair, inflight int) {
+	if inflight != 0 {
+		panic(fmt.Sprintf("ssd: invariant violated: %d commands still in flight after drain on depth-%d queue pair", inflight, qp.depth))
+	}
+}

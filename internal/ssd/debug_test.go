@@ -1,0 +1,21 @@
+//go:build simdebug
+
+package ssd
+
+import "testing"
+
+// The queue accounting runs under the whole suite with -tags simdebug; this
+// test pins down that an over-depth in-flight count actually trips the
+// invariant, so the check cannot silently rot into a no-op.
+
+func TestInflightInvariantFires(t *testing.T) {
+	d := testDevice(t)
+	qp := mustPair(t, d, 2)
+	debugInflight(qp, 2) // at depth is legal
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-depth in-flight count not caught by debugInflight")
+		}
+	}()
+	debugInflight(qp, 3)
+}

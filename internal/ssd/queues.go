@@ -45,6 +45,7 @@ func (qp *QueuePair) RunRandomReads(n int, seed uint64) sim.Time {
 	q := sim.NewEventQueue()
 	var last sim.Time
 	issued := 0
+	inflight := 0 // submissions minus completions; simdebug bounds it by depth
 
 	var submit func(now sim.Time)
 	submit = func(now sim.Time) {
@@ -52,20 +53,27 @@ func (qp *QueuePair) RunRandomReads(n int, seed uint64) sim.Time {
 			return
 		}
 		issued++
+		inflight++
+		debugInflight(qp, inflight)
 		lpn := int64(rng.Intn(total))
 		done := qp.dev.ReadPageTiming(now, lpn)
 		if done > last {
 			last = done
 		}
-		// The completion interrupt admits the next command (doorbell
-		// cost folded into NVMeCmdCost on the device side).
-		q.Schedule(done, submit)
+		// The completion interrupt retires the command and admits the next
+		// one (doorbell cost folded into NVMeCmdCost on the device side).
+		q.Schedule(done, func(now sim.Time) {
+			inflight--
+			debugInflight(qp, inflight)
+			submit(now)
+		})
 	}
 	// Prime the queue to its depth at t=0.
 	for i := 0; i < qp.depth && i < n; i++ {
 		q.Schedule(0, submit)
 	}
 	q.Run()
+	debugDrained(qp, inflight)
 	return last
 }
 
@@ -100,9 +108,9 @@ func SaturationDepth(dev *Device, eps float64, n int, seed uint64) int {
 }
 
 // InternalReadBandwidth measures the in-storage path's sustained
-// vector-read bandwidth in bytes/second: the engines' view of the array,
-// with no NVMe involvement (Section II-B's "mismatch bandwidth").
-func InternalReadBandwidth(dev *Device, evSize, n int, seed uint64) float64 {
+// vector-read bandwidth: the engines' view of the array, with no NVMe
+// involvement (Section II-B's "mismatch bandwidth").
+func InternalReadBandwidth(dev *Device, evSize, n int, seed uint64) sim.ByteRate {
 	rng := tensor.NewRNG(seed)
 	ps := int64(dev.PageSize())
 	totalBytes := int64(dev.TotalPages()) * ps
@@ -114,8 +122,5 @@ func InternalReadBandwidth(dev *Device, evSize, n int, seed uint64) float64 {
 			done = end
 		}
 	}
-	if done <= 0 {
-		return 0
-	}
-	return float64(int64(n)*int64(evSize)) / done.Seconds()
+	return sim.RateOver(int64(n)*int64(evSize), done)
 }

@@ -4,6 +4,16 @@ import (
 	"testing"
 )
 
+// mustPair builds a queue pair of the given depth, failing the test on error.
+func mustPair(t *testing.T, d *Device, depth int) *QueuePair {
+	t.Helper()
+	qp, err := NewQueuePair(d, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qp
+}
+
 func TestQueuePairValidation(t *testing.T) {
 	d := testDevice(t)
 	if _, err := NewQueuePair(d, 0); err == nil {
@@ -17,7 +27,7 @@ func TestQueuePairValidation(t *testing.T) {
 
 func TestQD1MatchesSerialCalibration(t *testing.T) {
 	d := testDevice(t)
-	qp, _ := NewQueuePair(d, 1)
+	qp := mustPair(t, d, 1)
 	iops := qp.MeasureRandomReadIOPS(300, 3)
 	if iops < 38_000 || iops > 52_000 {
 		t.Fatalf("QD1 IOPS = %.0f, want ~45K (Table II)", iops)
@@ -28,7 +38,7 @@ func TestDeeperQueuesScaleUntilSaturation(t *testing.T) {
 	prev := 0.0
 	for _, depth := range []int{1, 4, 16, 64} {
 		d := testDevice(t)
-		qp, _ := NewQueuePair(d, depth)
+		qp := mustPair(t, d, depth)
 		iops := qp.MeasureRandomReadIOPS(400, 7)
 		if iops < prev*0.98 {
 			t.Fatalf("QD %d IOPS %.0f dropped below QD/4's %.0f", depth, iops, prev)
@@ -37,9 +47,9 @@ func TestDeeperQueuesScaleUntilSaturation(t *testing.T) {
 	}
 	// At QD64 the array's parallelism should deliver far more than QD1.
 	d := testDevice(t)
-	qp64, _ := NewQueuePair(d, 64)
+	qp64 := mustPair(t, d, 64)
 	d1 := testDevice(t)
-	qp1, _ := NewQueuePair(d1, 1)
+	qp1 := mustPair(t, d1, 1)
 	hi := qp64.MeasureRandomReadIOPS(400, 7)
 	lo := qp1.MeasureRandomReadIOPS(400, 7)
 	if hi < 3*lo {
@@ -49,7 +59,7 @@ func TestDeeperQueuesScaleUntilSaturation(t *testing.T) {
 
 func TestRunRandomReadsZero(t *testing.T) {
 	d := testDevice(t)
-	qp, _ := NewQueuePair(d, 4)
+	qp := mustPair(t, d, 4)
 	if qp.RunRandomReads(0, 1) != 0 {
 		t.Fatal("zero reads should take zero time")
 	}
@@ -58,7 +68,7 @@ func TestRunRandomReadsZero(t *testing.T) {
 func TestRunRandomReadsDeterministic(t *testing.T) {
 	mk := func() sim64 {
 		d := testDevice(t)
-		qp, _ := NewQueuePair(d, 8)
+		qp := mustPair(t, d, 8)
 		return sim64(qp.RunRandomReads(200, 9))
 	}
 	if mk() != mk() {
@@ -88,9 +98,10 @@ func TestInternalBandwidthExceedsExternalAtGrain(t *testing.T) {
 	// Useful-byte throughput of the block path at saturation: IOPS*128
 	// useful bytes per page read.
 	d2 := testDevice(t)
-	qp, _ := NewQueuePair(d2, 64)
+	qp := mustPair(t, d2, 64)
 	useful := qp.MeasureRandomReadIOPS(300, 11) * 128
-	if bw < useful {
-		t.Fatalf("internal useful bandwidth (%.0f B/s) below external (%.0f B/s)", bw, useful)
+	if bw.BytesPerSecond() < useful {
+		t.Fatalf("internal useful bandwidth (%.0f B/s) below external (%.0f B/s)",
+			bw.BytesPerSecond(), useful)
 	}
 }

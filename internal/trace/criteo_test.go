@@ -125,11 +125,14 @@ func TestCriteoParserBadRows(t *testing.T) {
 
 func TestCriteoParserReportsLine(t *testing.T) {
 	input := validLine() + "\nbroken line\n"
-	p, _ := NewCriteoParser(strings.NewReader(input), 100)
+	p, err := NewCriteoParser(strings.NewReader(input), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := p.Next(); err != nil {
 		t.Fatal(err)
 	}
-	_, err := p.Next()
+	_, err = p.Next()
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Fatalf("error should name the line: %v", err)
 	}
@@ -200,7 +203,10 @@ func TestSynthesizeCriteoRoundTrip(t *testing.T) {
 	if err := SynthesizeCriteoTSV(&sb, n, gen); err != nil {
 		t.Fatal(err)
 	}
-	p, _ := NewCriteoParser(strings.NewReader(sb.String()), 1<<16)
+	p, err := NewCriteoParser(strings.NewReader(sb.String()), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var recs []CriteoRecord
 	for {
 		rec, err := p.Next()

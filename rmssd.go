@@ -134,6 +134,9 @@ type Session = core.Session
 // Geometry describes the simulated flash array.
 type Geometry = flash.Geometry
 
+// FlashStats holds the flash array's traffic counters.
+type FlashStats = flash.Stats
+
 // DefaultGeometry returns the paper's Table II device: 32 GB, 4 channels.
 var DefaultGeometry = flash.DefaultGeometry
 
