@@ -199,14 +199,31 @@ type perfShard struct {
 	seq int
 }
 
-// ServeBatch implements serving.Batcher.
-func (s *perfShard) ServeBatch(n int) serving.BatchResult {
-	denses := make([]rmssd.Vector, n)
-	for i := range denses {
-		denses[i] = s.gen.DenseInput(s.seq+i, s.cfg.DenseDim)
+// ServeBatch implements serving.Batcher: the perf harness only submits
+// count-only requests, so inputs come from the shard's generator stream;
+// explicit payloads are concatenated as-is.
+func (s *perfShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
+	n := serving.CountOf(reqs)
+	denses := make([]rmssd.Vector, 0, n)
+	sparses := make([][][]int64, 0, n)
+	for _, req := range reqs {
+		if req.Explicit() {
+			for i, sp := range req.Sparse {
+				sparses = append(sparses, sp)
+				if req.Dense != nil {
+					denses = append(denses, req.Dense[i])
+				} else {
+					denses = append(denses, make(rmssd.Vector, s.cfg.DenseDim))
+				}
+			}
+			continue
+		}
+		for i := 0; i < req.N; i++ {
+			denses = append(denses, s.gen.DenseInput(s.seq+i, s.cfg.DenseDim))
+		}
+		sparses = append(sparses, s.gen.Batch(req.N)...)
+		s.seq += req.N
 	}
-	sparses := s.gen.Batch(n)
-	s.seq += n
 	outs, done, _ := s.dev.InferBatch(s.now, denses, sparses)
 	lat := done - s.now
 	s.now = done

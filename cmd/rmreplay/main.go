@@ -1,0 +1,326 @@
+// Command rmreplay streams a recommendation trace at a running rmserve
+// instance over HTTP and reports end-to-end serving statistics: simulated
+// and wall-clock latency percentiles, coalescing behaviour and per-shard
+// balance. It is the client half of trace-driven serving — the server never
+// invents an input; every index the device serves arrives in a request
+// body, like the paper's RM_send_inputs path.
+//
+//	rmserve -model RMC1 -table-mb 64 -shards 4 &
+//	rmtrace -criteo-out trace.tsv -inferences 20000
+//	rmreplay -addr http://127.0.0.1:8080 -criteo-in trace.tsv -requests 1000 -concurrency 8
+//
+// Without -criteo-in, rmreplay synthesises requests from the paper's
+// locality model (the same generator rmserve uses for count-only requests).
+//
+// Wall-clock numbers measure the host HTTP path and vary run to run; the
+// simulated numbers come from the device model. For a fully deterministic
+// in-process replay, use `rmserve -trace` instead.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rmssd"
+)
+
+// info mirrors the fields of rmserve's /info response the client needs.
+type info struct {
+	Model        string `json:"model"`
+	Tables       int    `json:"tables"`
+	Lookups      int    `json:"lookups"`
+	RowsPerTable int64  `json:"rowsPerTable"`
+	DenseDim     int    `json:"denseDim"`
+	DeviceBatch  int    `json:"deviceBatch"`
+	Shards       int    `json:"shards"`
+}
+
+// inferBody is the explicit-payload /infer request body.
+type inferBody struct {
+	Sparse [][][]int64    `json:"sparse"`
+	Dense  []rmssd.Vector `json:"dense,omitempty"`
+}
+
+// inferReply is the subset of the /infer response the client reads.
+type inferReply struct {
+	Predictions       []float32 `json:"predictions"`
+	SimulatedLatency  string    `json:"simulatedLatency"`
+	Shard             int       `json:"shard"`
+	CoalescedBatch    int       `json:"coalescedBatch"`
+	CoalescedRequests int       `json:"coalescedRequests"`
+	Error             string    `json:"error"`
+}
+
+// sample is one request's measured outcome.
+type sample struct {
+	sim       time.Duration // server-simulated latency
+	wall      time.Duration // host round-trip time
+	shard     int
+	coalesced int // requests on the same device batch
+	preds     int
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "rmserve base URL")
+		criteoIn    = flag.String("criteo-in", "", "Criteo-format TSV trace (default: synthetic)")
+		requests    = flag.Int("requests", 500, "requests to send (criteo stops early at EOF)")
+		reqBatch    = flag.Int("req-batch", 1, "inferences per request")
+		rate        = flag.Float64("rate", 0, "open-loop send rate in requests/second (0 = closed loop)")
+		concurrency = flag.Int("concurrency", 4, "in-flight request cap")
+		seed        = flag.Uint64("seed", 1, "synthetic trace seed")
+	)
+	flag.Parse()
+	if err := run(*addr, *criteoIn, *requests, *reqBatch, *rate, *concurrency, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rmreplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, criteoIn string, requests, reqBatch int, rate float64, concurrency int, seed uint64, w io.Writer) error {
+	if requests <= 0 || reqBatch <= 0 || concurrency <= 0 {
+		return fmt.Errorf("need positive -requests, -req-batch and -concurrency")
+	}
+	inf, err := fetchInfo(addr)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "target: %s model=%s shards=%d device-batch=%d (%d tables x %d lookups, %d rows/table)\n",
+		addr, inf.Model, inf.Shards, inf.DeviceBatch, inf.Tables, inf.Lookups, inf.RowsPerTable); err != nil {
+		return err
+	}
+
+	src, closer, err := newSource(criteoIn, inf, reqBatch, seed)
+	if err != nil {
+		return err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+
+	// Draw the whole request stream up front so the send loop measures the
+	// HTTP path, not TSV parsing.
+	bodies := make([][]byte, 0, requests)
+	for len(bodies) < requests {
+		req, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("trace source: %w", err)
+		}
+		b, err := json.Marshal(inferBody{Sparse: req.Sparse, Dense: req.Dense})
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, b)
+	}
+	if len(bodies) == 0 {
+		return fmt.Errorf("trace yielded no requests")
+	}
+
+	samples := make([]sample, len(bodies))
+	errs := make(chan error, len(bodies))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				s, err := send(addr, bodies[i])
+				if err != nil {
+					errs <- fmt.Errorf("request %d: %w", i, err)
+					continue
+				}
+				samples[i] = s
+			}
+		}()
+	}
+	//lint:allow wallclock host-side load client measures real elapsed time
+	start := time.Now()
+	for i := range bodies {
+		if rate > 0 {
+			// Open loop: request i is due at start + i/rate.
+			due := start.Add(time.Duration(float64(i) / rate * 1e9))
+			//lint:allow wallclock host-side load client paces real sends
+			if d := time.Until(due); d > 0 {
+				//lint:allow wallclock host-side load client paces real sends
+				time.Sleep(d)
+			}
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	//lint:allow wallclock host-side load client measures real elapsed time
+	elapsed := time.Since(start)
+	close(errs)
+	nerr := 0
+	var firstErrs []string
+	for err := range errs {
+		nerr++
+		if nerr <= 5 {
+			firstErrs = append(firstErrs, err.Error())
+		}
+	}
+	if nerr > 0 {
+		return fmt.Errorf("%d of %d requests failed; first errors:\n  %s",
+			nerr, len(bodies), strings.Join(firstErrs, "\n  "))
+	}
+
+	out := report(samples, inf.Shards, elapsed) + fetchStats(addr)
+	_, err = io.WriteString(w, out)
+	return err
+}
+
+// newSource picks the trace source: a Criteo TSV or the synthetic locality
+// model matched to the server's shape.
+func newSource(criteoIn string, inf info, reqBatch int, seed uint64) (rmssd.RequestSource, io.Closer, error) {
+	if criteoIn != "" {
+		f, err := os.Open(criteoIn)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := rmssd.NewCriteoParser(f, inf.RowsPerTable)
+		if err != nil {
+			//lint:allow errcheck read-only file on an error path; the parse error is what matters
+			f.Close()
+			return nil, nil, err
+		}
+		src, err := rmssd.NewCriteoSource(p, inf.Tables, inf.Lookups, inf.DenseDim, reqBatch)
+		if err != nil {
+			//lint:allow errcheck read-only file on an error path; the source error is what matters
+			f.Close()
+			return nil, nil, err
+		}
+		return src, f, nil
+	}
+	gen, err := rmssd.NewTrace(rmssd.TraceConfig{
+		Tables: inf.Tables, Rows: inf.RowsPerTable, Lookups: inf.Lookups, Seed: seed,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	src, err := rmssd.NewGeneratorSource(gen, reqBatch, inf.DenseDim)
+	return src, nil, err
+}
+
+func fetchInfo(addr string) (info, error) {
+	resp, err := http.Get(addr + "/info")
+	if err != nil {
+		return info{}, err
+	}
+	defer resp.Body.Close()
+	var inf info
+	if err := json.NewDecoder(resp.Body).Decode(&inf); err != nil {
+		return info{}, fmt.Errorf("/info: %w", err)
+	}
+	if inf.Tables <= 0 || inf.Lookups <= 0 || inf.RowsPerTable <= 0 || inf.DenseDim <= 0 {
+		return info{}, fmt.Errorf("/info reported an unusable shape: %+v", inf)
+	}
+	return inf, nil
+}
+
+// send posts one request body and measures the round trip.
+func send(addr string, body []byte) (sample, error) {
+	//lint:allow wallclock host-side load client measures round-trip time
+	t0 := time.Now()
+	resp, err := http.Post(addr+"/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{}, err
+	}
+	defer resp.Body.Close()
+	var rep inferReply
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return sample{}, fmt.Errorf("decode: %w", err)
+	}
+	//lint:allow wallclock host-side load client measures round-trip time
+	wall := time.Since(t0)
+	if resp.StatusCode != http.StatusOK {
+		return sample{}, fmt.Errorf("status %d: %s", resp.StatusCode, rep.Error)
+	}
+	sim, err := time.ParseDuration(rep.SimulatedLatency)
+	if err != nil {
+		return sample{}, fmt.Errorf("simulatedLatency %q: %w", rep.SimulatedLatency, err)
+	}
+	return sample{sim: sim, wall: wall, shard: rep.Shard,
+		coalesced: rep.CoalescedRequests, preds: len(rep.Predictions)}, nil
+}
+
+// report renders percentile and balance statistics over the samples.
+func report(samples []sample, shards int, elapsed time.Duration) string {
+	sims := make([]time.Duration, len(samples))
+	walls := make([]time.Duration, len(samples))
+	perShard := make([]int, shards)
+	var coalescedSum, preds int
+	for i, s := range samples {
+		sims[i], walls[i] = s.sim, s.wall
+		if s.shard >= 0 && s.shard < shards {
+			perShard[s.shard]++
+		}
+		coalescedSum += s.coalesced
+		preds += s.preds
+	}
+	p50s, p95s, p99s, maxs := quantiles(sims)
+	p50w, p95w, p99w, maxw := quantiles(walls)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "served:       %d requests, %d predictions in %v wall (%.0f req/s)\n",
+		len(samples), preds, elapsed.Round(time.Millisecond),
+		float64(len(samples))/elapsed.Seconds())
+	fmt.Fprintf(&sb, "sim latency:  p50=%v p95=%v p99=%v max=%v\n", p50s, p95s, p99s, maxs)
+	fmt.Fprintf(&sb, "wall latency: p50=%v p95=%v p99=%v max=%v\n",
+		p50w.Round(time.Microsecond), p95w.Round(time.Microsecond),
+		p99w.Round(time.Microsecond), maxw.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "coalescing:   %.2f requests/batch (client-observed mean)\n",
+		float64(coalescedSum)/float64(len(samples)))
+	fmt.Fprintf(&sb, "per shard:    ")
+	for i, n := range perShard {
+		if i > 0 {
+			fmt.Fprint(&sb, " ")
+		}
+		fmt.Fprintf(&sb, "%d", n)
+	}
+	fmt.Fprintf(&sb, " (requests)\n")
+	return sb.String()
+}
+
+// fetchStats renders the server's own aggregate view, best-effort: an
+// unreachable or unparseable /stats yields an empty string.
+func fetchStats(addr string) string {
+	resp, err := http.Get(addr + "/stats")
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Inferences    float64 `json:"inferences"`
+		Requests      float64 `json:"requests"`
+		DeviceBatches float64 `json:"deviceBatches"`
+		MeanBatch     float64 `json:"meanBatch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return ""
+	}
+	return fmt.Sprintf("server:       %.0f requests, %.0f inferences, %.0f device batches (%.2f inferences/batch)\n",
+		st.Requests, st.Inferences, st.DeviceBatches, st.MeanBatch)
+}
+
+// quantiles sorts in place and returns the p50/p95/p99/max marks.
+func quantiles(lat []time.Duration) (p50, p95, p99, max time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+	return pct(0.50), pct(0.95), pct(0.99), lat[len(lat)-1]
+}

@@ -7,8 +7,19 @@
 //
 //	GET  /info             device, model and shard configuration
 //	GET  /qps?batch=N      analytic steady-state throughput (per shard and aggregate)
-//	POST /infer            {"batch": N} -> CTR predictions + simulated timing
+//	POST /infer            inference request -> CTR predictions + simulated timing
 //	GET  /stats            aggregate flash traffic, per-shard clocks, observed QPS
+//
+// /infer accepts two request forms. The trace-driven form carries the
+// inputs — per-inference sparse indices (and optionally dense vectors),
+// exactly what the paper's RM_send_inputs interface transfers:
+//
+//	{"sparse": [[[i...] per table] per inference], "dense": [[f...] per inference]}
+//
+// The count-only demo form `{"batch": N}` instead synthesises N inferences
+// from the shard's own locality-model generator. Either way the reply
+// reports predictions, the simulated latency breakdown and how the request
+// was coalesced.
 //
 // The server hosts -shards independent devices (default GOMAXPROCS), each
 // with its own virtual clock, behind a batching front-end that coalesces
@@ -17,15 +28,29 @@
 // lock: shards share no simulation state, so request handling scales with
 // host cores while each shard's timeline stays deterministic.
 //
+// With -trace, rmserve does not serve HTTP at all: it replays a request
+// stream through the sharded pool open-loop at -rate requests per
+// simulated second and prints a deterministic latency/coalescing report
+// (byte-identical for the same seed and shard count):
+//
+//	rmserve -trace synthetic -requests 2000 -rate 50000 -req-batch 2
+//	rmserve -trace criteo -criteo-in day0.tsv -rate 50000
+//
+// Use cmd/rmreplay to drive the HTTP path from a trace instead.
+//
 // All timing in responses is simulated; the server itself is just a thin
 // shell around the deterministic library.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -49,17 +74,35 @@ type deviceShard struct {
 	seq int           // trace sequence cursor
 }
 
-// ServeBatch implements serving.Batcher: run n inferences as one device
-// batch at the shard's virtual now.
-func (d *deviceShard) ServeBatch(n int) serving.BatchResult {
+// ServeBatch implements serving.Batcher: concatenate the coalesced
+// requests' inputs into one device batch at the shard's virtual now.
+// Payload-carrying requests are served from exactly the indices they carry
+// (the trace-driven path); count-only requests draw from the shard's own
+// generator stream exactly as the original demo mode did.
+func (d *deviceShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	denses := make([]rmssd.Vector, n)
-	for i := range denses {
-		denses[i] = d.gen.DenseInput(d.seq+i, d.cfg.DenseDim)
+	n := serving.CountOf(reqs)
+	denses := make([]rmssd.Vector, 0, n)
+	sparses := make([][][]int64, 0, n)
+	for _, req := range reqs {
+		if req.Explicit() {
+			for i, sp := range req.Sparse {
+				sparses = append(sparses, sp)
+				if req.Dense != nil {
+					denses = append(denses, req.Dense[i])
+				} else {
+					denses = append(denses, make(rmssd.Vector, d.cfg.DenseDim))
+				}
+			}
+			continue
+		}
+		for i := 0; i < req.N; i++ {
+			denses = append(denses, d.gen.DenseInput(d.seq+i, d.cfg.DenseDim))
+		}
+		sparses = append(sparses, d.gen.Batch(req.N)...)
+		d.seq += req.N
 	}
-	sparses := d.gen.Batch(n)
-	d.seq += n
 	outs, done, bd := d.dev.InferBatch(d.now, denses, sparses)
 	lat := done - d.now
 	d.now = done
@@ -127,6 +170,11 @@ func main() {
 		shards    = flag.Int("shards", 0, "independent device shards (0 = GOMAXPROCS)")
 		maxBatch  = flag.Int("max-batch", 0, "coalesced device batch cap (0 = device NBatch)")
 		queue     = flag.Int("queue", 256, "per-shard request queue depth")
+		traceMode = flag.String("trace", "", "replay a trace through the pool and exit: 'synthetic' or 'criteo'")
+		criteoIn  = flag.String("criteo-in", "", "Criteo-format TSV file for -trace criteo")
+		rate      = flag.Float64("rate", 50000, "replay offered load in requests per simulated second")
+		requests  = flag.Int("requests", 2000, "replay request count (synthetic; criteo stops at EOF)")
+		reqBatch  = flag.Int("req-batch", 1, "inferences per replayed request")
 	)
 	flag.Parse()
 
@@ -139,6 +187,18 @@ func main() {
 	s, err := newServer(cfg, *shards, *seed, *maxBatch, *queue)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *traceMode != "" {
+		rc := replayConfig{
+			Mode: *traceMode, CriteoIn: *criteoIn, Rate: *rate,
+			Requests: *requests, ReqBatch: *reqBatch, Seed: *seed,
+		}
+		if err := s.runReplay(rc, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		s.pool.Close()
+		return
 	}
 
 	mux := s.routes()
@@ -175,6 +235,7 @@ func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		"lookups":      s.cfg.Lookups,
 		"evDim":        s.cfg.EVDim,
 		"rowsPerTable": s.cfg.RowsPerTable,
+		"denseDim":     s.cfg.DenseDim,
 		"tableBytes":   s.cfg.TableBytes(),
 		"deviceBatch":  s.shards[0].dev.NBatch(),
 		"shards":       len(s.shards),
@@ -203,9 +264,44 @@ func (s *server) handleQPS(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// inferRequest is /infer's body; Batch defaults to 1.
+// inferRequest is /infer's body. Two forms:
+//
+//	{"batch": N}                      count-only; the server synthesises inputs
+//	{"sparse": [[[i,...],...],...],   explicit payload: sparse[i][t] lists
+//	 "dense": [[f,...],...]}          table t's lookups for inference i;
+//	                                  dense is optional (zero vectors if absent)
 type inferRequest struct {
-	Batch int `json:"batch"`
+	Batch  int            `json:"batch"`
+	Sparse [][][]int64    `json:"sparse"`
+	Dense  []rmssd.Vector `json:"dense"`
+}
+
+// maxInferBatch caps one request's inference count.
+const maxInferBatch = 256
+
+// validatePayload checks an explicit request against the hosted model's
+// shape: every inference must carry cfg.Tables tables of cfg.Lookups
+// in-range indices, and dense vectors (when present) must be DenseDim wide.
+func validatePayload(cfg rmssd.ModelConfig, req serving.Request) error {
+	for i, inf := range req.Sparse {
+		if len(inf) != cfg.Tables {
+			return fmt.Errorf("inference %d: %d tables, want %d", i, len(inf), cfg.Tables)
+		}
+		for t, idx := range inf {
+			if len(idx) != cfg.Lookups {
+				return fmt.Errorf("inference %d table %d: %d lookups, want %d", i, t, len(idx), cfg.Lookups)
+			}
+			for _, row := range idx {
+				if row < 0 || row >= cfg.RowsPerTable {
+					return fmt.Errorf("inference %d table %d: row %d outside [0,%d)", i, t, row, cfg.RowsPerTable)
+				}
+			}
+		}
+		if req.Dense != nil && len(req.Dense[i]) != cfg.DenseDim {
+			return fmt.Errorf("inference %d: dense dim %d, want %d", i, len(req.Dense[i]), cfg.DenseDim)
+		}
+	}
+	return nil
 }
 
 func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
@@ -218,24 +314,58 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	if req.Batch <= 0 {
-		req.Batch = 1
-	}
-	if req.Batch > 256 {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "batch too large (max 256)"})
+	var sreq serving.Request
+	switch {
+	case len(req.Sparse) > 0:
+		if req.Batch > 0 && req.Batch != len(req.Sparse) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("batch %d does not match %d sparse inferences", req.Batch, len(req.Sparse))})
+			return
+		}
+		if len(req.Sparse) > maxInferBatch {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "batch too large (max 256)"})
+			return
+		}
+		if req.Dense != nil && len(req.Dense) != len(req.Sparse) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error": fmt.Sprintf("%d dense vectors for %d inferences", len(req.Dense), len(req.Sparse))})
+			return
+		}
+		sreq = serving.Request{Sparse: req.Sparse, Dense: req.Dense}
+		if err := validatePayload(s.cfg, sreq); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+	case req.Dense != nil:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "dense payload without sparse indices"})
 		return
+	default:
+		if req.Batch <= 0 {
+			req.Batch = 1
+		}
+		if req.Batch > maxInferBatch {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "batch too large (max 256)"})
+			return
+		}
+		sreq = serving.Request{N: req.Batch}
 	}
-	resp, err := s.pool.Infer(req.Batch)
+	resp, err := s.pool.Submit(r.Context(), sreq)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		status := http.StatusInternalServerError
+		if errors.Is(err, serving.ErrPoolClosed) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
 		return
 	}
 	bd, _ := resp.Meta.(rmssd.Breakdown)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"predictions":      resp.Preds,
-		"simulatedLatency": resp.Latency.String(),
-		"shard":            resp.Shard,
-		"coalescedBatch":   resp.BatchSize,
+		"predictions":       resp.Preds,
+		"simulatedLatency":  resp.Latency.String(),
+		"shard":             resp.Shard,
+		"coalescedBatch":    resp.BatchSize,
+		"coalescedRequests": resp.Coalesced,
 		"breakdown": map[string]string{
 			"send": bd.Send.String(),
 			"emb":  bd.Emb.String(),

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rmssd"
+	"rmssd/internal/serving"
 )
 
 func testServer(t *testing.T, shards int) *server {
@@ -197,9 +198,10 @@ func TestConcurrentClients(t *testing.T) {
 func TestShardsIndependentClocks(t *testing.T) {
 	s := testServer(t, 2)
 	// Address shard 0 twice and shard 1 once via direct ServeBatch.
-	s.shards[0].ServeBatch(1)
-	s.shards[0].ServeBatch(1)
-	s.shards[1].ServeBatch(1)
+	one := []serving.Request{{N: 1}}
+	s.shards[0].ServeBatch(one)
+	s.shards[0].ServeBatch(one)
+	s.shards[1].ServeBatch(one)
 	_, _, now0 := s.shards[0].snapshot()
 	_, _, now1 := s.shards[1].snapshot()
 	if now0 <= now1 || now1 <= 0 {

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"rmssd"
+	"rmssd/internal/serving"
+)
+
+// Trace replay mode: `rmserve -trace synthetic|criteo` drives the sharded
+// pool open-loop from an externally supplied request stream instead of
+// serving HTTP — the trace-driven analogue of RecSSD's evaluation, which
+// replays measured Criteo access streams against the device. The arrival
+// timeline is virtual and the source is deterministic, so the emitted
+// report is byte-identical across runs with the same seed and shard count.
+
+// replayConfig parameterises one replay run.
+type replayConfig struct {
+	Mode     string  // "synthetic" or "criteo"
+	CriteoIn string  // TSV path for Mode == "criteo"
+	Rate     float64 // requests per simulated second
+	Requests int     // request bound (criteo additionally stops at EOF)
+	ReqBatch int     // inferences per request
+	Seed     uint64
+}
+
+// newSource builds the request source for the config. The returned closer
+// is nil for sources without an underlying file.
+func (s *server) newSource(rc replayConfig) (serving.RequestSource, io.Closer, error) {
+	switch rc.Mode {
+	case "synthetic":
+		gen, err := rmssd.NewTrace(rmssd.TraceConfig{
+			Tables: s.cfg.Tables, Rows: s.cfg.RowsPerTable, Lookups: s.cfg.Lookups,
+			Seed: rc.Seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		src, err := serving.NewGeneratorSource(gen, rc.ReqBatch, s.cfg.DenseDim)
+		return src, nil, err
+	case "criteo":
+		if rc.CriteoIn == "" {
+			return nil, nil, fmt.Errorf("rmserve: -trace criteo needs -criteo-in")
+		}
+		f, err := os.Open(rc.CriteoIn)
+		if err != nil {
+			return nil, nil, err
+		}
+		p, err := rmssd.NewCriteoParser(f, s.cfg.RowsPerTable)
+		if err != nil {
+			//lint:allow errcheck read-only file on an error path; the parse error is what matters
+			f.Close()
+			return nil, nil, err
+		}
+		src, err := serving.NewCriteoSource(p, s.cfg.Tables, s.cfg.Lookups, s.cfg.DenseDim, rc.ReqBatch)
+		if err != nil {
+			//lint:allow errcheck read-only file on an error path; the source error is what matters
+			f.Close()
+			return nil, nil, err
+		}
+		return src, f, nil
+	default:
+		return nil, nil, fmt.Errorf("rmserve: unknown -trace mode %q (want synthetic or criteo)", rc.Mode)
+	}
+}
+
+// replay drives the shards and returns the deterministic result. The pool's
+// workers must be idle (no concurrent HTTP traffic): ServeBatch is invoked
+// from this goroutine only.
+func (s *server) replay(rc replayConfig) (serving.ReplayResult, error) {
+	if rc.Mode == "synthetic" && rc.Requests <= 0 {
+		return serving.ReplayResult{}, fmt.Errorf("rmserve: synthetic replay needs -requests > 0")
+	}
+	src, closer, err := s.newSource(rc)
+	if err != nil {
+		return serving.ReplayResult{}, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	backends := make([]serving.Batcher, len(s.shards))
+	for i, sh := range s.shards {
+		backends[i] = sh
+	}
+	maxBatch := s.pool.MaxBatch()
+	return serving.Replay(backends, serving.ReplayConfig{
+		Rate: rc.Rate, MaxBatch: maxBatch, Requests: rc.Requests, Seed: rc.Seed,
+	}, src)
+}
+
+// runReplay runs the replay and prints the report.
+func (s *server) runReplay(rc replayConfig, w io.Writer) error {
+	//lint:allow wallclock host-side harness reports real elapsed time next to simulated results
+	start := time.Now()
+	res, err := s.replay(rc)
+	if err != nil {
+		return err
+	}
+	//lint:allow wallclock host-side harness reports real elapsed time next to simulated results
+	wall := time.Since(start)
+
+	// Build the report in memory, then flush once so a failed write on the
+	// destination surfaces as the command's error.
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "replay %s: model=%s shards=%d rate=%.0f req/s req-batch=%d seed=%d\n",
+		rc.Mode, s.cfg.Name, len(s.shards), rc.Rate, rc.ReqBatch, rc.Seed)
+	fmt.Fprintf(&sb, "served:       %d requests, %d inferences in %d device batches\n",
+		res.Requests, res.Inferences, res.Batches)
+	fmt.Fprintf(&sb, "coalescing:   %.2f inferences/batch, %.2f requests/batch\n",
+		res.MeanBatch, res.Coalesced)
+	fmt.Fprintf(&sb, "sim latency:  p50=%v p95=%v p99=%v max=%v\n",
+		res.P50, res.P95, res.P99, res.Max)
+	fmt.Fprintf(&sb, "sim elapsed:  %v (%.0f inf/s simulated)\n", res.Elapsed, res.ThroughputQPS)
+	fmt.Fprintf(&sb, "pred check:   %016x\n", res.PredCheck)
+	fmt.Fprintf(&sb, "per shard:    ")
+	for i, n := range res.PerShard {
+		if i > 0 {
+			fmt.Fprint(&sb, " ")
+		}
+		fmt.Fprintf(&sb, "%d", n)
+	}
+	fmt.Fprintf(&sb, " (inferences)\n")
+	fmt.Fprintf(&sb, "wall clock:   %v host time\n", wall.Round(time.Millisecond))
+	_, err = io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,280 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rmssd"
+	"rmssd/internal/serving"
+)
+
+// TestExplicitInferMatchesDevice is the acceptance check for the
+// trace-driven API: a request with explicit sparse indices must return
+// predictions computed from exactly those indices — bit-identical to a
+// direct Device.InferBatch call with the same inputs.
+func TestExplicitInferMatchesDevice(t *testing.T) {
+	s := testServer(t, 1)
+
+	// Draw inputs from an independent generator (these are the "client's"
+	// indices; the server has never seen this stream).
+	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
+		Tables: s.cfg.Tables, Rows: s.cfg.RowsPerTable, Lookups: s.cfg.Lookups, Seed: 99,
+	})
+	const batch = 3
+	sparses := gen.Batch(batch)
+	denses := make([]rmssd.Vector, batch)
+	for i := range denses {
+		denses[i] = gen.DenseInput(i, s.cfg.DenseDim)
+	}
+
+	// Reference: a fresh device of the same config serves the same inputs.
+	ref := rmssd.MustNewDevice(s.cfg, rmssd.DeviceOptions{})
+	want, _, _ := ref.InferBatch(0, denses, sparses)
+
+	body, err := json.Marshal(map[string]interface{}{"sparse": sparses, "dense": denses})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Predictions []float32 `json:"predictions"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Predictions) != batch {
+		t.Fatalf("%d predictions, want %d", len(resp.Predictions), batch)
+	}
+	for i, p := range resp.Predictions {
+		if math.Float32bits(p) != math.Float32bits(want[i]) {
+			t.Fatalf("prediction %d = %v, want %v (server did not serve the client's indices)", i, p, want[i])
+		}
+	}
+}
+
+// TestExplicitInferValidation rejects malformed payloads instead of
+// panicking deep inside the device.
+func TestExplicitInferValidation(t *testing.T) {
+	s := testServer(t, 1)
+	cfg := s.cfg
+	goodInf := func() [][]int64 {
+		inf := make([][]int64, cfg.Tables)
+		for t := range inf {
+			inf[t] = make([]int64, cfg.Lookups)
+		}
+		return inf
+	}
+	cases := []struct {
+		name string
+		body map[string]interface{}
+	}{
+		{"wrong tables", map[string]interface{}{"sparse": [][][]int64{goodInf()[:1]}}},
+		{"wrong lookups", map[string]interface{}{"sparse": func() [][][]int64 {
+			inf := goodInf()
+			inf[0] = inf[0][:1]
+			return [][][]int64{inf}
+		}()}},
+		{"row out of range", map[string]interface{}{"sparse": func() [][][]int64 {
+			inf := goodInf()
+			inf[0][0] = cfg.RowsPerTable
+			return [][][]int64{inf}
+		}()}},
+		{"negative row", map[string]interface{}{"sparse": func() [][][]int64 {
+			inf := goodInf()
+			inf[0][0] = -1
+			return [][][]int64{inf}
+		}()}},
+		{"batch mismatch", map[string]interface{}{"batch": 2, "sparse": [][][]int64{goodInf()}}},
+		{"dense mismatch", map[string]interface{}{"sparse": [][][]int64{goodInf()},
+			"dense": [][]float32{make([]float32, cfg.DenseDim+1)}}},
+		{"dense count mismatch", map[string]interface{}{"sparse": [][][]int64{goodInf()},
+			"dense": [][]float32{make([]float32, cfg.DenseDim), make([]float32, cfg.DenseDim)}}},
+		{"dense without sparse", map[string]interface{}{"dense": [][]float32{make([]float32, cfg.DenseDim)}}},
+	}
+	for _, c := range cases {
+		body, err := json.Marshal(c.body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", bytes.NewReader(body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, rec.Code, rec.Body.String())
+		}
+	}
+	// A valid explicit request with no dense vectors is accepted.
+	body, err := json.Marshal(map[string]interface{}{"sparse": [][][]int64{goodInf()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("valid sparse-only request: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestPayloadPathMatchesCountOnly is the differential check: serving
+// explicit payloads drawn from a generator stream must be byte-identical to
+// the count-only path consuming the same stream server-side.
+func TestPayloadPathMatchesCountOnly(t *testing.T) {
+	cfg := rmssd.RMC1()
+	cfg.RowsPerTable = cfg.RowsForBudget(16 << 20)
+	const (
+		seed  = 7
+		reqs  = 6
+		batch = 2
+	)
+	newS := func() *server {
+		s, err := newServer(cfg, 1, seed, 8, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.pool.Close)
+		return s
+	}
+
+	// Server A: count-only requests; the shard synthesises inputs from its
+	// own generator (seeded seed+0*0x9e37 = seed).
+	a := newS()
+	var aPreds []float32
+	for i := 0; i < reqs; i++ {
+		resp, err := a.pool.Infer(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aPreds = append(aPreds, resp.Preds...)
+	}
+
+	// Server B: explicit payloads drawn client-side from an identically
+	// seeded generator, submitted sequentially (no coalescing, same batch
+	// boundaries).
+	b := newS()
+	src, err := serving.NewGeneratorSource(
+		rmssd.MustNewTrace(rmssd.TraceConfig{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: seed,
+		}), batch, cfg.DenseDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bPreds []float32
+	for i := 0; i < reqs; i++ {
+		req, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := b.pool.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bPreds = append(bPreds, resp.Preds...)
+	}
+
+	if len(aPreds) != reqs*batch || len(bPreds) != reqs*batch {
+		t.Fatalf("preds: %d vs %d", len(aPreds), len(bPreds))
+	}
+	for i := range aPreds {
+		if math.Float32bits(aPreds[i]) != math.Float32bits(bPreds[i]) {
+			t.Fatalf("pred %d: count-only %v != payload %v", i, aPreds[i], bPreds[i])
+		}
+	}
+	// And the simulated device state advanced identically.
+	_, aInf, aNow := a.shards[0].snapshot()
+	_, bInf, bNow := b.shards[0].snapshot()
+	if aInf != bInf || aNow != bNow {
+		t.Fatalf("device divergence: %d@%v vs %d@%v", aInf, aNow, bInf, bNow)
+	}
+}
+
+// TestReplaySyntheticDeterministic: the in-process trace replay emits an
+// identical report for identical seed and shard count.
+func TestReplaySyntheticDeterministic(t *testing.T) {
+	rc := replayConfig{Mode: "synthetic", Rate: 100000, Requests: 60, ReqBatch: 2, Seed: 5}
+	run := func() serving.ReplayResult {
+		s := testServer(t, 2)
+		res, err := s.replay(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replay not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Requests != 60 || a.Inferences != 120 {
+		t.Fatalf("res = %+v", a)
+	}
+	if a.P50 <= 0 || a.P99 < a.P50 || a.PredCheck == 0 {
+		t.Fatalf("res = %+v", a)
+	}
+	if len(a.PerShard) != 2 || a.PerShard[0]+a.PerShard[1] != 120 {
+		t.Fatalf("per-shard = %v", a.PerShard)
+	}
+}
+
+// TestReplayCriteo: a Criteo-format TSV streams through the pool and the
+// printed report carries the latency and coalescing lines.
+func TestReplayCriteo(t *testing.T) {
+	s := testServer(t, 2)
+	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
+		Tables: s.cfg.Tables, Rows: s.cfg.RowsPerTable, Lookups: s.cfg.Lookups, Seed: 2,
+	})
+	tsv := filepath.Join(t.TempDir(), "criteo.tsv")
+	f, err := os.Create(tsv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough records for 5 full inferences at `Lookups` records each.
+	records := 5 * s.cfg.Lookups
+	if err := rmssd.SynthesizeCriteoTSV(f, records, gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rc := replayConfig{Mode: "criteo", CriteoIn: tsv, Rate: 100000, Requests: 0, ReqBatch: 1, Seed: 5}
+	if err := s.runReplay(rc, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sim latency:", "p50=", "p99=", "coalescing:", "per shard:", "pred check:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	wantInf := records / s.cfg.Lookups
+	if !strings.Contains(out, fmt.Sprintf("%d inferences", wantInf)) {
+		t.Fatalf("report does not account for %d inferences:\n%s", wantInf, out)
+	}
+}
+
+// TestReplayErrors: bad replay configurations fail cleanly.
+func TestReplayErrors(t *testing.T) {
+	s := testServer(t, 1)
+	if _, err := s.replay(replayConfig{Mode: "nope", Rate: 1, Requests: 1, ReqBatch: 1}); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+	if _, err := s.replay(replayConfig{Mode: "criteo", Rate: 1, Requests: 1, ReqBatch: 1}); err == nil {
+		t.Fatal("criteo without -criteo-in must error")
+	}
+	if _, err := s.replay(replayConfig{Mode: "synthetic", Rate: 1, Requests: 0, ReqBatch: 1}); err == nil {
+		t.Fatal("unbounded synthetic replay must error")
+	}
+}

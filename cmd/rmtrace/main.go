@@ -80,6 +80,14 @@ func main() {
 		return
 	}
 	if *criteoIn != "" {
+		// The Criteo format always has 26 categorical tables regardless of
+		// the model shape; reject out-of-range columns instead of silently
+		// wrapping them onto another table's statistics.
+		if *table >= trace.CriteoTables || *table < -1 {
+			fmt.Fprintf(os.Stderr, "rmtrace: -table %d out of range for Criteo input (want -1 for all tables, or 0..%d)\n",
+				*table, trace.CriteoTables-1)
+			os.Exit(1)
+		}
 		f, err := os.Open(*criteoIn)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -103,11 +111,10 @@ func main() {
 				os.Exit(1)
 			}
 			records++
-			tcol := *table
-			if tcol < 0 {
+			if *table < 0 {
 				flat = append(flat, rec.Sparse...)
 			} else {
-				flat = append(flat, rec.Sparse[tcol%trace.CriteoTables])
+				flat = append(flat, rec.Sparse[*table])
 			}
 		}
 		stats := trace.Analyze(flat, *topK)
@@ -119,6 +126,11 @@ func main() {
 		return
 	}
 
+	if *table >= tc.Tables || *table < -1 {
+		fmt.Fprintf(os.Stderr, "rmtrace: -table %d out of range (want -1 for all tables, or 0..%d)\n",
+			*table, tc.Tables-1)
+		os.Exit(1)
+	}
 	batch := gen.Batch(*inferences)
 	for i := 0; i < *dump && i < len(batch); i++ {
 		fmt.Printf("inference %d: %v\n", i, batch[i])

@@ -1,0 +1,198 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+)
+
+// Trace replay: drive the sharded backends open-loop from an externally
+// supplied request stream (a Criteo trace, a synthetic generator) on a
+// virtual arrival timeline.
+//
+// This is the trace-driven analogue of Run: where Run prices an analytic
+// queue against closed-form batch costs, Replay pushes real payloads
+// through real simulated devices. Arrivals are a seeded exponential
+// process; requests are assigned to shards round-robin (exactly like
+// Pool.Submit) and each shard coalesces every request that arrived before
+// its worker picked the group up, capped at MaxBatch — the deterministic
+// mirror of the pool's drain-what's-queued coalescing. Because the whole
+// timeline is virtual and the source is deterministic, two runs with the
+// same seed, source and shard count produce byte-identical results.
+
+// RequestSource yields successive requests of a trace; it returns io.EOF
+// when the trace is exhausted.
+type RequestSource interface {
+	Next() (Request, error)
+}
+
+// ReplayConfig tunes the open-loop replay.
+type ReplayConfig struct {
+	// Rate is the offered load in requests per simulated second.
+	Rate float64
+	// MaxBatch caps the coalesced device batch per shard.
+	MaxBatch int
+	// Requests bounds how many requests to draw from the source; 0 means
+	// replay until the source is exhausted (sources that never end, like
+	// GeneratorSource, then require a positive bound).
+	Requests int
+	// Seed drives the exponential arrival process.
+	Seed uint64
+}
+
+// Validate reports configuration errors.
+func (c ReplayConfig) Validate() error {
+	switch {
+	case c.Rate <= 0:
+		return fmt.Errorf("serving: replay rate %v", c.Rate)
+	case c.MaxBatch <= 0:
+		return fmt.Errorf("serving: replay max batch %d", c.MaxBatch)
+	case c.Requests < 0:
+		return fmt.Errorf("serving: replay %d requests", c.Requests)
+	}
+	return nil
+}
+
+// ReplayResult summarises one replay run. All latencies are simulated
+// (arrival to batch completion, including queueing); wall-clock timing is
+// the caller's concern.
+type ReplayResult struct {
+	Requests   int     // requests served
+	Inferences int     // inferences served
+	Batches    int     // device batches issued
+	MeanBatch  float64 // inferences per device batch
+	// Coalesced is the mean number of requests per device batch.
+	Coalesced float64
+	// Latency percentiles over requests (simulated, queueing included).
+	P50, P95, P99, Max time.Duration
+	// Elapsed is the simulated makespan (last batch completion).
+	Elapsed time.Duration
+	// ThroughputQPS is inferences per simulated second over the makespan.
+	ThroughputQPS float64
+	// PerShard counts inferences served by each shard.
+	PerShard []int64
+	// PredCheck folds every prediction's bit pattern (in service order)
+	// into one checksum: equal checksums across runs mean the functional
+	// outputs matched bit for bit, not just the timing statistics.
+	PredCheck uint64
+}
+
+// replayJob is one arrived request awaiting service.
+type replayJob struct {
+	req     Request
+	arrival sim.Time
+}
+
+// Replay streams the source through the backends on a virtual timeline.
+// ServeBatch is invoked from this goroutine only, so the backends must not
+// concurrently serve a live Pool.
+func Replay(backends []Batcher, cfg ReplayConfig, src RequestSource) (ReplayResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return ReplayResult{}, err
+	}
+	if len(backends) == 0 {
+		return ReplayResult{}, errors.New("serving: replay needs at least one backend")
+	}
+	if cfg.Requests == 0 {
+		cfg.Requests = math.MaxInt
+	}
+
+	// Draw the whole arrival sequence: seeded exponential gaps, round-robin
+	// shard assignment (the pool's dispatch rule).
+	rng := tensor.NewRNG(cfg.Seed ^ 0x5e41)
+	queues := make([][]replayJob, len(backends))
+	var now sim.Time
+	drawn := 0
+	for drawn < cfg.Requests {
+		req, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return ReplayResult{}, fmt.Errorf("serving: replay source: %w", err)
+		}
+		if verr := req.Validate(); verr != nil {
+			return ReplayResult{}, fmt.Errorf("serving: replay request %d: %w", drawn, verr)
+		}
+		u := rng.Float64()
+		if u <= 0 {
+			u = 1e-12
+		}
+		now += sim.Time(-math.Log(u) / cfg.Rate * 1e9)
+		queues[drawn%len(backends)] = append(queues[drawn%len(backends)], replayJob{req: req, arrival: now})
+		drawn++
+	}
+	if drawn == 0 {
+		return ReplayResult{}, errors.New("serving: replay source yielded no requests")
+	}
+
+	var (
+		res       ReplayResult
+		latencies []time.Duration
+		end       sim.Time
+	)
+	res.PerShard = make([]int64, len(backends))
+	res.PredCheck = 1469598103934665603 // FNV-1a offset basis
+	for sid, jobs := range queues {
+		var free sim.Time
+		i := 0
+		for i < len(jobs) {
+			// The worker picks up the first waiting request the moment it
+			// is both arrived and the shard is free, then drains everything
+			// that has already arrived, capped at MaxBatch (a request
+			// larger than MaxBatch still runs, as its own batch).
+			start := sim.Max(jobs[i].arrival, free)
+			batch := []Request{jobs[i].req}
+			total := jobs[i].req.Count()
+			j := i + 1
+			for j < len(jobs) && jobs[j].arrival <= start && total+jobs[j].req.Count() <= cfg.MaxBatch {
+				batch = append(batch, jobs[j].req)
+				total += jobs[j].req.Count()
+				j++
+			}
+			br := backends[sid].ServeBatch(batch)
+			for _, p := range br.Preds {
+				res.PredCheck ^= uint64(math.Float32bits(p))
+				res.PredCheck *= 1099511628211 // FNV prime
+			}
+			complete := start + sim.Time(br.Latency)
+			free = complete
+			for k := i; k < j; k++ {
+				latencies = append(latencies, time.Duration(complete-jobs[k].arrival))
+			}
+			res.Batches++
+			res.Inferences += total
+			res.PerShard[sid] += int64(total)
+			i = j
+		}
+		end = sim.Max(end, free)
+	}
+
+	res.Requests = len(latencies)
+	res.Elapsed = time.Duration(end)
+	if res.Batches > 0 {
+		res.MeanBatch = float64(res.Inferences) / float64(res.Batches)
+		res.Coalesced = float64(res.Requests) / float64(res.Batches)
+	}
+	if res.Elapsed > 0 {
+		res.ThroughputQPS = float64(res.Inferences) / res.Elapsed.Seconds()
+	}
+	res.P50, res.P95, res.P99, res.Max = latencyQuantiles(latencies)
+	return res, nil
+}
+
+// latencyQuantiles sorts in place and returns the p50/p95/p99/max marks.
+func latencyQuantiles(lat []time.Duration) (p50, p95, p99, max time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+	return pct(0.50), pct(0.95), pct(0.99), lat[len(lat)-1]
+}

@@ -1,0 +1,73 @@
+package serving
+
+import (
+	"fmt"
+
+	"rmssd/internal/tensor"
+)
+
+// Request is one client submission: a group of inferences that travels
+// through the pool as a unit and rides exactly one coalesced device batch.
+//
+// Two forms exist:
+//
+//   - payload-carrying: Sparse holds the per-inference, per-table lookup
+//     indices the client wants served (the paper's RM_send_inputs payload),
+//     optionally with per-inference Dense feature vectors. This is the
+//     trace-driven shape: the inputs are the client's, not the server's.
+//   - count-only: Sparse is nil and N > 0. The backend synthesises inputs
+//     from its own generator stream — the original self-stimulating demo
+//     mode, kept for load tests that only care about timing.
+//
+// A Request is immutable once submitted; the pool never writes to the
+// slices it carries.
+type Request struct {
+	// N is the number of inferences when no explicit inputs are given.
+	// Ignored when Sparse is set.
+	N int
+	// Sparse holds, per inference, the per-table pooled lookup indices:
+	// Sparse[i][t] lists table t's lookups for inference i.
+	Sparse [][][]int64
+	// Dense holds one dense feature vector per inference. Optional even
+	// for payload-carrying requests (backends substitute a default); when
+	// set, len(Dense) must equal len(Sparse).
+	Dense []tensor.Vector
+}
+
+// Count returns the number of inferences the request carries.
+func (r Request) Count() int {
+	if r.Sparse != nil {
+		return len(r.Sparse)
+	}
+	return r.N
+}
+
+// Explicit reports whether the request carries its own inputs.
+func (r Request) Explicit() bool { return r.Sparse != nil }
+
+// Validate reports structural errors: empty requests and mismatched
+// dense/sparse lengths. Model-shape validation (tables, lookups, index
+// ranges) belongs to the backend that knows the hosted model.
+func (r Request) Validate() error {
+	switch {
+	case r.Sparse == nil && r.N <= 0:
+		return fmt.Errorf("serving: request of %d inferences", r.N)
+	case r.Sparse != nil && len(r.Sparse) == 0:
+		return fmt.Errorf("serving: empty sparse payload")
+	case r.Dense != nil && r.Sparse == nil:
+		return fmt.Errorf("serving: dense payload without sparse indices")
+	case r.Dense != nil && len(r.Dense) != len(r.Sparse):
+		return fmt.Errorf("serving: %d dense vectors for %d inferences",
+			len(r.Dense), len(r.Sparse))
+	}
+	return nil
+}
+
+// CountOf sums the inference counts of a coalesced request group.
+func CountOf(reqs []Request) int {
+	n := 0
+	for _, r := range reqs {
+		n += r.Count()
+	}
+	return n
+}

@@ -13,7 +13,6 @@ package serving
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"rmssd/internal/sim"
@@ -138,13 +137,7 @@ func Run(srv Server, cfg Config) (Result, error) {
 		res.ThroughputQPS = float64(res.Served) / res.Elapsed.Seconds()
 	}
 	res.MeanBatch = float64(res.Served) / float64(batches)
-	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
-	pct := func(p float64) time.Duration {
-		idx := int(p * float64(len(latencies)-1))
-		return latencies[idx]
-	}
-	res.P50, res.P95, res.P99 = pct(0.50), pct(0.95), pct(0.99)
-	res.Max = latencies[len(latencies)-1]
+	res.P50, res.P95, res.P99, res.Max = latencyQuantiles(latencies)
 	return res, nil
 }
 

@@ -1,6 +1,8 @@
 package serving
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -24,11 +26,19 @@ import (
 // share no simulation state, the host serves requests on all cores with no
 // global lock, and each shard's timeline remains exactly as deterministic
 // as a single-device server's.
+//
+// Requests carry their payloads (see Request): a coalesced device batch is
+// the concatenation of its requests' inputs, and each response gets back a
+// copy of its own window of the batch predictions — never an aliased view
+// of the shared result slice.
+
+// ErrPoolClosed is returned by Infer/Submit on a closed pool.
+var ErrPoolClosed = errors.New("serving: pool is closed")
 
 // BatchResult is the outcome of one coalesced device batch.
 type BatchResult struct {
-	// Preds holds one prediction per inference, in submission order.
-	// Timing-only backends may leave it nil.
+	// Preds holds one prediction per inference, concatenated in request
+	// submission order. Timing-only backends may leave it nil.
 	Preds []float32
 	// Latency is the simulated latency of the whole device batch.
 	Latency time.Duration
@@ -42,24 +52,31 @@ type BatchResult struct {
 // need no locking against the pool itself (only against external readers of
 // their own state, e.g. a stats endpoint).
 type Batcher interface {
-	// ServeBatch runs n inferences as one device batch at the shard's
-	// current virtual time and advances that shard's clock.
-	ServeBatch(n int) BatchResult
+	// ServeBatch runs the coalesced requests as one device batch at the
+	// shard's current virtual time and advances that shard's clock.
+	// Payload-carrying requests must be served from exactly their inputs;
+	// count-only requests take backend-synthesised inputs. Preds must hold
+	// CountOf(reqs) predictions in request order (or nil for timing-only
+	// backends).
+	ServeBatch(reqs []Request) BatchResult
 }
 
 // Response is what one submitted request gets back.
 type Response struct {
-	Preds     []float32     // this request's slice of the batch predictions
+	Preds     []float32     // this request's predictions (owned copy, not aliased)
 	Latency   time.Duration // simulated latency of the coalesced batch
 	BatchSize int           // total inferences in the coalesced batch
 	Shard     int           // which shard served it
 	Coalesced int           // how many requests rode the same batch
 	Meta      interface{}   // backend meta for the batch
+	// Err is set when the backend's result could not cover this request
+	// (e.g. it returned fewer predictions than the batch carried).
+	Err error
 }
 
 // submission is one queued request.
 type submission struct {
-	n     int
+	req   Request
 	reply chan Response
 }
 
@@ -79,12 +96,19 @@ type Pool struct {
 	maxBatch int
 	rr       atomic.Uint64
 	wg       sync.WaitGroup
+
+	// mu fences submitters against Close: submitters hold the read lock
+	// across the queue send, Close takes the write lock before closing the
+	// queues, so no send can race a close (which would panic).
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewPool builds a pool over the given backends. maxBatch caps the
 // coalesced device batch (a request larger than maxBatch still runs, as its
 // own batch); queueDepth bounds how many requests may wait per shard before
-// submitters block.
+// submitters block (use Submit with a context to turn that blocking into
+// backpressure with a deadline).
 func NewPool(backends []Batcher, maxBatch, queueDepth int) *Pool {
 	if len(backends) == 0 {
 		panic("serving: pool needs at least one backend")
@@ -111,16 +135,46 @@ func NewPool(backends []Batcher, maxBatch, queueDepth int) *Pool {
 // Shards returns the number of shards.
 func (p *Pool) Shards() int { return len(p.shards) }
 
-// Infer submits n inferences and blocks until a shard serves them. The
-// request may be coalesced with others queued on the same shard.
+// MaxBatch returns the coalesced device batch cap.
+func (p *Pool) MaxBatch() int { return p.maxBatch }
+
+// Infer submits n count-only inferences and blocks until a shard serves
+// them. The request may be coalesced with others queued on the same shard.
 func (p *Pool) Infer(n int) (Response, error) {
-	if n <= 0 {
-		return Response{}, fmt.Errorf("serving: batch %d", n)
+	return p.Submit(context.Background(), Request{N: n})
+}
+
+// Submit enqueues one request and waits for its response. The context
+// bounds both the wait for queue space (backpressure on a full shard) and
+// the wait for the result; on cancellation after enqueue the inference
+// still runs on the shard, only the reply is abandoned. A closed pool
+// returns ErrPoolClosed instead of panicking.
+func (p *Pool) Submit(ctx context.Context, req Request) (Response, error) {
+	if err := req.Validate(); err != nil {
+		return Response{}, err
 	}
 	s := p.shards[(p.rr.Add(1)-1)%uint64(len(p.shards))]
 	reply := make(chan Response, 1)
-	s.subs <- submission{n: n, reply: reply}
-	return <-reply, nil
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return Response{}, ErrPoolClosed
+	}
+	select {
+	case s.subs <- submission{req: req, reply: reply}:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return Response{}, fmt.Errorf("serving: shard %d queue full: %w", s.id, ctx.Err())
+	}
+
+	select {
+	case r := <-reply:
+		return r, r.Err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
 }
 
 // Stats is an aggregate snapshot of pool activity.
@@ -148,9 +202,19 @@ func (p *Pool) Stats() Stats {
 	return st
 }
 
-// Close drains the shards and stops their goroutines. No Infer may be in
-// flight or issued afterwards.
+// Close drains the shards and stops their goroutines. Requests already
+// queued are served; concurrent and later Infer/Submit calls get
+// ErrPoolClosed (never a panic). Close is idempotent.
 func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	// No submitter can be inside a queue send now: Submit holds the read
+	// lock across the send and re-checks closed under it.
 	for _, s := range p.shards {
 		close(s.subs)
 	}
@@ -174,7 +238,7 @@ func (s *shard) run(maxBatch int) {
 			}
 		}
 		batch := []submission{first}
-		total := first.n
+		total := first.req.Count()
 		open := true
 	coalesce:
 		for total < maxBatch {
@@ -184,49 +248,63 @@ func (s *shard) run(maxBatch int) {
 					open = false
 					break coalesce
 				}
-				if total+more.n > maxBatch {
+				if total+more.req.Count() > maxBatch {
 					carry = &more
 					break coalesce
 				}
 				batch = append(batch, more)
-				total += more.n
+				total += more.req.Count()
 			default:
 				break coalesce
 			}
 		}
 
-		res := s.b.ServeBatch(total)
-		s.served.Add(int64(total))
-		s.batches.Add(1)
-		s.reqs.Add(int64(len(batch)))
-		off := 0
-		for _, sub := range batch {
-			r := Response{
-				Latency:   res.Latency,
-				BatchSize: total,
-				Shard:     s.id,
-				Coalesced: len(batch),
-				Meta:      res.Meta,
-			}
-			if len(res.Preds) >= off+sub.n {
-				r.Preds = res.Preds[off : off+sub.n]
-			}
-			off += sub.n
-			sub.reply <- r
-		}
+		s.serve(batch, total)
 		if !open {
 			if carry != nil {
 				// Serve the deferred request before exiting.
-				res := s.b.ServeBatch(carry.n)
-				s.served.Add(int64(carry.n))
-				s.batches.Add(1)
-				s.reqs.Add(1)
-				carry.reply <- Response{
-					Preds: res.Preds, Latency: res.Latency,
-					BatchSize: carry.n, Shard: s.id, Coalesced: 1, Meta: res.Meta,
-				}
+				s.serve([]submission{*carry}, carry.req.Count())
 			}
 			return
 		}
+	}
+}
+
+// serve runs one coalesced group as a device batch and fans the results
+// back out, copying each request's window of the shared prediction slice.
+func (s *shard) serve(batch []submission, total int) {
+	reqs := make([]Request, len(batch))
+	for i, sub := range batch {
+		reqs[i] = sub.req
+	}
+	res := s.b.ServeBatch(reqs)
+	s.served.Add(int64(total))
+	s.batches.Add(1)
+	s.reqs.Add(int64(len(batch)))
+	off := 0
+	for _, sub := range batch {
+		n := sub.req.Count()
+		r := Response{
+			Latency:   res.Latency,
+			BatchSize: total,
+			Shard:     s.id,
+			Coalesced: len(batch),
+			Meta:      res.Meta,
+		}
+		switch {
+		case res.Preds == nil:
+			// Timing-only backend: no predictions to slice.
+		case off+n <= len(res.Preds):
+			// Copy: res.Preds is shared by every request on this batch
+			// (and possibly reused by the backend); an aliased window
+			// would let one requester's writes corrupt another's reads.
+			r.Preds = append([]float32(nil), res.Preds[off:off+n]...)
+		default:
+			r.Err = fmt.Errorf(
+				"serving: shard %d returned %d predictions for a batch of %d; request window [%d,%d) unservable",
+				s.id, len(res.Preds), total, off, off+n)
+		}
+		off += n
+		sub.reply <- r
 	}
 }

@@ -38,14 +38,38 @@ type Config struct {
 	Lookups int
 	// HotMass is the probability that a lookup targets the hot set: the
 	// achievable hit ratio of an ideal vector cache holding the hot set.
+	// A literal 0 means "unset, use the default" unless HotMassSet is
+	// true; use WithHotMass(0) for a zero-locality (all-cold) trace — the
+	// K→∞ end of Fig. 14, where every access is unique.
 	HotMass float64
+	// HotMassSet marks HotMass as explicitly chosen, so HotMass == 0 is a
+	// real all-cold configuration rather than a request for the default.
+	HotMassSet bool
 	// HotSetSize is the number of hot indices per table.
 	HotSetSize int64
 	// ZipfS is the Zipf skew within the hot set (s > 0; s = 1 is the
-	// classic harmonic distribution).
+	// classic harmonic distribution). Like HotMass, a literal 0 means
+	// "unset" unless ZipfSSet is true (an explicit 0 is then rejected by
+	// Validate instead of silently replaced).
 	ZipfS float64
+	// ZipfSSet marks ZipfS as explicitly chosen.
+	ZipfSSet bool
 	// Seed makes the trace deterministic.
 	Seed uint64
+}
+
+// WithHotMass returns a copy with HotMass explicitly set to m; unlike
+// assigning the field directly, m == 0 survives Default as a genuine
+// zero-locality trace.
+func (c Config) WithHotMass(m float64) Config {
+	c.HotMass, c.HotMassSet = m, true
+	return c
+}
+
+// WithZipfS returns a copy with ZipfS explicitly set to s.
+func (c Config) WithZipfS(s float64) Config {
+	c.ZipfS, c.ZipfSSet = s, true
+	return c
 }
 
 // Validate reports configuration errors.
@@ -74,13 +98,15 @@ func (c Config) WithLocality(k float64) (Config, error) {
 	if !ok {
 		return c, fmt.Errorf("trace: no locality preset for K=%v (have 0, 0.3, 1, 2)", k)
 	}
-	c.HotMass = hr
+	c.HotMass, c.HotMassSet = hr, true
 	return c, nil
 }
 
 // Default fills reasonable defaults for unset fields: Criteo-like skew.
+// Fields explicitly set to zero via WithHotMass/WithZipfS (or the *Set
+// flags) are left alone, so an all-cold trace is representable.
 func (c Config) Default() Config {
-	if c.HotMass == 0 {
+	if c.HotMass == 0 && !c.HotMassSet {
 		c.HotMass = params.LocalityHitRatio[params.DefaultLocalityK]
 	}
 	if c.HotSetSize == 0 {
@@ -92,7 +118,7 @@ func (c Config) Default() Config {
 			c.HotSetSize = 1 << 18
 		}
 	}
-	if c.ZipfS == 0 {
+	if c.ZipfS == 0 && !c.ZipfSSet {
 		c.ZipfS = 1.05
 	}
 	return c

@@ -55,6 +55,53 @@ func TestDefaults(t *testing.T) {
 	}
 }
 
+// TestExplicitZeroHotMass: regression for Default treating an explicit
+// HotMass = 0 as "unset" — the all-cold trace (the K→∞ end of Fig. 14) must
+// be representable, and every access it generates is unique.
+func TestExplicitZeroHotMass(t *testing.T) {
+	cfg := Config{Tables: 1, Rows: 1 << 20, Lookups: 8, Seed: 3}.WithHotMass(0)
+	if d := cfg.Default(); d.HotMass != 0 {
+		t.Fatalf("Default overwrote explicit HotMass=0 with %v", d.HotMass)
+	}
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Config().HotMass != 0 {
+		t.Fatalf("generator HotMass = %v, want 0", g.Config().HotMass)
+	}
+	const inferences = 500
+	flat := Flatten(g.Batch(inferences), -1)
+	st := Analyze(flat, 100)
+	if st.TotalLookups != inferences*8 {
+		t.Fatalf("lookups = %d", st.TotalLookups)
+	}
+	// All-cold: the without-replacement walk makes every access unique
+	// (the row space is far larger than the trace).
+	if st.SingleShare != 1 {
+		t.Fatalf("all-cold trace repeated indices: single share %v", st.SingleShare)
+	}
+	if st.TotalIndices != st.TotalLookups {
+		t.Fatalf("%d distinct of %d lookups", st.TotalIndices, st.TotalLookups)
+	}
+}
+
+// TestExplicitZeroZipfS: an explicit ZipfS = 0 must surface as a
+// validation error, not be silently replaced by the default skew.
+func TestExplicitZeroZipfS(t *testing.T) {
+	cfg := Config{Tables: 1, Rows: 1 << 20, Lookups: 8, Seed: 3}.WithZipfS(0)
+	if d := cfg.Default(); d.ZipfS != 0 {
+		t.Fatalf("Default overwrote explicit ZipfS=0 with %v", d.ZipfS)
+	}
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Fatal("explicit ZipfS=0 must be rejected")
+	}
+	// Unset ZipfS still defaults.
+	if d := (Config{Tables: 1, Rows: 1 << 20, Lookups: 8}).Default(); d.ZipfS != 1.05 {
+		t.Fatalf("unset ZipfS defaulted to %v", d.ZipfS)
+	}
+}
+
 func TestWithLocality(t *testing.T) {
 	for k, want := range map[float64]float64{0: 0.80, 0.3: 0.65, 1: 0.45, 2: 0.30} {
 		c, err := baseConfig().WithLocality(k)

@@ -44,6 +44,7 @@ import (
 	"rmssd/internal/flash"
 	"rmssd/internal/model"
 	"rmssd/internal/params"
+	"rmssd/internal/serving"
 	"rmssd/internal/tensor"
 	"rmssd/internal/trace"
 )
@@ -185,6 +186,64 @@ var MustNewTrace = trace.MustNew
 
 // AnalyzeTrace computes Fig. 4-style access statistics.
 var AnalyzeTrace = trace.Analyze
+
+// CriteoRecord is one parsed example of the Kaggle Criteo TSV format.
+type CriteoRecord = trace.CriteoRecord
+
+// CriteoParser streams records from a Criteo-format TSV reader.
+type CriteoParser = trace.CriteoParser
+
+// Criteo ingestion helpers: parse the dataset's native TSV, synthesise a
+// deterministic stand-in stream, and adapt records to a model's shape.
+var (
+	NewCriteoParser     = trace.NewCriteoParser
+	ParseCriteoLine     = trace.ParseCriteoLine
+	SynthesizeCriteoTSV = trace.SynthesizeCriteoTSV
+	RecordsToInference  = trace.RecordsToInference
+)
+
+// --- serving ---
+
+// ServingRequest is one client submission to a serving pool: either
+// count-only (server-synthesised inputs) or carrying explicit dense +
+// sparse payloads — the RM_send_inputs shape of Section VI.
+type ServingRequest = serving.Request
+
+// ServingResponse is what one submitted request gets back; Preds is an
+// owned copy of this request's window of the coalesced batch result.
+type ServingResponse = serving.Response
+
+// ServingPool is the sharded batching front-end: N independent devices,
+// each with its own virtual clock, behind round-robin dispatch with
+// consecutive-small-batch coalescing.
+type ServingPool = serving.Pool
+
+// ServingBatcher is one shard's backend.
+type ServingBatcher = serving.Batcher
+
+// ServingBatchResult is the outcome of one coalesced device batch.
+type ServingBatchResult = serving.BatchResult
+
+// ErrPoolClosed is returned by pool submissions after Close.
+var ErrPoolClosed = serving.ErrPoolClosed
+
+// NewServingPool builds a pool over independent device backends.
+var NewServingPool = serving.NewPool
+
+// Trace replay: drive the shards open-loop from an external request stream
+// on a deterministic virtual arrival timeline.
+type (
+	ReplayConfig  = serving.ReplayConfig
+	ReplayResult  = serving.ReplayResult
+	RequestSource = serving.RequestSource
+)
+
+// Replay and its request sources (synthetic generator, Criteo TSV).
+var (
+	Replay             = serving.Replay
+	NewGeneratorSource = serving.NewGeneratorSource
+	NewCriteoSource    = serving.NewCriteoSource
+)
 
 // --- experiments ---
 
