@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet lint test test-simdebug race fuzz-smoke bench bench-perf check
+.PHONY: build fmt vet lint test test-simdebug test-golden race fuzz-smoke bench bench-perf check
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,21 @@ test:
 test-simdebug:
 	$(GO) test -tags simdebug ./internal/sim/ ./internal/flash/ ./internal/core/ ./internal/ftl/ ./internal/ssd/ ./internal/engine/
 
+# Verify every pinned end-to-end artifact checksum. Regenerate (after an
+# intended calibration or behaviour change) with:
+#   go test ./internal/conformance/ -run TestGolden -update
+test-golden:
+	$(GO) test -count=1 ./internal/conformance/
+
 race:
 	$(GO) test -race ./...
 
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseCriteoLine -fuzztime=10s ./internal/trace/
 	$(GO) test -run='^$$' -fuzz=FuzzAnalyze -fuzztime=10s ./internal/trace/
+	$(GO) test -run='^$$' -fuzz=FuzzConfigValidate -fuzztime=10s ./internal/model/
+	$(GO) test -run='^$$' -fuzz=FuzzCriteoSource -fuzztime=10s ./internal/serving/
+	$(GO) test -run='^$$' -fuzz=FuzzInferRequest -fuzztime=10s ./cmd/rmserve/
 
 bench:
 	$(GO) run ./cmd/rmbench -exp all

@@ -12,6 +12,10 @@
 // Without -criteo-in, rmreplay synthesises requests from the paper's
 // locality model (the same generator rmserve uses for count-only requests).
 //
+// Against a multi-model server (rmserve -models config.json), -model NAME
+// addresses one hosted model: the client fetches that model's shape from
+// /models and tags every request body with the model name.
+//
 // Wall-clock numbers measure the host HTTP path and vary run to run; the
 // simulated numbers come from the device model. For a fully deterministic
 // in-process replay, use `rmserve -trace` instead.
@@ -33,8 +37,11 @@ import (
 	"rmssd"
 )
 
-// info mirrors the fields of rmserve's /info response the client needs.
+// info mirrors the fields of rmserve's /info and /models responses the
+// client needs. Name is the serving name (multi-model servers), Model the
+// underlying architecture.
 type info struct {
+	Name         string `json:"name"`
 	Model        string `json:"model"`
 	Tables       int    `json:"tables"`
 	Lookups      int    `json:"lookups"`
@@ -44,8 +51,10 @@ type info struct {
 	Shards       int    `json:"shards"`
 }
 
-// inferBody is the explicit-payload /infer request body.
+// inferBody is the explicit-payload /infer request body. Model addresses a
+// hosted model on a multi-model server; empty means the server's default.
 type inferBody struct {
+	Model  string         `json:"model,omitempty"`
 	Sparse [][][]int64    `json:"sparse"`
 	Dense  []rmssd.Vector `json:"dense,omitempty"`
 }
@@ -78,19 +87,20 @@ func main() {
 		rate        = flag.Float64("rate", 0, "open-loop send rate in requests/second (0 = closed loop)")
 		concurrency = flag.Int("concurrency", 4, "in-flight request cap")
 		seed        = flag.Uint64("seed", 1, "synthetic trace seed")
+		model       = flag.String("model", "", "hosted model to address on a multi-model server (default: server's default)")
 	)
 	flag.Parse()
-	if err := run(*addr, *criteoIn, *requests, *reqBatch, *rate, *concurrency, *seed, os.Stdout); err != nil {
+	if err := run(*addr, *model, *criteoIn, *requests, *reqBatch, *rate, *concurrency, *seed, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rmreplay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, criteoIn string, requests, reqBatch int, rate float64, concurrency int, seed uint64, w io.Writer) error {
+func run(addr, model, criteoIn string, requests, reqBatch int, rate float64, concurrency int, seed uint64, w io.Writer) error {
 	if requests <= 0 || reqBatch <= 0 || concurrency <= 0 {
 		return fmt.Errorf("need positive -requests, -req-batch and -concurrency")
 	}
-	inf, err := fetchInfo(addr)
+	inf, err := fetchInfo(addr, model)
 	if err != nil {
 		return err
 	}
@@ -118,7 +128,7 @@ func run(addr, criteoIn string, requests, reqBatch int, rate float64, concurrenc
 		if err != nil {
 			return fmt.Errorf("trace source: %w", err)
 		}
-		b, err := json.Marshal(inferBody{Sparse: req.Sparse, Dense: req.Dense})
+		b, err := json.Marshal(inferBody{Model: model, Sparse: req.Sparse, Dense: req.Dense})
 		if err != nil {
 			return err
 		}
@@ -215,18 +225,48 @@ func newSource(criteoIn string, inf info, reqBatch int, seed uint64) (rmssd.Requ
 	return src, nil, err
 }
 
-func fetchInfo(addr string) (info, error) {
-	resp, err := http.Get(addr + "/info")
+// fetchInfo resolves the target model's shape: the server's default model
+// via /info, or — when -model names a hosted model — its /models entry.
+func fetchInfo(addr, model string) (info, error) {
+	if model == "" {
+		resp, err := http.Get(addr + "/info")
+		if err != nil {
+			return info{}, err
+		}
+		defer resp.Body.Close()
+		var inf info
+		if err := json.NewDecoder(resp.Body).Decode(&inf); err != nil {
+			return info{}, fmt.Errorf("/info: %w", err)
+		}
+		return checkInfo(inf)
+	}
+	resp, err := http.Get(addr + "/models")
 	if err != nil {
 		return info{}, err
 	}
 	defer resp.Body.Close()
-	var inf info
-	if err := json.NewDecoder(resp.Body).Decode(&inf); err != nil {
-		return info{}, fmt.Errorf("/info: %w", err)
+	var body struct {
+		Models []info `json:"models"`
 	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return info{}, fmt.Errorf("/models: %w", err)
+	}
+	for _, inf := range body.Models {
+		if inf.Name == model {
+			return checkInfo(inf)
+		}
+	}
+	names := make([]string, len(body.Models))
+	for i, inf := range body.Models {
+		names[i] = inf.Name
+	}
+	return info{}, fmt.Errorf("server does not host model %q (hosts: %s)", model, strings.Join(names, ", "))
+}
+
+// checkInfo rejects shapes the trace sources cannot feed.
+func checkInfo(inf info) (info, error) {
 	if inf.Tables <= 0 || inf.Lookups <= 0 || inf.RowsPerTable <= 0 || inf.DenseDim <= 0 {
-		return info{}, fmt.Errorf("/info reported an unusable shape: %+v", inf)
+		return info{}, fmt.Errorf("server reported an unusable shape: %+v", inf)
 	}
 	return inf, nil
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stubServer mimics the slice of rmserve's API rmreplay consumes: /info
+// (default model), /models (hosted models), /infer (echoes a fixed reply
+// while recording which model each body addressed) and /stats.
+func stubServer(t *testing.T) (*httptest.Server, *sync.Map) {
+	t.Helper()
+	var seen sync.Map // model name -> request count (int)
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v interface{}) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			t.Errorf("encode: %v", err)
+		}
+	}
+	def := map[string]interface{}{
+		"name": "ctr", "model": "RMC1", "tables": 2, "lookups": 3,
+		"rowsPerTable": 64, "denseDim": 4, "deviceBatch": 8, "shards": 2,
+	}
+	wide := map[string]interface{}{
+		"name": "wide", "model": "WnD", "tables": 3, "lookups": 1,
+		"rowsPerTable": 32, "denseDim": 2, "deviceBatch": 4, "shards": 1,
+	}
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, def)
+	})
+	mux.HandleFunc("/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]interface{}{"models": []interface{}{def, wide}})
+	})
+	mux.HandleFunc("/infer", func(w http.ResponseWriter, r *http.Request) {
+		var body inferBody
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			writeJSON(w, map[string]string{"error": err.Error()})
+			return
+		}
+		n, _ := seen.LoadOrStore(body.Model, new(int))
+		cnt := n.(*int)
+		// The test server is single-threaded per count via this mutex-free
+		// pattern only because rmreplay runs make one concurrency lane.
+		*cnt++
+		writeJSON(w, map[string]interface{}{
+			"predictions":       make([]float32, len(body.Sparse)),
+			"simulatedLatency":  "10µs",
+			"shard":             0,
+			"coalescedBatch":    len(body.Sparse),
+			"coalescedRequests": 1,
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]interface{}{
+			"requests": 1, "inferences": 1, "deviceBatches": 1, "meanBatch": 1.0,
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &seen
+}
+
+func TestRunDefaultModel(t *testing.T) {
+	srv, seen := stubServer(t)
+	var sb strings.Builder
+	if err := run(srv.URL, "", "", 5, 1, 0, 1, 1, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"target:", "model=RMC1", "sim latency:", "wall latency:", "server:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Untagged bodies address the default model.
+	n, ok := seen.Load("")
+	if !ok || *n.(*int) != 5 {
+		t.Fatalf("default-model requests not observed: %v", n)
+	}
+}
+
+func TestRunNamedModel(t *testing.T) {
+	srv, seen := stubServer(t)
+	var sb strings.Builder
+	if err := run(srv.URL, "wide", "", 4, 1, 0, 1, 1, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "model=WnD") {
+		t.Fatalf("report does not describe the named model:\n%s", sb.String())
+	}
+	n, ok := seen.Load("wide")
+	if !ok || *n.(*int) != 4 {
+		t.Fatalf("tagged requests not observed: %v", n)
+	}
+	if _, ok := seen.Load(""); ok {
+		t.Fatal("untagged request leaked in named-model mode")
+	}
+}
+
+func TestRunUnknownModel(t *testing.T) {
+	srv, _ := stubServer(t)
+	err := run(srv.URL, "mystery", "", 1, 1, 0, 1, 1, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "mystery") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run("http://127.0.0.1:0", "", "", 0, 1, 0, 1, 1, &strings.Builder{}); err == nil {
+		t.Fatal("zero requests accepted")
+	}
+	if err := run("http://127.0.0.1:0", "", "", 1, 0, 0, 1, 1, &strings.Builder{}); err == nil {
+		t.Fatal("zero req-batch accepted")
+	}
+	if err := run("http://127.0.0.1:0", "", "", 1, 1, 0, 0, 1, &strings.Builder{}); err == nil {
+		t.Fatal("zero concurrency accepted")
+	}
+}

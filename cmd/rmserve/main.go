@@ -1,40 +1,51 @@
-// Command rmserve exposes a simulated RM-SSD behind an HTTP API: a
+// Command rmserve exposes simulated RM-SSDs behind an HTTP API: a
 // self-contained playground for exploring the device interactively.
 //
 //	rmserve -model RMC1 -table-mb 256 -shards 4 -addr :8080
+//	rmserve -models config.json -host-budget 8 -addr :8080
 //
 // Endpoints:
 //
 //	GET  /info             device, model and shard configuration
-//	GET  /qps?batch=N      analytic steady-state throughput (per shard and aggregate)
+//	GET  /models           hosted models with live per-model counters
+//	GET  /qps?batch=N      analytic steady-state throughput (add &model=NAME)
 //	POST /infer            inference request -> CTR predictions + simulated timing
 //	GET  /stats            aggregate flash traffic, per-shard clocks, observed QPS
 //
-// /infer accepts two request forms. The trace-driven form carries the
-// inputs — per-inference sparse indices (and optionally dense vectors),
-// exactly what the paper's RM_send_inputs interface transfers:
+// /infer accepts two request forms, optionally addressed to a hosted model
+// by name (`"model": "ctr"`; the first configured model is the default).
+// The trace-driven form carries the inputs — per-inference sparse indices
+// (and optionally dense vectors), exactly what the paper's RM_send_inputs
+// interface transfers:
 //
-//	{"sparse": [[[i...] per table] per inference], "dense": [[f...] per inference]}
+//	{"model": "ctr", "sparse": [[[i...] per table] per inference], "dense": [[f...] per inference]}
 //
 // The count-only demo form `{"batch": N}` instead synthesises N inferences
 // from the shard's own locality-model generator. Either way the reply
 // reports predictions, the simulated latency breakdown and how the request
 // was coalesced.
 //
-// The server hosts -shards independent devices (default GOMAXPROCS), each
-// with its own virtual clock, behind a batching front-end that coalesces
-// concurrent requests landing on the same shard into one device batch
-// (Section VI's consecutive-small-batch pipelining). There is no global
-// lock: shards share no simulation state, so request handling scales with
-// host cores while each shard's timeline stays deterministic.
+// Single-model mode hosts -shards independent devices (default GOMAXPROCS)
+// behind a batching front-end that coalesces concurrent requests landing on
+// the same shard into one device batch (Section VI's consecutive-small-batch
+// pipelining). Multi-model mode (-models config.json) hosts several
+// heterogeneous replicas — different architectures, table budgets and shard
+// counts — each behind its own pool, with a router dispatching by model
+// name. -host-budget B bounds the requests in flight across all models at
+// once (the models share the host's cores and PCIe lanes even though their
+// devices are independent); freed slots are granted by weighted round robin
+// over the waiting models.
 //
 // With -trace, rmserve does not serve HTTP at all: it replays a request
-// stream through the sharded pool open-loop at -rate requests per
-// simulated second and prints a deterministic latency/coalescing report
-// (byte-identical for the same seed and shard count):
+// stream through the pool(s) open-loop at -rate requests per simulated
+// second and prints a deterministic latency/coalescing report
+// (byte-identical for the same seed and configuration). In multi-model mode
+// the replay interleaves each model's stream by weight and reports one
+// section per model plus the aggregate:
 //
 //	rmserve -trace synthetic -requests 2000 -rate 50000 -req-batch 2
 //	rmserve -trace criteo -criteo-in day0.tsv -rate 50000
+//	rmserve -models config.json -trace synthetic -requests 2000 -rate 50000
 //
 // Use cmd/rmreplay to drive the HTTP path from a trace instead.
 //
@@ -116,18 +127,24 @@ func (d *deviceShard) snapshot() (fs rmssd.FlashStats, inferences int64, now tim
 	return d.dev.Device().Array().Stats(), d.dev.Inferences(), d.now
 }
 
-// server is the sharded HTTP front-end.
-type server struct {
-	cfg    rmssd.ModelConfig
-	shards []*deviceShard
-	pool   *serving.Pool
+// hostedModel is one named model on the server: its config, device shards
+// and effective batching parameters. The pool itself lives in the registry;
+// the pointer here is a convenience for the handlers and tests.
+type hostedModel struct {
+	name     string
+	weight   int
+	cfg      rmssd.ModelConfig
+	shards   []*deviceShard
+	pool     *serving.Pool
+	maxBatch int
+	queue    int
 }
 
-// newServer builds nshards independent devices for cfg. When several
+// newHostedModel builds nshards independent devices for cfg. When several
 // shards exist, each device simulates its flash channels sequentially
 // (shard-level parallelism already saturates the host); a single shard
 // keeps the device's own channel-parallel lanes.
-func newServer(cfg rmssd.ModelConfig, nshards int, seed uint64, maxBatch, queueDepth int) (*server, error) {
+func newHostedModel(name string, cfg rmssd.ModelConfig, nshards int, seed uint64, maxBatch, queueDepth, weight int) (*hostedModel, error) {
 	if nshards <= 0 {
 		nshards = runtime.GOMAXPROCS(0)
 	}
@@ -135,17 +152,16 @@ func newServer(cfg rmssd.ModelConfig, nshards int, seed uint64, maxBatch, queueD
 	if nshards == 1 {
 		devParallel = 0 // GOMAXPROCS lanes inside the single device
 	}
-	s := &server{cfg: cfg}
-	backends := make([]serving.Batcher, 0, nshards)
+	m := &hostedModel{name: name, weight: weight, cfg: cfg, queue: queueDepth}
 	for i := 0; i < nshards; i++ {
 		dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{Parallel: devParallel})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("rmserve: model %q: %w", name, err)
 		}
 		if maxBatch <= 0 {
 			maxBatch = dev.NBatch()
 		}
-		sh := &deviceShard{
+		m.shards = append(m.shards, &deviceShard{
 			id:  i,
 			dev: dev,
 			cfg: cfg,
@@ -153,38 +169,136 @@ func newServer(cfg rmssd.ModelConfig, nshards int, seed uint64, maxBatch, queueD
 				Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
 				Seed: seed + uint64(i)*0x9e37,
 			}),
-		}
-		s.shards = append(s.shards, sh)
-		backends = append(backends, sh)
+		})
 	}
-	s.pool = serving.NewPool(backends, maxBatch, queueDepth)
+	m.maxBatch = maxBatch
+	return m, nil
+}
+
+// backends adapts the shards to the serving layer.
+func (m *hostedModel) backends() []serving.Batcher {
+	bs := make([]serving.Batcher, len(m.shards))
+	for i, sh := range m.shards {
+		bs[i] = sh
+	}
+	return bs
+}
+
+// server is the multi-model HTTP front-end: a registry of per-model pools
+// with a router dispatching by model name. The first hosted model is the
+// default for requests that do not name one, which keeps the single-model
+// API unchanged.
+type server struct {
+	reg    *serving.Registry
+	router *serving.Router
+	models []*hostedModel
+	byName map[string]*hostedModel
+	def    *hostedModel
+}
+
+// newServer registers the hosted models and builds the router with the
+// shared host budget (0 = unlimited).
+func newServer(hosted []*hostedModel, budget int) (*server, error) {
+	if len(hosted) == 0 {
+		return nil, errors.New("rmserve: no models to host")
+	}
+	s := &server{
+		reg:    serving.NewRegistry(),
+		models: hosted,
+		byName: make(map[string]*hostedModel, len(hosted)),
+		def:    hosted[0],
+	}
+	for _, m := range hosted {
+		err := s.reg.Register(serving.ModelSpec{
+			Name:       m.name,
+			Backends:   m.backends(),
+			MaxBatch:   m.maxBatch,
+			QueueDepth: m.queue,
+			Weight:     m.weight,
+		})
+		if err != nil {
+			s.reg.Close()
+			return nil, err
+		}
+		if m.pool, err = s.reg.Pool(m.name); err != nil {
+			s.reg.Close()
+			return nil, err
+		}
+		s.byName[m.name] = m
+	}
+	s.router = serving.NewRouter(s.reg, budget)
 	return s, nil
+}
+
+// newSingleServer is the single-model construction used by the classic
+// flag set (and most tests): one hosted model under its architecture name.
+func newSingleServer(cfg rmssd.ModelConfig, nshards int, seed uint64, maxBatch, queueDepth int) (*server, error) {
+	m, err := newHostedModel(cfg.Name, cfg, nshards, seed, maxBatch, queueDepth, 1)
+	if err != nil {
+		return nil, err
+	}
+	return newServer([]*hostedModel{m}, 0)
+}
+
+// close shuts down every pool.
+func (s *server) close() { s.reg.Close() }
+
+// resolve maps a request's model name to its hosted model; empty names get
+// the default model.
+func (s *server) resolve(name string) (*hostedModel, error) {
+	if name == "" {
+		return s.def, nil
+	}
+	m, ok := s.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", serving.ErrUnknownModel, name)
+	}
+	return m, nil
 }
 
 func main() {
 	var (
-		modelName = flag.String("model", "RMC1", "model to host (RMC1/RMC2/RMC3/NCF/WnD)")
-		tableMB   = flag.Int64("table-mb", 256, "embedding table budget in MiB")
-		addr      = flag.String("addr", ":8080", "listen address")
-		seed      = flag.Uint64("seed", 1, "trace seed")
-		shards    = flag.Int("shards", 0, "independent device shards (0 = GOMAXPROCS)")
-		maxBatch  = flag.Int("max-batch", 0, "coalesced device batch cap (0 = device NBatch)")
-		queue     = flag.Int("queue", 256, "per-shard request queue depth")
-		traceMode = flag.String("trace", "", "replay a trace through the pool and exit: 'synthetic' or 'criteo'")
-		criteoIn  = flag.String("criteo-in", "", "Criteo-format TSV file for -trace criteo")
-		rate      = flag.Float64("rate", 50000, "replay offered load in requests per simulated second")
-		requests  = flag.Int("requests", 2000, "replay request count (synthetic; criteo stops at EOF)")
-		reqBatch  = flag.Int("req-batch", 1, "inferences per replayed request")
+		modelName  = flag.String("model", "RMC1", "model to host (RMC1/RMC2/RMC3/NCF/WnD)")
+		tableMB    = flag.Int64("table-mb", 256, "embedding table budget in MiB")
+		modelsFile = flag.String("models", "", "JSON file declaring hosted models (multi-model mode; overrides -model)")
+		hostBudget = flag.Int("host-budget", 0, "shared in-flight request budget across models (0 = unlimited)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		seed       = flag.Uint64("seed", 1, "trace seed")
+		shards     = flag.Int("shards", 0, "independent device shards (0 = GOMAXPROCS; single-model mode)")
+		maxBatch   = flag.Int("max-batch", 0, "coalesced device batch cap (0 = device NBatch; single-model mode)")
+		queue      = flag.Int("queue", 256, "per-shard request queue depth (single-model mode)")
+		traceMode  = flag.String("trace", "", "replay a trace through the pool(s) and exit: 'synthetic' or 'criteo'")
+		criteoIn   = flag.String("criteo-in", "", "Criteo-format TSV file for -trace criteo")
+		rate       = flag.Float64("rate", 50000, "replay offered load in requests per simulated second")
+		requests   = flag.Int("requests", 2000, "replay request count (synthetic; criteo stops at EOF)")
+		reqBatch   = flag.Int("req-batch", 1, "inferences per replayed request")
 	)
 	flag.Parse()
 
-	cfg, err := rmssd.ModelByName(*modelName)
-	if err != nil {
-		log.Fatal(err)
+	var (
+		s   *server
+		err error
+	)
+	if *modelsFile != "" {
+		mc, lerr := loadModelsConfig(*modelsFile)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		log.Printf("building RM-SSD pools for %d models...", len(mc.Models))
+		hosted, berr := mc.build(*seed)
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		s, err = newServer(hosted, *hostBudget)
+	} else {
+		cfg, cerr := rmssd.ModelByName(*modelName)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		cfg.RowsPerTable = cfg.RowsForBudget(*tableMB << 20)
+		log.Printf("building RM-SSD shards for %s (%d MiB tables)...", cfg.Name, *tableMB)
+		s, err = newSingleServer(cfg, *shards, *seed, *maxBatch, *queue)
 	}
-	cfg.RowsPerTable = cfg.RowsForBudget(*tableMB << 20)
-	log.Printf("building RM-SSD shards for %s (%d MiB tables)...", cfg.Name, *tableMB)
-	s, err := newServer(cfg, *shards, *seed, *maxBatch, *queue)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -197,15 +311,18 @@ func main() {
 		if err := s.runReplay(rc, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
-		s.pool.Close()
+		s.close()
 		return
 	}
 
 	mux := s.routes()
-	dev := s.shards[0].dev
-	log.Printf("serving on %s (%d shards, device batch %d, aggregate steady-state %.0f QPS)",
-		*addr, len(s.shards), dev.NBatch(),
-		dev.SteadyStateQPS(dev.NBatch())*float64(len(s.shards)))
+	var agg float64
+	for _, m := range s.models {
+		dev := m.shards[0].dev
+		agg += dev.SteadyStateQPS(dev.NBatch()) * float64(len(m.shards))
+	}
+	log.Printf("serving on %s (%d models, budget %d, aggregate steady-state %.0f QPS)",
+		*addr, len(s.models), s.router.Budget(), agg)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -214,6 +331,7 @@ func main() {
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/info", s.handleInfo)
+	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/qps", s.handleQPS)
 	mux.HandleFunc("/infer", s.handleInfer)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -229,20 +347,71 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	// The top-level fields describe the default model, which keeps the
+	// single-model API shape; `models` lists every hosted name.
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"model":        s.cfg.Name,
-		"tables":       s.cfg.Tables,
-		"lookups":      s.cfg.Lookups,
-		"evDim":        s.cfg.EVDim,
-		"rowsPerTable": s.cfg.RowsPerTable,
-		"denseDim":     s.cfg.DenseDim,
-		"tableBytes":   s.cfg.TableBytes(),
-		"deviceBatch":  s.shards[0].dev.NBatch(),
-		"shards":       len(s.shards),
+		"model":        s.def.cfg.Name,
+		"tables":       s.def.cfg.Tables,
+		"lookups":      s.def.cfg.Lookups,
+		"evDim":        s.def.cfg.EVDim,
+		"rowsPerTable": s.def.cfg.RowsPerTable,
+		"denseDim":     s.def.cfg.DenseDim,
+		"tableBytes":   s.def.cfg.TableBytes(),
+		"deviceBatch":  s.def.shards[0].dev.NBatch(),
+		"shards":       len(s.def.shards),
+		"models":       s.reg.Models(),
+		"defaultModel": s.def.name,
+		"hostBudget":   s.router.Budget(),
+	})
+}
+
+// handleModels lists every hosted model's configuration alongside its live
+// routing, latency and coalescing counters.
+func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
+	out := make([]map[string]interface{}, 0, len(s.models))
+	for _, m := range s.models {
+		st, err := s.reg.ModelStats(m.name)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		out = append(out, map[string]interface{}{
+			"name":           m.name,
+			"model":          m.cfg.Name,
+			"tables":         m.cfg.Tables,
+			"lookups":        m.cfg.Lookups,
+			"evDim":          m.cfg.EVDim,
+			"rowsPerTable":   m.cfg.RowsPerTable,
+			"denseDim":       m.cfg.DenseDim,
+			"tableBytes":     m.cfg.TableBytes(),
+			"deviceBatch":    m.shards[0].dev.NBatch(),
+			"shards":         len(m.shards),
+			"maxBatch":       m.maxBatch,
+			"weight":         st.Weight,
+			"submitted":      st.Submitted,
+			"rejected":       st.Rejected,
+			"waited":         st.Waited,
+			"requests":       st.Pool.Requests,
+			"inferences":     st.Pool.Inferences,
+			"deviceBatches":  st.Pool.Batches,
+			"meanBatch":      st.Pool.MeanBatch,
+			"meanSimLatency": st.MeanLatency.String(),
+			"maxSimLatency":  st.MaxLatency.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"models":       out,
+		"defaultModel": s.def.name,
+		"hostBudget":   s.router.Budget(),
 	})
 }
 
 func (s *server) handleQPS(w http.ResponseWriter, r *http.Request) {
+	m, err := s.resolve(r.URL.Query().Get("model"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
 	batch := 1
 	if b := r.URL.Query().Get("batch"); b != "" {
 		v, err := strconv.Atoi(b)
@@ -254,23 +423,28 @@ func (s *server) handleQPS(w http.ResponseWriter, r *http.Request) {
 	}
 	// SteadyStateQPS and Latency are pure functions of the configuration;
 	// no shard state is involved.
-	per := s.shards[0].dev.SteadyStateQPS(batch)
+	per := m.shards[0].dev.SteadyStateQPS(batch)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"model":          m.name,
 		"batch":          batch,
-		"shards":         len(s.shards),
+		"shards":         len(m.shards),
 		"steadyStateQPS": per,
-		"aggregateQPS":   per * float64(len(s.shards)),
-		"batchLatency":   s.shards[0].dev.Latency(batch).String(),
+		"aggregateQPS":   per * float64(len(m.shards)),
+		"batchLatency":   m.shards[0].dev.Latency(batch).String(),
 	})
 }
 
-// inferRequest is /infer's body. Two forms:
+// inferRequest is /infer's body. Two forms, optionally naming a model:
 //
-//	{"batch": N}                      count-only; the server synthesises inputs
-//	{"sparse": [[[i,...],...],...],   explicit payload: sparse[i][t] lists
+//	{"model": "ctr", "batch": N}      count-only; the server synthesises inputs
+//	{"model": "ctr",
+//	 "sparse": [[[i,...],...],...],   explicit payload: sparse[i][t] lists
 //	 "dense": [[f,...],...]}          table t's lookups for inference i;
 //	                                  dense is optional (zero vectors if absent)
+//
+// An absent model field addresses the default (first configured) model.
 type inferRequest struct {
+	Model  string         `json:"model"`
 	Batch  int            `json:"batch"`
 	Sparse [][][]int64    `json:"sparse"`
 	Dense  []rmssd.Vector `json:"dense"`
@@ -304,6 +478,43 @@ func validatePayload(cfg rmssd.ModelConfig, req serving.Request) error {
 	return nil
 }
 
+// buildInferRequest validates the decoded body against the addressed
+// model's shape and converts it to a serving request. Shared by the HTTP
+// handler and the fuzz harness.
+func (s *server) buildInferRequest(req inferRequest) (*hostedModel, serving.Request, error) {
+	m, err := s.resolve(req.Model)
+	if err != nil {
+		return nil, serving.Request{}, err
+	}
+	switch {
+	case len(req.Sparse) > 0:
+		if req.Batch > 0 && req.Batch != len(req.Sparse) {
+			return nil, serving.Request{}, fmt.Errorf("batch %d does not match %d sparse inferences", req.Batch, len(req.Sparse))
+		}
+		if len(req.Sparse) > maxInferBatch {
+			return nil, serving.Request{}, fmt.Errorf("batch too large (max %d)", maxInferBatch)
+		}
+		if req.Dense != nil && len(req.Dense) != len(req.Sparse) {
+			return nil, serving.Request{}, fmt.Errorf("%d dense vectors for %d inferences", len(req.Dense), len(req.Sparse))
+		}
+		sreq := serving.Request{Sparse: req.Sparse, Dense: req.Dense}
+		if err := validatePayload(m.cfg, sreq); err != nil {
+			return nil, serving.Request{}, err
+		}
+		return m, sreq, nil
+	case req.Dense != nil:
+		return nil, serving.Request{}, errors.New("dense payload without sparse indices")
+	default:
+		if req.Batch <= 0 {
+			req.Batch = 1
+		}
+		if req.Batch > maxInferBatch {
+			return nil, serving.Request{}, fmt.Errorf("batch too large (max %d)", maxInferBatch)
+		}
+		return m, serving.Request{N: req.Batch}, nil
+	}
+}
+
 func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
@@ -314,42 +525,16 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
-	var sreq serving.Request
-	switch {
-	case len(req.Sparse) > 0:
-		if req.Batch > 0 && req.Batch != len(req.Sparse) {
-			writeJSON(w, http.StatusBadRequest, map[string]string{
-				"error": fmt.Sprintf("batch %d does not match %d sparse inferences", req.Batch, len(req.Sparse))})
-			return
+	m, sreq, err := s.buildInferRequest(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, serving.ErrUnknownModel) {
+			status = http.StatusNotFound
 		}
-		if len(req.Sparse) > maxInferBatch {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "batch too large (max 256)"})
-			return
-		}
-		if req.Dense != nil && len(req.Dense) != len(req.Sparse) {
-			writeJSON(w, http.StatusBadRequest, map[string]string{
-				"error": fmt.Sprintf("%d dense vectors for %d inferences", len(req.Dense), len(req.Sparse))})
-			return
-		}
-		sreq = serving.Request{Sparse: req.Sparse, Dense: req.Dense}
-		if err := validatePayload(s.cfg, sreq); err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
-			return
-		}
-	case req.Dense != nil:
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "dense payload without sparse indices"})
+		writeJSON(w, status, map[string]string{"error": err.Error()})
 		return
-	default:
-		if req.Batch <= 0 {
-			req.Batch = 1
-		}
-		if req.Batch > maxInferBatch {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "batch too large (max 256)"})
-			return
-		}
-		sreq = serving.Request{N: req.Batch}
 	}
-	resp, err := s.pool.Submit(r.Context(), sreq)
+	resp, err := s.router.Submit(r.Context(), m.name, sreq)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, serving.ErrPoolClosed) || errors.Is(err, context.Canceled) ||
@@ -361,6 +546,7 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	bd, _ := resp.Meta.(rmssd.Breakdown)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"model":             m.name,
 		"predictions":       resp.Preds,
 		"simulatedLatency":  resp.Latency.String(),
 		"shard":             resp.Shard,
@@ -379,37 +565,48 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var (
 		vectorReads, pageReads, bytesTransferred, inferences int64
+		requests, batches                                    int64
 		observedQPS                                          float64
 		perShard                                             []map[string]interface{}
 	)
-	for _, sh := range s.shards {
-		fs, inf, now := sh.snapshot()
-		vectorReads += fs.VectorReads
-		pageReads += fs.PageReads
-		bytesTransferred += fs.BytesTransferred
-		inferences += inf
-		var qps float64
-		if now > 0 {
-			qps = float64(inf) / now.Seconds()
+	for _, m := range s.models {
+		for _, sh := range m.shards {
+			fs, inf, now := sh.snapshot()
+			vectorReads += fs.VectorReads
+			pageReads += fs.PageReads
+			bytesTransferred += fs.BytesTransferred
+			inferences += inf
+			var qps float64
+			if now > 0 {
+				qps = float64(inf) / now.Seconds()
+			}
+			observedQPS += qps
+			perShard = append(perShard, map[string]interface{}{
+				"model":      m.name,
+				"shard":      sh.id,
+				"inferences": inf,
+				"simClock":   now.String(),
+				"qps":        qps,
+			})
 		}
-		observedQPS += qps
-		perShard = append(perShard, map[string]interface{}{
-			"shard":      sh.id,
-			"inferences": inf,
-			"simClock":   now.String(),
-			"qps":        qps,
-		})
+		ps := m.pool.Stats()
+		requests += ps.Requests
+		batches += ps.Batches
 	}
-	ps := s.pool.Stats()
+	var meanBatch float64
+	if batches > 0 {
+		meanBatch = float64(inferences) / float64(batches)
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"vectorReads":      vectorReads,
 		"pageReads":        pageReads,
 		"bytesTransferred": bytesTransferred,
 		"inferences":       inferences,
 		"observedQPS":      observedQPS,
-		"requests":         ps.Requests,
-		"deviceBatches":    ps.Batches,
-		"meanBatch":        ps.MeanBatch,
+		"requests":         requests,
+		"deviceBatches":    batches,
+		"meanBatch":        meanBatch,
+		"inFlight":         s.router.InFlight(),
 		"shards":           perShard,
 	})
 }

@@ -19,11 +19,11 @@ func testServer(t *testing.T, shards int) *server {
 	t.Helper()
 	cfg := rmssd.RMC1()
 	cfg.RowsPerTable = cfg.RowsForBudget(16 << 20)
-	s, err := newServer(cfg, shards, 1, 8, 64)
+	s, err := newSingleServer(cfg, shards, 1, 8, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.pool.Close)
+	t.Cleanup(s.close)
 	return s
 }
 
@@ -175,7 +175,7 @@ func TestConcurrentClients(t *testing.T) {
 	// dropped or duplicated a coalesced request.
 	var inferences int64
 	var seq int
-	for _, sh := range s.shards {
+	for _, sh := range s.def.shards {
 		_, inf, _ := sh.snapshot()
 		inferences += inf
 		sh.mu.Lock()
@@ -188,7 +188,7 @@ func TestConcurrentClients(t *testing.T) {
 	if want := clients * perClient * batch; seq != want {
 		t.Errorf("trace sequences advanced to %d, want %d", seq, want)
 	}
-	if ps := s.pool.Stats(); ps.Requests != clients*perClient {
+	if ps := s.def.pool.Stats(); ps.Requests != clients*perClient {
 		t.Errorf("pool answered %d requests, want %d", ps.Requests, clients*perClient)
 	}
 }
@@ -199,11 +199,11 @@ func TestShardsIndependentClocks(t *testing.T) {
 	s := testServer(t, 2)
 	// Address shard 0 twice and shard 1 once via direct ServeBatch.
 	one := []serving.Request{{N: 1}}
-	s.shards[0].ServeBatch(one)
-	s.shards[0].ServeBatch(one)
-	s.shards[1].ServeBatch(one)
-	_, _, now0 := s.shards[0].snapshot()
-	_, _, now1 := s.shards[1].snapshot()
+	s.def.shards[0].ServeBatch(one)
+	s.def.shards[0].ServeBatch(one)
+	s.def.shards[1].ServeBatch(one)
+	_, _, now0 := s.def.shards[0].snapshot()
+	_, _, now1 := s.def.shards[1].snapshot()
 	if now0 <= now1 || now1 <= 0 {
 		t.Fatalf("clocks: shard0=%v shard1=%v", now0, now1)
 	}

@@ -1,0 +1,368 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"rmssd"
+	"rmssd/internal/serving"
+)
+
+// testMultiServer hosts two heterogeneous models: a sharded RMC1 replica
+// ("ctr", weight 2) and a single-shard WnD replica ("wide"). The configs
+// differ in every dimension the router must keep apart: table count,
+// lookups, embedding width and dense width.
+func testMultiServer(t *testing.T, budget int) *server {
+	t.Helper()
+	ctr := rmssd.RMC1()
+	ctr.RowsPerTable = ctr.RowsForBudget(16 << 20)
+	wide, err := rmssd.ModelByName("WnD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide.RowsPerTable = wide.RowsForBudget(16 << 20)
+	a, err := newHostedModel("ctr", ctr, 2, 1, 8, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newHostedModel("wide", wide, 1, 1, 8, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newServer([]*hostedModel{a, b}, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.close)
+	return s
+}
+
+func TestParseModelsConfig(t *testing.T) {
+	mc, err := parseModelsConfig(strings.NewReader(`{"models": [
+		{"name": "ctr", "model": "RMC1", "tableMB": 16, "shards": 2, "weight": 2},
+		{"model": "WnD", "tableMB": 16}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Models) != 2 {
+		t.Fatalf("models = %+v", mc.Models)
+	}
+	d := mc.Models[0]
+	if d.Name != "ctr" || d.Model != "RMC1" || d.Shards != 2 || d.Weight != 2 || d.Queue != 256 {
+		t.Fatalf("decl 0 = %+v", d)
+	}
+	// Defaults: name from architecture, shards 1, weight 1, tableMB kept.
+	d = mc.Models[1]
+	if d.Name != "WnD" || d.Shards != 1 || d.Weight != 1 || d.TableMB != 16 {
+		t.Fatalf("decl 1 = %+v", d)
+	}
+
+	hosted, err := mc.build(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hosted) != 2 || hosted[0].name != "ctr" || hosted[1].name != "WnD" {
+		t.Fatalf("hosted = %v, %v", hosted[0].name, hosted[1].name)
+	}
+	if hosted[0].cfg.Tables != 8 || hosted[1].cfg.Tables != 26 {
+		t.Fatalf("configs not heterogeneous: %d/%d tables",
+			hosted[0].cfg.Tables, hosted[1].cfg.Tables)
+	}
+}
+
+func TestParseModelsConfigRejects(t *testing.T) {
+	cases := []struct {
+		name, doc string
+	}{
+		{"empty", `{}`},
+		{"no models", `{"models": []}`},
+		{"missing architecture", `{"models": [{"name": "x"}]}`},
+		{"duplicate name", `{"models": [{"model": "RMC1"}, {"model": "RMC1"}]}`},
+		{"unknown field", `{"models": [{"model": "RMC1", "tableGB": 1}]}`},
+		{"negative weight", `{"models": [{"model": "RMC1", "weight": -1}]}`},
+		{"negative tableMB", `{"models": [{"model": "RMC1", "tableMB": -4}]}`},
+		{"trailing garbage", `{"models": [{"model": "RMC1"}]} {"models": []}`},
+		{"not json", `models: [RMC1]`},
+	}
+	for _, c := range cases {
+		if _, err := parseModelsConfig(strings.NewReader(c.doc)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// Unknown architectures surface at build time.
+	mc, err := parseModelsConfig(strings.NewReader(`{"models": [{"model": "RMC9"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.build(1); err == nil {
+		t.Fatal("unknown architecture accepted at build")
+	}
+}
+
+func TestHandleModels(t *testing.T) {
+	s := testMultiServer(t, 0)
+	// Route one request to each model so the counters move.
+	for _, body := range []string{`{"model":"ctr","batch":2}`, `{"model":"wide","batch":1}`} {
+		rec := httptest.NewRecorder()
+		s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("infer %s: status %d: %s", body, rec.Code, rec.Body.String())
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.handleModels(rec, httptest.NewRequest(http.MethodGet, "/models", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Models []struct {
+			Name       string  `json:"name"`
+			Model      string  `json:"model"`
+			Tables     int     `json:"tables"`
+			Shards     int     `json:"shards"`
+			Weight     int     `json:"weight"`
+			Submitted  int64   `json:"submitted"`
+			Inferences int64   `json:"inferences"`
+			MeanBatch  float64 `json:"meanBatch"`
+			MeanSimLat string  `json:"meanSimLatency"`
+		} `json:"models"`
+		DefaultModel string `json:"defaultModel"`
+		HostBudget   int    `json:"hostBudget"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Models) != 2 || body.DefaultModel != "ctr" || body.HostBudget != 0 {
+		t.Fatalf("body = %+v", body)
+	}
+	ctr, wide := body.Models[0], body.Models[1]
+	if ctr.Name != "ctr" || ctr.Model != "RMC1" || ctr.Tables != 8 || ctr.Shards != 2 || ctr.Weight != 2 {
+		t.Fatalf("ctr = %+v", ctr)
+	}
+	if wide.Name != "wide" || wide.Model != "WnD" || wide.Tables != 26 {
+		t.Fatalf("wide = %+v", wide)
+	}
+	if ctr.Submitted != 1 || wide.Submitted != 1 {
+		t.Fatalf("submitted = %d/%d", ctr.Submitted, wide.Submitted)
+	}
+	if ctr.Inferences != 2 || wide.Inferences != 1 {
+		t.Fatalf("inferences = %d/%d", ctr.Inferences, wide.Inferences)
+	}
+	if ctr.MeanSimLat == "0s" || wide.MeanSimLat == "0s" {
+		t.Fatalf("no latency observed: %q/%q", ctr.MeanSimLat, wide.MeanSimLat)
+	}
+}
+
+func TestInferRoutesByModel(t *testing.T) {
+	s := testMultiServer(t, 0)
+
+	// Unknown model: 404 before any pool work.
+	rec := httptest.NewRecorder()
+	s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer",
+		strings.NewReader(`{"model":"mystery","batch":1}`)))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d", rec.Code)
+	}
+
+	// Explicit payload shaped for the *wide* model must be rejected when
+	// routed (by default) to ctr, and accepted when addressed to wide.
+	inf := make([][]int64, 26)
+	for t := range inf {
+		inf[t] = []int64{0}
+	}
+	payload, err := json.Marshal(map[string]interface{}{"sparse": [][][]int64{inf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(string(payload))))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("wide payload on ctr: status %d: %s", rec.Code, rec.Body.String())
+	}
+	tagged, err := json.Marshal(map[string]interface{}{"model": "wide", "sparse": [][][]int64{inf}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	s.handleInfer(rec, httptest.NewRequest(http.MethodPost, "/infer", strings.NewReader(string(tagged))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("wide payload on wide: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp struct {
+		Model       string    `json:"model"`
+		Predictions []float32 `json:"predictions"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Model != "wide" || len(resp.Predictions) != 1 {
+		t.Fatalf("resp = %+v", resp)
+	}
+
+	// The wide inference must have landed on wide's devices, not ctr's.
+	_, wideInf, _ := s.byName["wide"].shards[0].snapshot()
+	if wideInf != 1 {
+		t.Fatalf("wide device served %d inferences", wideInf)
+	}
+
+	// QPS is per model too.
+	rec = httptest.NewRecorder()
+	s.handleQPS(rec, httptest.NewRequest(http.MethodGet, "/qps?batch=2&model=wide", nil))
+	var qps struct {
+		Model  string `json:"model"`
+		Shards int    `json:"shards"`
+	}
+	if err := json.NewDecoder(rec.Body).Decode(&qps); err != nil {
+		t.Fatal(err)
+	}
+	if qps.Model != "wide" || qps.Shards != 1 {
+		t.Fatalf("qps = %+v", qps)
+	}
+	rec = httptest.NewRecorder()
+	s.handleQPS(rec, httptest.NewRequest(http.MethodGet, "/qps?model=mystery", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown qps model: status %d", rec.Code)
+	}
+}
+
+// TestMultiModelConcurrentClients hammers both models through the real mux
+// with a shared host budget, racing against a registry close at the end.
+// Run with -race: this is the concurrency acceptance test for the
+// registry/router path in its HTTP embedding.
+func TestMultiModelConcurrentClients(t *testing.T) {
+	s := testMultiServer(t, 3)
+	srv := httptest.NewServer(s.routes())
+	defer srv.Close()
+
+	const (
+		clients   = 8
+		perClient = 5
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*perClient)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			model := [...]string{"ctr", "wide"}[c%2]
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(srv.URL+"/infer", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"model":%q,"batch":1}`, model)))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("model %s: status %d", model, resp.StatusCode)
+				}
+				//lint:allow errcheck response body already fully decoded; close error is immaterial
+				resp.Body.Close()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Budgeted admission never leaks slots.
+	if got := s.router.InFlight(); got != 0 {
+		t.Fatalf("in flight after drain: %d", got)
+	}
+	// Every inference is accounted to the right model.
+	var ctrInf, wideInf int64
+	for _, sh := range s.byName["ctr"].shards {
+		_, inf, _ := sh.snapshot()
+		ctrInf += inf
+	}
+	for _, sh := range s.byName["wide"].shards {
+		_, inf, _ := sh.snapshot()
+		wideInf += inf
+	}
+	if want := int64(clients / 2 * perClient); ctrInf != want || wideInf != want {
+		t.Fatalf("inferences ctr=%d wide=%d, want %d each", ctrInf, wideInf, want)
+	}
+}
+
+// TestMultiReplaySynthetic: the mixed-trace replay is deterministic and
+// each model's section is byte-identical to a solo replay of that model
+// with the derived seed.
+func TestMultiReplaySynthetic(t *testing.T) {
+	rc := replayConfig{Mode: "synthetic", Rate: 100000, Requests: 90, ReqBatch: 1, Seed: 5}
+	run := func() serving.MultiReplayResult {
+		s := testMultiServer(t, 0)
+		res, err := s.multiReplay(rc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("multi replay not deterministic:\n%+v\n%+v", a, b)
+	}
+	if !reflect.DeepEqual(a.Models, []string{"ctr", "wide"}) {
+		t.Fatalf("models = %v", a.Models)
+	}
+	// Weight 2:1 interleave.
+	if a.PerModel["ctr"].Requests != 60 || a.PerModel["wide"].Requests != 30 {
+		t.Fatalf("per-model requests = %d/%d",
+			a.PerModel["ctr"].Requests, a.PerModel["wide"].Requests)
+	}
+
+	// Solo identity: replay ctr alone (fresh single-model server of the
+	// same config) over the same derived stream seed and request count.
+	ctr := rmssd.RMC1()
+	ctr.RowsPerTable = ctr.RowsForBudget(16 << 20)
+	m, err := newHostedModel("ctr", ctr, 2, 1, 8, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := newServer([]*hostedModel{m}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(solo.close)
+	seed := serving.ModelReplaySeed(rc.Seed, "ctr")
+	src, _, err := m.newSource(rc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serving.Replay(m.backends(), serving.ReplayConfig{
+		Rate: rc.Rate, MaxBatch: m.maxBatch, Requests: 60, Seed: seed,
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.PerModel["ctr"], want) {
+		t.Fatalf("mixed != solo for ctr:\nmixed %+v\nsolo  %+v", a.PerModel["ctr"], want)
+	}
+}
+
+// TestMultiReplayReport: the printed multi-model report carries the
+// aggregate plus one section per model.
+func TestMultiReplayReport(t *testing.T) {
+	s := testMultiServer(t, 0)
+	var sb strings.Builder
+	rc := replayConfig{Mode: "synthetic", Rate: 100000, Requests: 30, ReqBatch: 1, Seed: 3}
+	if err := s.runReplay(rc, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"replay synthetic: 2 models", "aggregate:", "--- model ctr (RMC1",
+		"--- model wide (WnD", "pred check:", "sim latency:", "wall clock:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,11 +12,18 @@ import (
 )
 
 // Trace replay mode: `rmserve -trace synthetic|criteo` drives the sharded
-// pool open-loop from an externally supplied request stream instead of
+// pool(s) open-loop from an externally supplied request stream instead of
 // serving HTTP — the trace-driven analogue of RecSSD's evaluation, which
 // replays measured Criteo access streams against the device. The arrival
 // timeline is virtual and the source is deterministic, so the emitted
-// report is byte-identical across runs with the same seed and shard count.
+// report is byte-identical across runs with the same seed and
+// configuration.
+//
+// In multi-model mode the replayed stream is the weighted interleave of one
+// per-model source (each model draws inputs shaped for its own tables), and
+// the replay itself is a serving.MultiReplay: each model's subsequence runs
+// on its own seeded virtual timeline, so the per-model numbers are
+// byte-identical to replaying that model alone.
 
 // replayConfig parameterises one replay run.
 type replayConfig struct {
@@ -28,19 +35,20 @@ type replayConfig struct {
 	Seed     uint64
 }
 
-// newSource builds the request source for the config. The returned closer
-// is nil for sources without an underlying file.
-func (s *server) newSource(rc replayConfig) (serving.RequestSource, io.Closer, error) {
+// newSource builds the model's request source for the config, drawing from
+// the given stream seed. The returned closer is nil for sources without an
+// underlying file.
+func (m *hostedModel) newSource(rc replayConfig, seed uint64) (serving.RequestSource, io.Closer, error) {
 	switch rc.Mode {
 	case "synthetic":
 		gen, err := rmssd.NewTrace(rmssd.TraceConfig{
-			Tables: s.cfg.Tables, Rows: s.cfg.RowsPerTable, Lookups: s.cfg.Lookups,
-			Seed: rc.Seed,
+			Tables: m.cfg.Tables, Rows: m.cfg.RowsPerTable, Lookups: m.cfg.Lookups,
+			Seed: seed,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
-		src, err := serving.NewGeneratorSource(gen, rc.ReqBatch, s.cfg.DenseDim)
+		src, err := serving.NewGeneratorSource(gen, rc.ReqBatch, m.cfg.DenseDim)
 		return src, nil, err
 	case "criteo":
 		if rc.CriteoIn == "" {
@@ -50,13 +58,13 @@ func (s *server) newSource(rc replayConfig) (serving.RequestSource, io.Closer, e
 		if err != nil {
 			return nil, nil, err
 		}
-		p, err := rmssd.NewCriteoParser(f, s.cfg.RowsPerTable)
+		p, err := rmssd.NewCriteoParser(f, m.cfg.RowsPerTable)
 		if err != nil {
 			//lint:allow errcheck read-only file on an error path; the parse error is what matters
 			f.Close()
 			return nil, nil, err
 		}
-		src, err := serving.NewCriteoSource(p, s.cfg.Tables, s.cfg.Lookups, s.cfg.DenseDim, rc.ReqBatch)
+		src, err := serving.NewCriteoSource(p, m.cfg.Tables, m.cfg.Lookups, m.cfg.DenseDim, rc.ReqBatch)
 		if err != nil {
 			//lint:allow errcheck read-only file on an error path; the source error is what matters
 			f.Close()
@@ -68,63 +76,116 @@ func (s *server) newSource(rc replayConfig) (serving.RequestSource, io.Closer, e
 	}
 }
 
-// replay drives the shards and returns the deterministic result. The pool's
-// workers must be idle (no concurrent HTTP traffic): ServeBatch is invoked
-// from this goroutine only.
+// replay drives the default model's shards and returns the deterministic
+// result. The pool's workers must be idle (no concurrent HTTP traffic):
+// ServeBatch is invoked from this goroutine only.
 func (s *server) replay(rc replayConfig) (serving.ReplayResult, error) {
 	if rc.Mode == "synthetic" && rc.Requests <= 0 {
 		return serving.ReplayResult{}, fmt.Errorf("rmserve: synthetic replay needs -requests > 0")
 	}
-	src, closer, err := s.newSource(rc)
+	m := s.def
+	src, closer, err := m.newSource(rc, rc.Seed)
 	if err != nil {
 		return serving.ReplayResult{}, err
 	}
 	if closer != nil {
 		defer closer.Close()
 	}
-	backends := make([]serving.Batcher, len(s.shards))
-	for i, sh := range s.shards {
-		backends[i] = sh
-	}
-	maxBatch := s.pool.MaxBatch()
-	return serving.Replay(backends, serving.ReplayConfig{
-		Rate: rc.Rate, MaxBatch: maxBatch, Requests: rc.Requests, Seed: rc.Seed,
+	return serving.Replay(m.backends(), serving.ReplayConfig{
+		Rate: rc.Rate, MaxBatch: m.maxBatch, Requests: rc.Requests, Seed: rc.Seed,
 	}, src)
 }
 
-// runReplay runs the replay and prints the report.
+// multiReplay interleaves one source per hosted model by registration
+// weight and replays the mixed stream through every model's own pool
+// backends. Criteo mode opens the TSV once per model: each model maps the
+// same record stream onto its own table geometry.
+func (s *server) multiReplay(rc replayConfig) (serving.MultiReplayResult, error) {
+	if rc.Mode == "synthetic" && rc.Requests <= 0 {
+		return serving.MultiReplayResult{}, fmt.Errorf("rmserve: synthetic replay needs -requests > 0")
+	}
+	parts := make([]serving.TaggedPart, 0, len(s.models))
+	models := make([]serving.ReplayModel, 0, len(s.models))
+	for _, m := range s.models {
+		// Each model draws its inputs from its own seeded stream; the seed
+		// is derived exactly like the model's arrival seed so a solo rerun
+		// can reproduce both the inputs and the timeline.
+		src, closer, err := m.newSource(rc, serving.ModelReplaySeed(rc.Seed, m.name))
+		if err != nil {
+			return serving.MultiReplayResult{}, err
+		}
+		if closer != nil {
+			defer closer.Close()
+		}
+		parts = append(parts, serving.TaggedPart{Model: m.name, Source: src, Weight: m.weight})
+		models = append(models, serving.ReplayModel{Name: m.name, Backends: m.backends(), MaxBatch: m.maxBatch})
+	}
+	src, err := serving.NewInterleavedSource(parts)
+	if err != nil {
+		return serving.MultiReplayResult{}, err
+	}
+	return serving.MultiReplay(models, serving.MultiReplayConfig{
+		Rate: rc.Rate, Requests: rc.Requests, Seed: rc.Seed,
+	}, src)
+}
+
+// formatReplayResult renders one model's replay section.
+func formatReplayResult(sb *strings.Builder, res serving.ReplayResult) {
+	fmt.Fprintf(sb, "served:       %d requests, %d inferences in %d device batches\n",
+		res.Requests, res.Inferences, res.Batches)
+	fmt.Fprintf(sb, "coalescing:   %.2f inferences/batch, %.2f requests/batch\n",
+		res.MeanBatch, res.Coalesced)
+	fmt.Fprintf(sb, "sim latency:  p50=%v p95=%v p99=%v max=%v\n",
+		res.P50, res.P95, res.P99, res.Max)
+	fmt.Fprintf(sb, "sim elapsed:  %v (%.0f inf/s simulated)\n", res.Elapsed, res.ThroughputQPS)
+	fmt.Fprintf(sb, "pred check:   %016x\n", res.PredCheck)
+	fmt.Fprintf(sb, "per shard:    ")
+	for i, n := range res.PerShard {
+		if i > 0 {
+			fmt.Fprint(sb, " ")
+		}
+		fmt.Fprintf(sb, "%d", n)
+	}
+	fmt.Fprintf(sb, " (inferences)\n")
+}
+
+// runReplay runs the replay and prints the report: the classic single-model
+// report when one model is hosted, or one section per model plus the
+// aggregate in multi-model mode.
 func (s *server) runReplay(rc replayConfig, w io.Writer) error {
 	//lint:allow wallclock host-side harness reports real elapsed time next to simulated results
 	start := time.Now()
-	res, err := s.replay(rc)
-	if err != nil {
-		return err
-	}
-	//lint:allow wallclock host-side harness reports real elapsed time next to simulated results
-	wall := time.Since(start)
 
 	// Build the report in memory, then flush once so a failed write on the
 	// destination surfaces as the command's error.
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "replay %s: model=%s shards=%d rate=%.0f req/s req-batch=%d seed=%d\n",
-		rc.Mode, s.cfg.Name, len(s.shards), rc.Rate, rc.ReqBatch, rc.Seed)
-	fmt.Fprintf(&sb, "served:       %d requests, %d inferences in %d device batches\n",
-		res.Requests, res.Inferences, res.Batches)
-	fmt.Fprintf(&sb, "coalescing:   %.2f inferences/batch, %.2f requests/batch\n",
-		res.MeanBatch, res.Coalesced)
-	fmt.Fprintf(&sb, "sim latency:  p50=%v p95=%v p99=%v max=%v\n",
-		res.P50, res.P95, res.P99, res.Max)
-	fmt.Fprintf(&sb, "sim elapsed:  %v (%.0f inf/s simulated)\n", res.Elapsed, res.ThroughputQPS)
-	fmt.Fprintf(&sb, "pred check:   %016x\n", res.PredCheck)
-	fmt.Fprintf(&sb, "per shard:    ")
-	for i, n := range res.PerShard {
-		if i > 0 {
-			fmt.Fprint(&sb, " ")
+	if len(s.models) == 1 {
+		res, err := s.replay(rc)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(&sb, "%d", n)
+		fmt.Fprintf(&sb, "replay %s: model=%s shards=%d rate=%.0f req/s req-batch=%d seed=%d\n",
+			rc.Mode, s.def.cfg.Name, len(s.def.shards), rc.Rate, rc.ReqBatch, rc.Seed)
+		formatReplayResult(&sb, res)
+	} else {
+		res, err := s.multiReplay(rc)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&sb, "replay %s: %d models rate=%.0f req/s req-batch=%d seed=%d\n",
+			rc.Mode, len(s.models), rc.Rate, rc.ReqBatch, rc.Seed)
+		fmt.Fprintf(&sb, "aggregate:    %d requests, %d inferences in %d device batches\n",
+			res.Requests, res.Inferences, res.Batches)
+		for _, name := range res.Models {
+			m := s.byName[name]
+			fmt.Fprintf(&sb, "--- model %s (%s, %d shards, weight %d, seed %d)\n",
+				name, m.cfg.Name, len(m.shards), m.weight, serving.ModelReplaySeed(rc.Seed, name))
+			formatReplayResult(&sb, res.PerModel[name])
+		}
 	}
-	fmt.Fprintf(&sb, " (inferences)\n")
+	//lint:allow wallclock host-side harness reports real elapsed time next to simulated results
+	wall := time.Since(start)
 	fmt.Fprintf(&sb, "wall clock:   %v host time\n", wall.Round(time.Millisecond))
-	_, err = io.WriteString(w, sb.String())
+	_, err := io.WriteString(w, sb.String())
 	return err
 }

@@ -28,17 +28,17 @@ func TestExplicitInferMatchesDevice(t *testing.T) {
 	// Draw inputs from an independent generator (these are the "client's"
 	// indices; the server has never seen this stream).
 	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
-		Tables: s.cfg.Tables, Rows: s.cfg.RowsPerTable, Lookups: s.cfg.Lookups, Seed: 99,
+		Tables: s.def.cfg.Tables, Rows: s.def.cfg.RowsPerTable, Lookups: s.def.cfg.Lookups, Seed: 99,
 	})
 	const batch = 3
 	sparses := gen.Batch(batch)
 	denses := make([]rmssd.Vector, batch)
 	for i := range denses {
-		denses[i] = gen.DenseInput(i, s.cfg.DenseDim)
+		denses[i] = gen.DenseInput(i, s.def.cfg.DenseDim)
 	}
 
 	// Reference: a fresh device of the same config serves the same inputs.
-	ref := rmssd.MustNewDevice(s.cfg, rmssd.DeviceOptions{})
+	ref := rmssd.MustNewDevice(s.def.cfg, rmssd.DeviceOptions{})
 	want, _, _ := ref.InferBatch(0, denses, sparses)
 
 	body, err := json.Marshal(map[string]interface{}{"sparse": sparses, "dense": denses})
@@ -70,7 +70,7 @@ func TestExplicitInferMatchesDevice(t *testing.T) {
 // panicking deep inside the device.
 func TestExplicitInferValidation(t *testing.T) {
 	s := testServer(t, 1)
-	cfg := s.cfg
+	cfg := s.def.cfg
 	goodInf := func() [][]int64 {
 		inf := make([][]int64, cfg.Tables)
 		for t := range inf {
@@ -140,11 +140,11 @@ func TestPayloadPathMatchesCountOnly(t *testing.T) {
 		batch = 2
 	)
 	newS := func() *server {
-		s, err := newServer(cfg, 1, seed, 8, 64)
+		s, err := newSingleServer(cfg, 1, seed, 8, 64)
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(s.pool.Close)
+		t.Cleanup(s.close)
 		return s
 	}
 
@@ -153,7 +153,7 @@ func TestPayloadPathMatchesCountOnly(t *testing.T) {
 	a := newS()
 	var aPreds []float32
 	for i := 0; i < reqs; i++ {
-		resp, err := a.pool.Infer(batch)
+		resp, err := a.def.pool.Infer(batch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func TestPayloadPathMatchesCountOnly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := b.pool.Submit(context.Background(), req)
+		resp, err := b.def.pool.Submit(context.Background(), req)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,8 +193,8 @@ func TestPayloadPathMatchesCountOnly(t *testing.T) {
 		}
 	}
 	// And the simulated device state advanced identically.
-	_, aInf, aNow := a.shards[0].snapshot()
-	_, bInf, bNow := b.shards[0].snapshot()
+	_, aInf, aNow := a.def.shards[0].snapshot()
+	_, bInf, bNow := b.def.shards[0].snapshot()
 	if aInf != bInf || aNow != bNow {
 		t.Fatalf("device divergence: %d@%v vs %d@%v", aInf, aNow, bInf, bNow)
 	}
@@ -232,7 +232,7 @@ func TestReplaySyntheticDeterministic(t *testing.T) {
 func TestReplayCriteo(t *testing.T) {
 	s := testServer(t, 2)
 	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
-		Tables: s.cfg.Tables, Rows: s.cfg.RowsPerTable, Lookups: s.cfg.Lookups, Seed: 2,
+		Tables: s.def.cfg.Tables, Rows: s.def.cfg.RowsPerTable, Lookups: s.def.cfg.Lookups, Seed: 2,
 	})
 	tsv := filepath.Join(t.TempDir(), "criteo.tsv")
 	f, err := os.Create(tsv)
@@ -240,7 +240,7 @@ func TestReplayCriteo(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Enough records for 5 full inferences at `Lookups` records each.
-	records := 5 * s.cfg.Lookups
+	records := 5 * s.def.cfg.Lookups
 	if err := rmssd.SynthesizeCriteoTSV(f, records, gen); err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestReplayCriteo(t *testing.T) {
 			t.Fatalf("report missing %q:\n%s", want, out)
 		}
 	}
-	wantInf := records / s.cfg.Lookups
+	wantInf := records / s.def.cfg.Lookups
 	if !strings.Contains(out, fmt.Sprintf("%d inferences", wantInf)) {
 		t.Fatalf("report does not account for %d inferences:\n%s", wantInf, out)
 	}

@@ -1,0 +1,305 @@
+// Package conformance pins the simulator's observable outputs to golden
+// checksums. Every case renders a deterministic artifact — a bench table,
+// a trace-replay report, a batch of device predictions with their simulated
+// timing — and the suite compares an FNV-1a checksum of the rendered text
+// against testdata/golden.json.
+//
+// The golden file also records params.TimingFingerprint(), a hash of every
+// calibration constant feeding the simulated timelines. A failing checksum
+// therefore has two distinguishable causes:
+//
+//   - the fingerprint still matches: the simulator's behaviour changed
+//     under the same calibration — a regression (or an intended behaviour
+//     change that must regenerate the goldens consciously);
+//   - the fingerprint differs: a calibration constant (Tpage, channel
+//     count, kernel II, ...) was retuned, and every downstream number is
+//     expected to move — regenerate with -update and review the diff.
+//
+// Regenerate with:
+//
+//	go test ./internal/conformance/ -run TestGolden -update
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"rmssd/internal/bench"
+	"rmssd/internal/core"
+	"rmssd/internal/model"
+	"rmssd/internal/serving"
+	"rmssd/internal/tensor"
+	"rmssd/internal/trace"
+)
+
+// Checksum returns the FNV-1a hash of the rendered artifact.
+func Checksum(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Case is one pinned artifact.
+type Case struct {
+	// Name keys the golden entry (stable across runs and reorderings).
+	Name string
+	// Render produces the artifact deterministically.
+	Render func() (string, error)
+}
+
+// tableBudget keeps conformance devices small and fast while still
+// exercising multi-page table layouts.
+const tableBudget = 16 << 20
+
+// Cases returns the golden suite in name order.
+func Cases() []Case {
+	cases := []Case{
+		{Name: "device/infer", Render: renderDeviceInfer},
+		{Name: "replay/single", Render: renderSingleReplay},
+		{Name: "replay/mixed", Render: renderMixedReplay},
+	}
+	// Static tables: pure functions of the calibration constants (Table II
+	// settings, model zoo, kernel search results, resource totals).
+	for _, name := range []string{"table2", "table3", "table5", "table6"} {
+		cases = append(cases, benchCase(name))
+	}
+	// One timing experiment end to end, at reduced scale: the SLS operator
+	// comparison exercises flash reads, pooling and the host cost model.
+	cases = append(cases, benchCase("fig10"))
+	sort.Slice(cases, func(i, j int) bool { return cases[i].Name < cases[j].Name })
+	return cases
+}
+
+// benchCase renders one bench experiment at conformance scale.
+func benchCase(name string) Case {
+	return Case{
+		Name: "bench/" + name,
+		Render: func() (string, error) {
+			e, err := bench.Find(name)
+			if err != nil {
+				return "", err
+			}
+			var sb strings.Builder
+			for _, tab := range e.Run(bench.Options{
+				Iterations: 2, WarmupIterations: 1,
+				TableBytes: tableBudget, Seed: 1, Parallel: 1,
+			}) {
+				sb.WriteString(tab.String())
+				sb.WriteByte('\n')
+			}
+			return sb.String(), nil
+		},
+	}
+}
+
+// confModels are the architectures the device-level cases pin. RMC1 is
+// embedding-dominated, RMC3 MLP-dominated, WnD single-lookup: together they
+// route through every engine path.
+func confModels() []model.Config {
+	out := []model.Config{}
+	for _, cfg := range []model.Config{model.RMC1(), model.RMC3(), model.WnD()} {
+		cfg.RowsPerTable = cfg.RowsForBudget(tableBudget)
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// renderDeviceInfer runs a fixed batch through each model's device and
+// renders the prediction bit patterns with the full simulated timing
+// breakdown. Any change to the flash timing (Tpage, vector-read cycles),
+// the MLP engine schedule or the arithmetic itself moves this artifact.
+func renderDeviceInfer() (string, error) {
+	var sb strings.Builder
+	for _, cfg := range confModels() {
+		dev, err := core.New(cfg, core.Options{})
+		if err != nil {
+			return "", err
+		}
+		gen, err := trace.NewGenerator(trace.Config{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 11,
+		})
+		if err != nil {
+			return "", err
+		}
+		const batch = 3
+		denses := make([]tensor.Vector, batch)
+		for i := range denses {
+			denses[i] = gen.DenseInput(i, cfg.DenseDim)
+		}
+		now := time.Duration(0)
+		fmt.Fprintf(&sb, "model %s tables=%d lookups=%d rows=%d\n",
+			cfg.Name, cfg.Tables, cfg.Lookups, cfg.RowsPerTable)
+		for it := 0; it < 2; it++ {
+			outs, done, bd := dev.InferBatch(now, denses, gen.Batch(batch))
+			fmt.Fprintf(&sb, "  batch %d: done=%v send=%v emb=%v bot=%v top=%v read=%v preds=",
+				it, done, bd.Send, bd.Emb, bd.Bot, bd.Top, bd.Read)
+			for _, p := range outs {
+				fmt.Fprintf(&sb, "%08x", math.Float32bits(p))
+			}
+			sb.WriteByte('\n')
+			now = done
+		}
+	}
+	return sb.String(), nil
+}
+
+// deviceBatcher adapts one device to the serving layer for the replay
+// cases: a single-goroutine virtual clock, no locking needed.
+type deviceBatcher struct {
+	dev *core.RMSSD
+	gen *trace.Generator
+	cfg model.Config
+	now time.Duration
+	seq int
+}
+
+func (d *deviceBatcher) ServeBatch(reqs []serving.Request) serving.BatchResult {
+	n := serving.CountOf(reqs)
+	denses := make([]tensor.Vector, 0, n)
+	sparses := make([][][]int64, 0, n)
+	for _, req := range reqs {
+		if req.Explicit() {
+			for i, sp := range req.Sparse {
+				sparses = append(sparses, sp)
+				if req.Dense != nil {
+					denses = append(denses, req.Dense[i])
+				} else {
+					denses = append(denses, make(tensor.Vector, d.cfg.DenseDim))
+				}
+			}
+			continue
+		}
+		for i := 0; i < req.N; i++ {
+			denses = append(denses, d.gen.DenseInput(d.seq+i, d.cfg.DenseDim))
+		}
+		sparses = append(sparses, d.gen.Batch(req.N)...)
+		d.seq += req.N
+	}
+	outs, done, bd := d.dev.InferBatch(d.now, denses, sparses)
+	lat := done - d.now
+	d.now = done
+	return serving.BatchResult{Preds: outs, Latency: lat, Meta: bd}
+}
+
+// newBackends builds nshards device batchers for the config.
+func newBackends(cfg model.Config, nshards int, seed uint64) ([]serving.Batcher, error) {
+	backends := make([]serving.Batcher, 0, nshards)
+	for i := 0; i < nshards; i++ {
+		dev, err := core.New(cfg, core.Options{Parallel: 1})
+		if err != nil {
+			return nil, err
+		}
+		gen, err := trace.NewGenerator(trace.Config{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+			Seed: seed + uint64(i)*0x9e37,
+		})
+		if err != nil {
+			return nil, err
+		}
+		backends = append(backends, &deviceBatcher{dev: dev, gen: gen, cfg: cfg})
+	}
+	return backends, nil
+}
+
+// formatReplay renders a replay result completely — counts, coalescing,
+// the full latency profile and the prediction checksum — so the golden
+// covers both functional outputs and the simulated timeline.
+func formatReplay(res serving.ReplayResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "requests=%d inferences=%d batches=%d mean=%.4f coalesced=%.4f\n",
+		res.Requests, res.Inferences, res.Batches, res.MeanBatch, res.Coalesced)
+	fmt.Fprintf(&sb, "p50=%v p95=%v p99=%v max=%v elapsed=%v qps=%.4f\n",
+		res.P50, res.P95, res.P99, res.Max, res.Elapsed, res.ThroughputQPS)
+	fmt.Fprintf(&sb, "predcheck=%016x pershard=%v\n", res.PredCheck, res.PerShard)
+	return sb.String()
+}
+
+// renderSingleReplay replays a synthetic trace through two RMC1 device
+// shards: the rmserve -trace synthetic path in library form.
+func renderSingleReplay() (string, error) {
+	cfg := model.RMC1()
+	cfg.RowsPerTable = cfg.RowsForBudget(tableBudget)
+	backends, err := newBackends(cfg, 2, 1)
+	if err != nil {
+		return "", err
+	}
+	gen, err := trace.NewGenerator(trace.Config{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 5,
+	})
+	if err != nil {
+		return "", err
+	}
+	src, err := serving.NewGeneratorSource(gen, 2, cfg.DenseDim)
+	if err != nil {
+		return "", err
+	}
+	res, err := serving.Replay(backends, serving.ReplayConfig{
+		Rate: 100000, MaxBatch: 8, Requests: 40, Seed: 5,
+	}, src)
+	if err != nil {
+		return "", err
+	}
+	return "replay RMC1 shards=2\n" + formatReplay(res), nil
+}
+
+// renderMixedReplay replays a weighted two-model mixed trace: the rmserve
+// -models -trace path in library form. Each model's section is pinned, so
+// the golden also guards the per-model isolation guarantee.
+func renderMixedReplay() (string, error) {
+	type hosted struct {
+		name   string
+		cfg    model.Config
+		weight int
+	}
+	rmc1 := model.RMC1()
+	rmc1.RowsPerTable = rmc1.RowsForBudget(tableBudget)
+	wnd := model.WnD()
+	wnd.RowsPerTable = wnd.RowsForBudget(tableBudget)
+	hs := []hosted{{"ctr", rmc1, 2}, {"wide", wnd, 1}}
+
+	const seed = 9
+	parts := make([]serving.TaggedPart, 0, len(hs))
+	models := make([]serving.ReplayModel, 0, len(hs))
+	for _, h := range hs {
+		backends, err := newBackends(h.cfg, 1, seed)
+		if err != nil {
+			return "", err
+		}
+		gen, err := trace.NewGenerator(trace.Config{
+			Tables: h.cfg.Tables, Rows: h.cfg.RowsPerTable, Lookups: h.cfg.Lookups,
+			Seed: serving.ModelReplaySeed(seed, h.name),
+		})
+		if err != nil {
+			return "", err
+		}
+		src, err := serving.NewGeneratorSource(gen, 1, h.cfg.DenseDim)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, serving.TaggedPart{Model: h.name, Source: src, Weight: h.weight})
+		models = append(models, serving.ReplayModel{Name: h.name, Backends: backends, MaxBatch: 4})
+	}
+	src, err := serving.NewInterleavedSource(parts)
+	if err != nil {
+		return "", err
+	}
+	res, err := serving.MultiReplay(models, serving.MultiReplayConfig{
+		Rate: 80000, Requests: 45, Seed: seed,
+	}, src)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mixed replay models=%v requests=%d inferences=%d batches=%d\n",
+		res.Models, res.Requests, res.Inferences, res.Batches)
+	for _, name := range res.Models {
+		fmt.Fprintf(&sb, "-- %s\n%s", name, formatReplay(res.PerModel[name]))
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,170 @@
+package conformance
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rmssd/internal/params"
+)
+
+var update = flag.Bool("update", false, "regenerate testdata/golden.json from the current build")
+
+// goldenFile is the pinned-checksum document.
+type goldenFile struct {
+	// TimingFingerprint hashes the calibration constants the checksums
+	// depend on (see params.TimingFingerprint).
+	TimingFingerprint string `json:"timingFingerprint"`
+	// Cases maps case name to the FNV-1a checksum of its rendered
+	// artifact, in hex.
+	Cases map[string]string `json:"cases"`
+}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "golden.json")
+}
+
+func renderAll(t *testing.T) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, c := range Cases() {
+		s, err := c.Render()
+		if err != nil {
+			t.Fatalf("case %s: %v", c.Name, err)
+		}
+		if s == "" {
+			t.Fatalf("case %s rendered an empty artifact", c.Name)
+		}
+		out[c.Name] = fmt.Sprintf("%016x", Checksum(s))
+	}
+	return out
+}
+
+// TestGolden pins every conformance artifact's checksum. On mismatch the
+// failure message distinguishes a calibration change (fingerprint moved;
+// regenerate with -update and review) from a behavioural regression under
+// unchanged calibration.
+func TestGolden(t *testing.T) {
+	got := goldenFile{
+		TimingFingerprint: fmt.Sprintf("%016x", params.TimingFingerprint()),
+		Cases:             renderAll(t),
+	}
+
+	path := goldenPath(t)
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", path, len(got.Cases))
+		return
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden file (run `go test ./internal/conformance/ -run TestGolden -update`): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+
+	calibrationMoved := want.TimingFingerprint != got.TimingFingerprint
+	if calibrationMoved {
+		t.Errorf("timing fingerprint %s != golden %s: a calibration constant changed; "+
+			"every simulated number is expected to move — regenerate with -update and review the diff",
+			got.TimingFingerprint, want.TimingFingerprint)
+	}
+
+	names := make([]string, 0, len(got.Cases))
+	for name := range got.Cases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w, ok := want.Cases[name]
+		if !ok {
+			t.Errorf("case %s has no golden entry (regenerate with -update)", name)
+			continue
+		}
+		if g := got.Cases[name]; g != w {
+			if calibrationMoved {
+				t.Errorf("case %s: checksum %s != golden %s (calibration change, see above)", name, g, w)
+			} else {
+				t.Errorf("case %s: checksum %s != golden %s under UNCHANGED calibration: "+
+					"the simulator's behaviour regressed (or an intended change must regenerate the goldens)",
+					name, g, w)
+			}
+		}
+	}
+	for name := range want.Cases {
+		if _, ok := got.Cases[name]; !ok {
+			t.Errorf("golden case %s no longer exists (regenerate with -update)", name)
+		}
+	}
+}
+
+// TestRenderDeterministic re-renders every case and demands byte-identical
+// artifacts: a golden suite over nondeterministic artifacts would pin noise.
+func TestRenderDeterministic(t *testing.T) {
+	a, b := renderAll(t), renderAll(t)
+	for name, ca := range a {
+		if cb := b[name]; ca != cb {
+			t.Errorf("case %s not deterministic: %s then %s", name, ca, cb)
+		}
+	}
+}
+
+// TestFingerprintProperties: the fingerprint is stable within a build and
+// the golden file carries the current one (so a pinned suite always knows
+// which calibration it was generated under).
+func TestFingerprintProperties(t *testing.T) {
+	if params.TimingFingerprint() != params.TimingFingerprint() {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if params.TimingFingerprint() == 0 {
+		t.Fatal("fingerprint degenerate")
+	}
+}
+
+// TestArtifactsCarryTiming: the replay and device artifacts must embed
+// simulated durations, which is what makes the checksums sensitive to the
+// timing calibration (perturbing Tpage moves every embedded latency).
+func TestArtifactsCarryTiming(t *testing.T) {
+	for _, c := range Cases() {
+		switch c.Name {
+		case "device/infer", "replay/single", "replay/mixed":
+			s, err := c.Render()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !containsDuration(s) {
+				t.Errorf("case %s carries no simulated durations:\n%s", c.Name, s)
+			}
+		}
+	}
+}
+
+// containsDuration reports whether the artifact embeds a Go duration
+// (at µs/ms scale, which all simulated inference latencies are).
+func containsDuration(s string) bool {
+	for _, unit := range []string{"µs", "ms", "s"} {
+		for i := 0; i+len(unit) <= len(s); i++ {
+			if s[i:i+len(unit)] == unit && i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+				return true
+			}
+		}
+	}
+	return false
+}

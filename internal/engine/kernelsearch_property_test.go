@@ -1,0 +1,178 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+)
+
+// This file property-tests the kernel search of Section IV-C4 (Rules 1-4)
+// over randomized model shapes, FPGA parts and flash geometries. The
+// deterministic seed keeps failures reproducible.
+
+// isPow2 reports whether k is a positive power of two.
+func isPow2(k int) bool { return k > 0 && k&(k-1) == 0 }
+
+// randomSearchConfig draws a small random model architecture. Shapes span
+// the regimes the search must handle: with/without a bottom tower, single
+// and multi-layer tops, embedding widths from 8 to 64, and weight
+// footprints that straddle the BRAM capacity of the small part (Rule One).
+func randomSearchConfig(rng *rand.Rand) model.Config {
+	dims := []int{8, 13, 16, 32, 64, 128, 256}
+	dim := func() int { return dims[rng.Intn(len(dims))] }
+	cfg := model.Config{
+		Name:         "prop",
+		EVDim:        []int{8, 16, 32, 64}[rng.Intn(4)],
+		Tables:       1 + rng.Intn(16),
+		Lookups:      1 + rng.Intn(32),
+		RowsPerTable: 1 << (8 + rng.Intn(6)),
+		Seed:         rng.Uint64(),
+	}
+	if rng.Intn(4) > 0 { // 3/4 of configs have a dense tower
+		cfg.DenseDim = dim()
+		for n := rng.Intn(4); n > 0; n-- {
+			cfg.BottomMLP = append(cfg.BottomMLP, dim())
+		}
+	}
+	for n := rng.Intn(3); n > 0; n-- {
+		cfg.TopMLP = append(cfg.TopMLP, dim())
+	}
+	cfg.TopMLP = append(cfg.TopMLP, 1)
+	return cfg
+}
+
+// checkStructuralRules asserts the invariants that hold on EVERY searched
+// engine regardless of which budget path the search took: power-of-two
+// kernels within their caps, Rule Two's pinned DRAM kernels, Eq. 3
+// chaining, and Eq. 4 minimum work.
+func checkStructuralRules(t *testing.T, e *MLPEngine) {
+	t.Helper()
+	if e.NBatch < 1 || !isPow2(e.NBatch) {
+		t.Fatalf("Rule Three batch %d is not a positive power of two", e.NBatch)
+	}
+	for _, l := range e.Layers() {
+		if l.InDRAM {
+			// Rule Two: DRAM-resident layers keep the (Dwidth, II) kernel;
+			// the search never touches them.
+			if l.Kr != 16 || l.Kc != e.ii {
+				t.Fatalf("layer %s in DRAM has kernel %dx%d, want Rule Two's 16x%d",
+					l.Name, l.Kr, l.Kc, e.ii)
+			}
+			continue
+		}
+		if !isPow2(l.Kr) || !isPow2(l.Kc) {
+			t.Fatalf("layer %s kernel %dx%d is not power-of-two", l.Name, l.Kr, l.Kc)
+		}
+		if l.Kr > maxKernelDim(l.R) || l.Kc > maxKernelDim(l.C) {
+			t.Fatalf("layer %s kernel %dx%d exceeds caps %dx%d (KMax=%d)",
+				l.Name, l.Kr, l.Kc, maxKernelDim(l.R), maxKernelDim(l.C), params.KMax)
+		}
+	}
+	if !e.chainingOK() {
+		t.Fatal("searched kernels violate Eq. 3 chaining")
+	}
+	if !e.minWorkOK() {
+		t.Fatal("searched kernels violate Eq. 4 minimum work (kr*kc >= II)")
+	}
+}
+
+// checkThroughputAndMinimality asserts Eq. 2 and Rule Four's minimality on
+// engines whose search resolved against the flash-bound budget (the primary
+// path): T_bot' <= T_emb', T_top' <= T_emb', and no single kernel dimension
+// can be halved without either violating a constraint or saving no PEs —
+// i.e. the greedy shrink ran to a genuine fixpoint, so no smaller-resource
+// neighbour in the feasible set also meets the constraints.
+func checkThroughputAndMinimality(t *testing.T, e *MLPEngine, channels, dies int) {
+	t.Helper()
+	nb := e.NBatch
+	emb := e.EmbStageCycles(nb, channels, dies)
+	if bot := e.BottomStageCycles(nb); bot > emb {
+		t.Fatalf("Eq. 2 violated: T_bot' %v > T_emb' %v at batch %d", bot, emb, nb)
+	}
+	if top := e.TopStageCycles(nb); top > emb {
+		t.Fatalf("Eq. 2 violated: T_top' %v > T_emb' %v at batch %d", top, emb, nb)
+	}
+	budget := e.flashCycles(nb, channels, dies)
+	before := e.totalPE()
+	for i, v := range e.searchVars() {
+		cur := v.get()
+		if cur <= 1 {
+			continue
+		}
+		v.set(cur / 2)
+		ok := e.constraintsOK(nb, budget)
+		gain := before - e.totalPE()
+		v.set(cur)
+		if e.totalPE() != before {
+			t.Fatalf("searchVar %d restore failed: PE count %d != %d", i, e.totalPE(), before)
+		}
+		if ok && gain > 0 {
+			t.Fatalf("searched kernels not minimal: halving var %d (%d -> %d) stays "+
+				"feasible and saves %d PEs", i, cur, cur/2, gain)
+		}
+	}
+}
+
+// TestKernelSearchProperties runs the search over randomized architectures
+// and asserts Rules 1-4 on every outcome.
+func TestKernelSearchProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5ead))
+	parts := []params.FPGAPart{params.XCVU9P, params.XC7A200T}
+	geos := [][2]int{{params.NumChannels, params.DiesPerChannel}, {8, 4}, {16, 8}}
+	searched, flashBound := 0, 0
+	for i := 0; i < 60; i++ {
+		cfg := randomSearchConfig(rng)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("config %d: generator produced invalid config: %v", i, err)
+		}
+		m, err := model.Build(cfg)
+		if err != nil {
+			t.Fatalf("config %d: %v", i, err)
+		}
+		part := parts[rng.Intn(len(parts))]
+		geo := geos[rng.Intn(len(geos))]
+		e, err := NewMLPEngineGeo(m, DesignSearched, part, geo[0], geo[1])
+		if err != nil {
+			// No feasible batch at all is a legal search outcome for
+			// pathological shapes; it must be an error, never a panic.
+			continue
+		}
+		searched++
+		checkStructuralRules(t, e)
+		// Distinguish the primary flash-bound path from the MLP-bound
+		// fallback: only the former locks Eq. 2's budget to the flash
+		// vector-read time, which is where minimality is defined.
+		if e.constraintsOK(e.NBatch, e.flashCycles(e.NBatch, geo[0], geo[1])) {
+			flashBound++
+			checkThroughputAndMinimality(t, e, geo[0], geo[1])
+		}
+	}
+	if searched < 30 {
+		t.Fatalf("only %d/60 random configs searched successfully; generator too pathological", searched)
+	}
+	if flashBound < 10 {
+		t.Fatalf("only %d/%d searched configs took the flash-bound path; property coverage too thin",
+			flashBound, searched)
+	}
+	t.Logf("searched %d/60 configs, %d flash-bound", searched, flashBound)
+}
+
+// TestKernelSearchPaperModels pins the same properties on the five built-in
+// architectures at paper scale — the configurations Table V reports.
+func TestKernelSearchPaperModels(t *testing.T) {
+	for _, cfg := range model.AllConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			e, err := NewMLPEngine(model.MustBuild(cfg), DesignSearched, params.XCVU9P)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkStructuralRules(t, e)
+			if e.constraintsOK(e.NBatch, e.flashCycles(e.NBatch, params.NumChannels, params.DiesPerChannel)) {
+				checkThroughputAndMinimality(t, e, params.NumChannels, params.DiesPerChannel)
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package model
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// encodeDims packs layer widths as little-endian int32s for the fuzzer's
+// byte-slice argument; decodeDims is the inverse used inside the target.
+func encodeDims(dims []int) []byte {
+	buf := make([]byte, 4*len(dims))
+	for i, d := range dims {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(int32(d)))
+	}
+	return buf
+}
+
+func decodeDims(buf []byte) []int {
+	if len(buf) < 4 {
+		return nil
+	}
+	dims := make([]int, 0, len(buf)/4)
+	for i := 0; i+4 <= len(buf); i += 4 {
+		dims = append(dims, int(int32(binary.LittleEndian.Uint32(buf[i:]))))
+	}
+	return dims
+}
+
+// FuzzConfigValidate pins the contract behind every size computation in the
+// repo: a Config either fails Validate with an error (never a panic), or it
+// is servable — all derived sizes are positive and overflow-free, and small
+// instances actually build.
+func FuzzConfigValidate(f *testing.F) {
+	for _, c := range AllConfigs() {
+		f.Add(c.Name, c.DenseDim, c.EVDim, c.Tables, c.Lookups, c.RowsPerTable,
+			encodeDims(c.BottomMLP), encodeDims(c.TopMLP))
+	}
+	// Degenerate and boundary-straddling shapes.
+	f.Add("", 0, 0, 0, 0, int64(0), []byte{}, []byte{})
+	f.Add("neg", -1, -1, -1, -1, int64(-1), encodeDims([]int{-5}), encodeDims([]int{1}))
+	f.Add("huge", MaxDim+1, MaxEVDim+1, MaxTables+1, MaxLookups+1, int64(1)<<62,
+		encodeDims([]int{MaxDim + 1}), encodeDims([]int{1}))
+	f.Add("overflow", 1, MaxEVDim, MaxTables, 1, int64(1)<<60, []byte{}, encodeDims([]int{1}))
+	f.Add("nobot", 13, 64, 26, 1, int64(1000), []byte{}, encodeDims([]int{32, 1}))
+	f.Fuzz(func(t *testing.T, name string, dense, ev, tables, lookups int,
+		rows int64, bot, top []byte) {
+		cfg := Config{
+			Name: name, DenseDim: dense, EVDim: ev, Tables: tables,
+			Lookups: lookups, RowsPerTable: rows,
+			BottomMLP: decodeDims(bot), TopMLP: decodeDims(top),
+		}
+		if err := cfg.Validate(); err != nil {
+			return // rejected with an error: that is the contract
+		}
+		// Accepted: every derived quantity the simulator computes from the
+		// config must be positive and overflow-free.
+		if cfg.EVSize() <= 0 {
+			t.Fatalf("validated config has EV size %d", cfg.EVSize())
+		}
+		if cfg.TableBytes() <= 0 {
+			t.Fatalf("validated config has table footprint %d", cfg.TableBytes())
+		}
+		if cfg.BottomOutDim() < 0 || cfg.TopInputDim() <= 0 {
+			t.Fatalf("validated config has tower widths bottom=%d topIn=%d",
+				cfg.BottomOutDim(), cfg.TopInputDim())
+		}
+		if cfg.MLPWeightBytes() < 0 {
+			t.Fatalf("validated config has MLP weight bytes %d", cfg.MLPWeightBytes())
+		}
+		if cfg.RowsForBudget(cfg.TableBytes()) != cfg.RowsPerTable {
+			t.Fatalf("RowsForBudget does not invert TableBytes: %d != %d",
+				cfg.RowsForBudget(cfg.TableBytes()), cfg.RowsPerTable)
+		}
+		// Small validated configs must materialise: Validate passing and
+		// Build failing would strand callers that treat Validate as the
+		// admission check.
+		if cfg.MLPWeightBytes() < 1<<20 && cfg.DenseDim <= 1<<10 && cfg.TopInputDim() <= 1<<14 {
+			if _, err := Build(cfg); err != nil {
+				t.Fatalf("validated config failed to build: %v", err)
+			}
+		}
+	})
+}

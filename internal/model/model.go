@@ -98,33 +98,68 @@ func (c Config) MLPWeightBytes() int64 {
 	return 4 * parms
 }
 
-// Validate reports configuration errors.
+// Architecture bounds enforced by Validate. They are far beyond anything in
+// the paper (Table III tops out at 32 tables and EVDim 64) but small enough
+// that every derived size — EVSize, TopInputDim, MLPWeightBytes,
+// TableBytes — fits in int64 without overflow, which is what lets the rest
+// of the codebase do size arithmetic without per-call checks.
+const (
+	// MaxDim bounds DenseDim and every MLP layer width.
+	MaxDim = 1 << 20
+	// MaxLayers bounds the depth of either tower.
+	MaxLayers = 64
+	// MaxTables bounds the embedding-table count, MaxLookups the pooled
+	// lookups per table, MaxEVDim the embedding-vector dimension.
+	MaxTables  = 1 << 16
+	MaxLookups = 1 << 16
+	MaxEVDim   = 1 << 16
+)
+
+// maxRowsPerTable returns the largest row count whose total table footprint
+// (Tables * rows * EVSize) still fits in int64. Callers guarantee
+// Tables and EVDim are positive and within their caps, so the divisor is a
+// small positive number and the quotient is huge but finite.
+func (c Config) maxRowsPerTable() int64 {
+	return math.MaxInt64 / (int64(c.Tables) * int64(c.EVSize()))
+}
+
+// Validate reports configuration errors. A config that validates is
+// servable: every derived size is positive and overflow-free.
 func (c Config) Validate() error {
 	switch {
 	case c.Name == "":
 		return fmt.Errorf("model: empty name")
 	case c.DenseDim < 0:
 		return fmt.Errorf("model %s: dense dim %d", c.Name, c.DenseDim)
-	case c.EVDim <= 0:
-		return fmt.Errorf("model %s: EV dim %d", c.Name, c.EVDim)
-	case c.Tables <= 0:
-		return fmt.Errorf("model %s: %d tables", c.Name, c.Tables)
-	case c.Lookups <= 0:
-		return fmt.Errorf("model %s: %d lookups", c.Name, c.Lookups)
+	case c.DenseDim > MaxDim:
+		return fmt.Errorf("model %s: dense dim %d exceeds %d", c.Name, c.DenseDim, MaxDim)
+	case c.EVDim <= 0 || c.EVDim > MaxEVDim:
+		return fmt.Errorf("model %s: EV dim %d (want 1..%d)", c.Name, c.EVDim, MaxEVDim)
+	case c.Tables <= 0 || c.Tables > MaxTables:
+		return fmt.Errorf("model %s: %d tables (want 1..%d)", c.Name, c.Tables, MaxTables)
+	case c.Lookups <= 0 || c.Lookups > MaxLookups:
+		return fmt.Errorf("model %s: %d lookups (want 1..%d)", c.Name, c.Lookups, MaxLookups)
 	case c.RowsPerTable <= 0:
 		return fmt.Errorf("model %s: %d rows per table", c.Name, c.RowsPerTable)
+	case c.RowsPerTable > c.maxRowsPerTable():
+		return fmt.Errorf("model %s: %d rows per table overflows the %d-table x %d-byte layout",
+			c.Name, c.RowsPerTable, c.Tables, c.EVSize())
+	case len(c.BottomMLP) > MaxLayers:
+		return fmt.Errorf("model %s: %d bottom layers exceeds %d", c.Name, len(c.BottomMLP), MaxLayers)
+	case len(c.TopMLP) > MaxLayers:
+		return fmt.Errorf("model %s: %d top layers exceeds %d", c.Name, len(c.TopMLP), MaxLayers)
 	case len(c.TopMLP) == 0 || c.TopMLP[len(c.TopMLP)-1] != 1:
 		return fmt.Errorf("model %s: top MLP must end in a single output", c.Name)
 	case len(c.BottomMLP) > 0 && c.DenseDim == 0:
 		return fmt.Errorf("model %s: bottom MLP without dense input", c.Name)
 	}
 	for i, w := range c.BottomMLP {
-		if w <= 0 {
+		if w <= 0 || w > MaxDim {
 			return fmt.Errorf("model %s: bottom layer %d width %d", c.Name, i, w)
 		}
 	}
 	for i, w := range c.TopMLP {
-		if w <= 0 {
+		if w <= 0 || w > MaxDim {
 			return fmt.Errorf("model %s: top layer %d width %d", c.Name, i, w)
 		}
 	}

@@ -306,3 +306,56 @@ const RecSSDFirmwarePageOverhead = 2200 * time.Nanosecond
 // TErase is the NAND block erase time (~2 ms for typical TLC/MLC parts);
 // the dynamic FTL's garbage collector charges it per victim block.
 const TErase = 2 * time.Millisecond
+
+// TimingFingerprint hashes every calibration constant that feeds the
+// simulated timelines into one FNV-1a value. The golden conformance suite
+// (internal/conformance) records it next to its pinned checksums: when a
+// checksum moves, the fingerprint distinguishes a conscious recalibration
+// (fingerprint moved too; every simulated number is expected to change)
+// from a behavioural regression under unchanged calibration.
+//
+// Any constant added to the timing model should be mixed in here; the
+// conformance goldens then refuse to pass until they are regenerated and
+// reviewed against the new calibration.
+func TimingFingerprint() uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mixF := func(f float64) { mix(uint64(f * 1e6)) }
+	for _, v := range []uint64{
+		// FPGA clock.
+		FPGAClockHz, uint64(CycleTime),
+		// Table II flash geometry and delays.
+		SSDCapacityBytes, NumChannels, DiesPerChannel, PlanesPerDie,
+		PagesPerBlock, PageSize, Random4KIOPS,
+		uint64(PageReadCycles), uint64(TPage),
+		uint64(FlushCycles), uint64(PageTransferCycles), uint64(FTLCycles),
+		// Host interface.
+		uint64(MMIORegisterAccess), MMIODataWidth, uint64(DMASetup),
+		// Host CPU cost model.
+		uint64(CPULayerOverhead), uint64(CPULookupCost),
+		uint64(CPULookupCostBatched), CPUAccumulateElemsPerNanosecond,
+		CPUConcatBytesPerNanosecond, uint64(CPUInferenceOverhead),
+		// Host I/O stack.
+		uint64(PageCacheHitCost), uint64(PageCacheMissOverhead),
+		uint64(MMIOPageFetchCost),
+		// FPGA kernel model.
+		KernelII, KMax, BRAMBytes, DRAMDataWidthBytes, EVSumLanes,
+		// NVMe block path and baselines.
+		uint64(NVMeCmdCost), uint64(NVMeCompletionCost),
+		uint64(RecSSDFirmwarePageOverhead), uint64(TErase),
+	} {
+		mix(v)
+	}
+	for _, f := range []float64{
+		FlushFraction, TransferFraction, DMABandwidth,
+		CPUFLOPS, CPUPeakFLOPS, DefaultLocalityK,
+	} {
+		mixF(f)
+	}
+	return h
+}

@@ -1,0 +1,216 @@
+package serving
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Multi-model serving: production recommendation hosts never serve one
+// model. The deployments the paper positions itself against (Facebook's
+// DLRM fleet, RecSSD's evaluation) multiplex heterogeneous configs — very
+// different embedding-table footprints and MLP stacks — on shared machines.
+// The Registry owns one named Pool per hosted model, each built from its
+// own backends (its own devices, its own shapes); the Router in router.go
+// dispatches requests by model name in front of it.
+
+// ErrUnknownModel is returned when a request names a model the registry
+// does not host.
+var ErrUnknownModel = errors.New("serving: unknown model")
+
+// ErrRegistryClosed is returned by Register after Close.
+var ErrRegistryClosed = errors.New("serving: registry is closed")
+
+// ModelSpec declares one hosted model's serving pool.
+type ModelSpec struct {
+	// Name identifies the model to clients (the `model` field of a
+	// request); it need not match the underlying architecture name, so
+	// two differently-sized replicas of one architecture can coexist.
+	Name string
+	// Backends are the model's device shards (see NewPool).
+	Backends []Batcher
+	// MaxBatch caps the coalesced device batch (see NewPool).
+	MaxBatch int
+	// QueueDepth bounds the per-shard submission queue (see NewPool).
+	QueueDepth int
+	// Weight is the model's share of the shared host budget under the
+	// Router's weighted-round-robin admission. Zero means 1.
+	Weight int
+}
+
+// modelEntry is one hosted model: its pool plus live counters.
+type modelEntry struct {
+	name   string
+	weight int
+	pool   *Pool
+
+	// Live counters, written by the Router on every submission.
+	submitted atomic.Int64 // requests routed to this model
+	rejected  atomic.Int64 // submissions that returned an error
+	waited    atomic.Int64 // submissions that queued for budget admission
+	latSumNs  atomic.Int64 // sum of simulated batch latencies observed
+	latMaxNs  atomic.Int64 // max simulated batch latency observed
+}
+
+// observe records one successful response's simulated latency.
+func (e *modelEntry) observe(lat time.Duration) {
+	ns := int64(lat)
+	e.latSumNs.Add(ns)
+	for {
+		cur := e.latMaxNs.Load()
+		if ns <= cur || e.latMaxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// ModelStats is a live snapshot of one hosted model.
+type ModelStats struct {
+	Model  string // registered name
+	Weight int    // WRR admission weight
+	Pool   Stats  // pool counters (requests, inferences, batches, per shard)
+	// Router counters.
+	Submitted int64 // requests routed to this model
+	Rejected  int64 // submissions that returned an error
+	Waited    int64 // submissions that queued behind the shared budget
+	// Simulated latency over successful submissions.
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+}
+
+// Registry owns N named pools, one per hosted model.
+type Registry struct {
+	mu      sync.RWMutex
+	order   []string
+	entries map[string]*modelEntry
+	closed  bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*modelEntry)}
+}
+
+// Register builds a pool for the spec and adds it under spec.Name.
+// Registration order is preserved (it is the WRR tie-break order).
+func (r *Registry) Register(spec ModelSpec) error {
+	if spec.Name == "" {
+		return errors.New("serving: model spec needs a name")
+	}
+	if len(spec.Backends) == 0 {
+		return fmt.Errorf("serving: model %q needs at least one backend", spec.Name)
+	}
+	if spec.Weight < 0 {
+		return fmt.Errorf("serving: model %q weight %d", spec.Name, spec.Weight)
+	}
+	if spec.Weight == 0 {
+		spec.Weight = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrRegistryClosed
+	}
+	if _, dup := r.entries[spec.Name]; dup {
+		return fmt.Errorf("serving: model %q already registered", spec.Name)
+	}
+	e := &modelEntry{
+		name:   spec.Name,
+		weight: spec.Weight,
+		pool:   NewPool(spec.Backends, spec.MaxBatch, spec.QueueDepth),
+	}
+	r.entries[spec.Name] = e
+	r.order = append(r.order, spec.Name)
+	return nil
+}
+
+// Models returns the registered model names in registration order.
+func (r *Registry) Models() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// entry resolves a model name.
+func (r *Registry) entry(name string) (*modelEntry, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownModel, name)
+	}
+	return e, nil
+}
+
+// Pool returns the named model's pool.
+func (r *Registry) Pool(name string) (*Pool, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.pool, nil
+}
+
+// ModelStats snapshots one hosted model's counters.
+func (r *Registry) ModelStats(name string) (ModelStats, error) {
+	e, err := r.entry(name)
+	if err != nil {
+		return ModelStats{}, err
+	}
+	return e.stats(), nil
+}
+
+// stats builds the snapshot for one entry.
+func (e *modelEntry) stats() ModelStats {
+	st := ModelStats{
+		Model:     e.name,
+		Weight:    e.weight,
+		Pool:      e.pool.Stats(),
+		Submitted: e.submitted.Load(),
+		Rejected:  e.rejected.Load(),
+		Waited:    e.waited.Load(),
+	}
+	ok := st.Submitted - st.Rejected
+	if ok > 0 {
+		st.MeanLatency = time.Duration(e.latSumNs.Load() / ok)
+	}
+	st.MaxLatency = time.Duration(e.latMaxNs.Load())
+	return st
+}
+
+// Stats snapshots every hosted model, in registration order.
+func (r *Registry) Stats() []ModelStats {
+	r.mu.RLock()
+	entries := make([]*modelEntry, 0, len(r.order))
+	for _, name := range r.order {
+		entries = append(entries, r.entries[name])
+	}
+	r.mu.RUnlock()
+	out := make([]ModelStats, len(entries))
+	for i, e := range entries {
+		out[i] = e.stats()
+	}
+	return out
+}
+
+// Close closes every pool. Registration is refused afterwards; submissions
+// against closed pools return ErrPoolClosed. Close is idempotent and safe
+// to race with in-flight submissions.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	entries := make([]*modelEntry, 0, len(r.order))
+	for _, name := range r.order {
+		entries = append(entries, r.entries[name])
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.pool.Close()
+	}
+}

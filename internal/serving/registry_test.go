@@ -1,0 +1,380 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestRegistry builds a registry hosting the named models over fresh
+// fake batchers (one shard each unless overridden).
+func newTestRegistry(t *testing.T, specs ...ModelSpec) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	for _, spec := range specs {
+		if spec.Backends == nil {
+			spec.Backends = []Batcher{&fakeBatcher{}}
+		}
+		if spec.MaxBatch == 0 {
+			spec.MaxBatch = 8
+		}
+		if spec.QueueDepth == 0 {
+			spec.QueueDepth = 16
+		}
+		if err := reg.Register(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(reg.Close)
+	return reg
+}
+
+func TestRegistryRegisterAndResolve(t *testing.T) {
+	reg := newTestRegistry(t, ModelSpec{Name: "a"}, ModelSpec{Name: "b", Weight: 3})
+	if got := reg.Models(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("models = %v", got)
+	}
+	if _, err := reg.Pool("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Pool("zzz"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model err = %v", err)
+	}
+	st, err := reg.ModelStats("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Model != "b" || st.Weight != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Duplicate, empty and backend-less registrations are refused.
+	if err := reg.Register(ModelSpec{Name: "a", Backends: []Batcher{&fakeBatcher{}}}); err == nil {
+		t.Fatal("duplicate registration must error")
+	}
+	if err := reg.Register(ModelSpec{Backends: []Batcher{&fakeBatcher{}}}); err == nil {
+		t.Fatal("nameless registration must error")
+	}
+	if err := reg.Register(ModelSpec{Name: "c"}); err == nil {
+		t.Fatal("backend-less registration must error")
+	}
+	if err := reg.Register(ModelSpec{Name: "c", Weight: -1, Backends: []Batcher{&fakeBatcher{}}}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+}
+
+func TestRegistryCloseRefusesLateWork(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(ModelSpec{Name: "a", Backends: []Batcher{&fakeBatcher{}}, MaxBatch: 4, QueueDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouter(reg, 0)
+	reg.Close()
+	reg.Close() // idempotent
+	if err := reg.Register(ModelSpec{Name: "b", Backends: []Batcher{&fakeBatcher{}}}); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("late register err = %v", err)
+	}
+	if _, err := rt.Submit(context.Background(), "a", Request{N: 1}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after close err = %v", err)
+	}
+}
+
+func TestRouterRoutesByModel(t *testing.T) {
+	fa, fb := &fakeBatcher{}, &fakeBatcher{}
+	reg := newTestRegistry(t,
+		ModelSpec{Name: "a", Backends: []Batcher{fa}},
+		ModelSpec{Name: "b", Backends: []Batcher{fb}},
+	)
+	rt := NewRouter(reg, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := rt.Submit(context.Background(), "a", Request{N: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Submit(context.Background(), "b", Request{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Submit(context.Background(), "nope", Request{N: 1}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model err = %v", err)
+	}
+	sa, err := reg.ModelStats("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := reg.ModelStats("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Pool.Inferences != 6 || sb.Pool.Inferences != 1 {
+		t.Fatalf("inferences: a=%d b=%d", sa.Pool.Inferences, sb.Pool.Inferences)
+	}
+	if sa.Submitted != 3 || sb.Submitted != 1 {
+		t.Fatalf("submitted: a=%d b=%d", sa.Submitted, sb.Submitted)
+	}
+	if sa.MeanLatency <= 0 || sa.MaxLatency < sa.MeanLatency {
+		t.Fatalf("latency stats: %+v", sa)
+	}
+	all := reg.Stats()
+	if len(all) != 2 || all[0].Model != "a" || all[1].Model != "b" {
+		t.Fatalf("stats order = %+v", all)
+	}
+}
+
+// orderBatcher records the model name at ServeBatch entry. With a budget
+// of 1 the router serializes ServeBatch calls in admission order, so the
+// recorded sequence is exactly the WRR grant schedule.
+type orderBatcher struct {
+	fakeBatcher
+	name  string
+	mu    *sync.Mutex
+	order *[]string
+}
+
+func (o *orderBatcher) ServeBatch(reqs []Request) BatchResult {
+	o.mu.Lock()
+	*o.order = append(*o.order, o.name)
+	o.mu.Unlock()
+	return o.fakeBatcher.ServeBatch(reqs)
+}
+
+// TestRouterWRRAdmission: with a budget of 1 and every submission queued
+// behind a gated batch, freed slots must be granted in weight proportion
+// (2:1 for weights 2 and 1), deterministically interleaved.
+func TestRouterWRRAdmission(t *testing.T) {
+	gate := make(chan bool)
+	var mu sync.Mutex
+	var order []string
+	ga := &orderBatcher{fakeBatcher: fakeBatcher{gate: gate}, name: "heavy", mu: &mu, order: &order}
+	gb := &orderBatcher{fakeBatcher: fakeBatcher{gate: gate}, name: "light", mu: &mu, order: &order}
+	reg := newTestRegistry(t,
+		ModelSpec{Name: "heavy", Backends: []Batcher{ga}, Weight: 2},
+		ModelSpec{Name: "light", Backends: []Batcher{gb}, Weight: 1},
+	)
+	rt := NewRouter(reg, 1)
+
+	// Occupy the single budget slot with a gated submission (it records
+	// "heavy" first, then blocks in ServeBatch until the gate opens).
+	var wg sync.WaitGroup
+	submit := func(model string) {
+		defer wg.Done()
+		if _, err := rt.Submit(context.Background(), model, Request{N: 1}); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Add(1)
+	go submit("heavy")
+	waitFor(t, func() bool { return rt.InFlight() == 1 })
+
+	// Park 6 heavy and 3 light submissions behind the budget, in order.
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go submit("heavy")
+		waitFor(t, func() bool { return queuedWaiters(rt) == i+1 })
+	}
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go submit("light")
+		waitFor(t, func() bool { return queuedWaiters(rt) == 7+i })
+	}
+
+	// Open the gate: ServeBatch calls now return immediately, and the
+	// single-slot budget serializes them in WRR grant order.
+	close(gate)
+	wg.Wait()
+
+	// Smooth WRR at weights 2:1 over full queues cycles heavy,light,heavy;
+	// once the three light waiters drain, the remaining heavies run out.
+	want := []string{
+		"heavy", // the occupier
+		"heavy", "light", "heavy", "heavy", "light", "heavy", "heavy", "light", "heavy",
+	}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+	hs, err := reg.ModelStats("heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Waited != 6 {
+		t.Fatalf("heavy waited = %d, want 6", hs.Waited)
+	}
+	if rt.InFlight() != 0 {
+		t.Fatalf("in flight = %d after drain", rt.InFlight())
+	}
+}
+
+// queuedWaiters counts submissions parked in the router's admission queues.
+func queuedWaiters(rt *Router) int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := 0
+	for _, q := range rt.waitq {
+		n += len(q)
+	}
+	return n
+}
+
+// waitFor polls the condition with a generous deadline; these tests
+// synchronise on queue states, not timing.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 5000; i++ {
+		if cond() {
+			return
+		}
+		//lint:allow wallclock test-side polling for a concurrent queue state
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+// TestRouterAdmissionCancellation: a context cancelled while queued for
+// admission must error out without leaking the budget slot.
+func TestRouterAdmissionCancellation(t *testing.T) {
+	gate := make(chan bool)
+	reg := newTestRegistry(t, ModelSpec{Name: "m", Backends: []Batcher{&fakeBatcher{gate: gate}}})
+	rt := NewRouter(reg, 1)
+
+	var occupied sync.WaitGroup
+	occupied.Add(1)
+	go func() {
+		defer occupied.Done()
+		if _, err := rt.Submit(context.Background(), "m", Request{N: 1}); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitFor(t, func() bool { return rt.InFlight() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := rt.Submit(ctx, "m", Request{N: 1})
+		errc <- err
+	}()
+	waitFor(t, func() bool { return queuedWaiters(rt) == 1 })
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled admission err = %v", err)
+	}
+	if queuedWaiters(rt) != 0 {
+		t.Fatal("cancelled waiter left in queue")
+	}
+	close(gate)
+	occupied.Wait()
+	// The slot must come back: a fresh submission succeeds.
+	if _, err := rt.Submit(context.Background(), "m", Request{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.InFlight() != 0 {
+		t.Fatalf("in flight = %d after drain", rt.InFlight())
+	}
+}
+
+// TestRouterConcurrentModelsAndClose is the race-coverage check the issue
+// asks for: concurrent submits to different models racing a registry
+// Close must never panic — they either serve or fail with ErrPoolClosed.
+// Run with -race.
+func TestRouterConcurrentModelsAndClose(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		reg := NewRegistry()
+		names := []string{"a", "b", "c"}
+		for i, n := range names {
+			err := reg.Register(ModelSpec{
+				Name:     n,
+				Backends: []Batcher{&fakeBatcher{}, &fakeBatcher{}},
+				MaxBatch: 8, QueueDepth: 8, Weight: i + 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt := NewRouter(reg, 2)
+		var wg sync.WaitGroup
+		for c := 0; c < 8; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					_, err := rt.Submit(context.Background(), names[(c+i)%len(names)], Request{N: 1})
+					if err != nil && !errors.Is(err, ErrPoolClosed) {
+						t.Errorf("submit: %v", err)
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reg.Close()
+		}()
+		wg.Wait()
+		// Post-close: all submissions fail cleanly, stats still readable.
+		if _, err := rt.Submit(context.Background(), "a", Request{N: 1}); !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("post-close err = %v", err)
+		}
+		for _, st := range reg.Stats() {
+			if st.Rejected > st.Submitted {
+				t.Fatalf("counters inconsistent: %+v", st)
+			}
+		}
+	}
+}
+
+// TestWRRSchedule pins the smooth-WRR schedule itself: weights 3:1:1 over
+// always-eligible candidates produce the canonical interleaving.
+func TestWRRSchedule(t *testing.T) {
+	w := newWRR([]int{3, 1, 1})
+	var got []int
+	for i := 0; i < 10; i++ {
+		got = append(got, w.pick(func(int) bool { return true }))
+	}
+	want := []int{0, 1, 0, 2, 0, 0, 1, 0, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule = %v, want %v", got, want)
+		}
+	}
+	counts := map[int]int{}
+	for _, g := range got {
+		counts[g]++
+	}
+	if counts[0] != 6 || counts[1] != 2 || counts[2] != 2 {
+		t.Fatalf("proportions = %v", counts)
+	}
+	if w.pick(func(int) bool { return false }) != -1 {
+		t.Fatal("no eligible candidates must yield -1")
+	}
+	// Non-positive weights count as 1.
+	w2 := newWRR([]int{0, -5})
+	a := w2.pick(func(int) bool { return true })
+	b := w2.pick(func(int) bool { return true })
+	if a == b {
+		t.Fatalf("degenerate weights did not alternate: %d then %d", a, b)
+	}
+}
+
+// ExampleRouter demonstrates multi-model dispatch (doc example).
+func ExampleRouter() {
+	must := func(err error) {
+		if err != nil {
+			panic(fmt.Sprintf("serving: example router: %v", err))
+		}
+	}
+	reg := NewRegistry()
+	must(reg.Register(ModelSpec{Name: "ctr", Backends: []Batcher{&fakeBatcher{}}, MaxBatch: 8, QueueDepth: 8, Weight: 2}))
+	must(reg.Register(ModelSpec{Name: "ranker", Backends: []Batcher{&fakeBatcher{}}, MaxBatch: 8, QueueDepth: 8}))
+	defer reg.Close()
+	rt := NewRouter(reg, 4)
+	resp, err := rt.Submit(context.Background(), "ctr", Request{N: 2})
+	must(err)
+	fmt.Println(len(resp.Preds), rt.Models())
+	// Output: 2 [ctr ranker]
+}

@@ -33,20 +33,6 @@ func (b *replayBatcher) ServeBatch(reqs []Request) BatchResult {
 	return BatchResult{Preds: preds, Latency: time.Duration(10+n) * time.Microsecond}
 }
 
-// sliceSource yields a fixed request sequence.
-type sliceSource struct {
-	reqs []Request
-	i    int
-}
-
-func (s *sliceSource) Next() (Request, error) {
-	if s.i >= len(s.reqs) {
-		return Request{}, io.EOF
-	}
-	s.i++
-	return s.reqs[s.i-1], nil
-}
-
 func genSource(t *testing.T, seed uint64) *GeneratorSource {
 	t.Helper()
 	gen, err := trace.NewGenerator(trace.Config{Tables: 2, Rows: 4096, Lookups: 4, Seed: seed})

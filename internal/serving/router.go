@@ -1,0 +1,171 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Router is the multi-model front-end: it dispatches requests by model
+// name to the registry's pools and, when a shared host worker budget is
+// configured, gates admission with weighted round robin.
+//
+// The budget models the fact that heterogeneous replicas share one host:
+// every pool has its own shard workers, but the machine's cores (and, on
+// real deployments, its PCIe lanes to the RM-SSDs) are common property. A
+// budget of B bounds the number of requests in flight across all models at
+// once; when it is exhausted, arriving requests queue per model and freed
+// slots are handed out by smooth weighted round robin over the models with
+// waiters — each model receives admissions in proportion to its registered
+// Weight, deterministically interleaved, with FIFO order within a model.
+//
+// A budget of 0 disables admission control entirely: requests go straight
+// to their model's pool, which is the right setting for the deterministic
+// replay paths (simulated timelines never contend for the host).
+type Router struct {
+	reg    *Registry
+	budget int
+
+	mu       sync.Mutex
+	entries  []*modelEntry // router membership, registration order
+	index    map[string]int
+	wrr      *wrrState
+	inflight int
+	waitq    [][]*admitWaiter // per-entry FIFO of budget waiters
+}
+
+// admitWaiter is one submission queued for budget admission. Receiving on
+// ready grants ownership of one in-flight slot.
+type admitWaiter struct {
+	ready chan struct{}
+}
+
+// NewRouter builds a router over the registry's current membership with
+// the given shared in-flight budget (0 = unlimited). Register every model
+// before constructing the router: models added later are not routable
+// through it.
+func NewRouter(reg *Registry, budget int) *Router {
+	if budget < 0 {
+		budget = 0
+	}
+	rt := &Router{reg: reg, budget: budget, index: make(map[string]int)}
+	reg.mu.RLock()
+	weights := make([]int, 0, len(reg.order))
+	for _, name := range reg.order {
+		e := reg.entries[name]
+		rt.index[name] = len(rt.entries)
+		rt.entries = append(rt.entries, e)
+		weights = append(weights, e.weight)
+	}
+	reg.mu.RUnlock()
+	rt.wrr = newWRR(weights)
+	rt.waitq = make([][]*admitWaiter, len(rt.entries))
+	return rt
+}
+
+// Budget returns the shared in-flight budget (0 = unlimited).
+func (rt *Router) Budget() int { return rt.budget }
+
+// Models returns the routable model names in registration order.
+func (rt *Router) Models() []string {
+	names := make([]string, len(rt.entries))
+	for i, e := range rt.entries {
+		names[i] = e.name
+	}
+	return names
+}
+
+// InFlight returns the number of currently admitted submissions. Always 0
+// when no budget is configured.
+func (rt *Router) InFlight() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.inflight
+}
+
+// Submit routes one request to the named model's pool, waiting for budget
+// admission first when a shared budget is configured. The context bounds
+// the admission wait, the queue wait and the result wait. Unknown models
+// return ErrUnknownModel; closed pools return ErrPoolClosed.
+func (rt *Router) Submit(ctx context.Context, model string, req Request) (Response, error) {
+	i, ok := rt.index[model]
+	if !ok {
+		return Response{}, fmt.Errorf("%w %q", ErrUnknownModel, model)
+	}
+	e := rt.entries[i]
+	e.submitted.Add(1)
+	if err := rt.admit(ctx, i, e); err != nil {
+		e.rejected.Add(1)
+		return Response{}, err
+	}
+	resp, err := e.pool.Submit(ctx, req)
+	rt.release()
+	if err != nil {
+		e.rejected.Add(1)
+		return resp, err
+	}
+	e.observe(resp.Latency)
+	return resp, nil
+}
+
+// admit acquires one in-flight slot, queueing behind the WRR scheduler
+// when the budget is exhausted.
+func (rt *Router) admit(ctx context.Context, i int, e *modelEntry) error {
+	if rt.budget <= 0 {
+		return nil
+	}
+	rt.mu.Lock()
+	if rt.inflight < rt.budget {
+		// Slots free implies no waiters: release hands freed slots to
+		// waiters directly (inflight unchanged) and only decrements when
+		// every queue is empty.
+		rt.inflight++
+		rt.mu.Unlock()
+		return nil
+	}
+	w := &admitWaiter{ready: make(chan struct{}, 1)}
+	rt.waitq[i] = append(rt.waitq[i], w)
+	rt.mu.Unlock()
+	e.waited.Add(1)
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		rt.mu.Lock()
+		for j, x := range rt.waitq[i] {
+			if x == w {
+				rt.waitq[i] = append(rt.waitq[i][:j], rt.waitq[i][j+1:]...)
+				rt.mu.Unlock()
+				return fmt.Errorf("serving: model %q admission: %w", e.name, ctx.Err())
+			}
+		}
+		// A slot was granted between ctx.Done and taking the lock; we are
+		// abandoning it, so pass it on (or free it) before reporting the
+		// cancellation.
+		rt.releaseLocked()
+		rt.mu.Unlock()
+		return fmt.Errorf("serving: model %q admission: %w", e.name, ctx.Err())
+	}
+}
+
+// release returns one in-flight slot: the WRR scheduler hands it to the
+// next waiting model, or the budget regains a free slot.
+func (rt *Router) release() {
+	if rt.budget <= 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.releaseLocked()
+	rt.mu.Unlock()
+}
+
+func (rt *Router) releaseLocked() {
+	next := rt.wrr.pick(func(i int) bool { return len(rt.waitq[i]) > 0 })
+	if next < 0 {
+		rt.inflight--
+		return
+	}
+	w := rt.waitq[next][0]
+	rt.waitq[next] = rt.waitq[next][1:]
+	w.ready <- struct{}{} // buffered: never blocks
+}

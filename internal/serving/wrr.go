@@ -1,0 +1,55 @@
+package serving
+
+// wrrState implements smooth weighted round robin (the nginx algorithm)
+// over a fixed candidate universe addressed by index. Each pick among the
+// currently eligible candidates advances every eligible candidate's current
+// score by its weight, selects the highest score (lowest index wins ties,
+// which makes the schedule fully deterministic), and charges the winner the
+// total eligible weight. Over any window in which a set of candidates stays
+// eligible, each receives picks in proportion to its weight, interleaved as
+// evenly as possible — no starvation, no bursts.
+//
+// It is shared by the Router's budget admission (which candidate model gets
+// the freed host slot) and the InterleavedSource (which model contributes
+// the next request of a mixed trace).
+type wrrState struct {
+	weights []int
+	current []int
+}
+
+// newWRR builds the scheduler; non-positive weights count as 1.
+func newWRR(weights []int) *wrrState {
+	w := &wrrState{
+		weights: make([]int, len(weights)),
+		current: make([]int, len(weights)),
+	}
+	for i, wt := range weights {
+		if wt <= 0 {
+			wt = 1
+		}
+		w.weights[i] = wt
+	}
+	return w
+}
+
+// pick selects the next candidate among those for which eligible returns
+// true, or -1 when none are. The caller's eligibility predicate is invoked
+// exactly once per candidate per pick.
+func (w *wrrState) pick(eligible func(i int) bool) int {
+	total := 0
+	best := -1
+	for i := range w.weights {
+		if !eligible(i) {
+			continue
+		}
+		total += w.weights[i]
+		w.current[i] += w.weights[i]
+		if best < 0 || w.current[i] > w.current[best] {
+			best = i
+		}
+	}
+	if best >= 0 {
+		w.current[best] -= total
+	}
+	return best
+}

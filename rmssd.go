@@ -245,6 +245,49 @@ var (
 	NewCriteoSource    = serving.NewCriteoSource
 )
 
+// --- multi-model serving ---
+
+// ModelRegistry owns one named serving pool per hosted model; ModelSpec
+// declares a model's backends, batching limits and admission weight, and
+// ModelStats is a live per-model counter snapshot.
+type (
+	ModelRegistry = serving.Registry
+	ModelSpec     = serving.ModelSpec
+	ModelStats    = serving.ModelStats
+)
+
+// ModelRouter dispatches requests by model name with optional shared-host
+// admission control (weighted round robin over a bounded in-flight budget).
+type ModelRouter = serving.Router
+
+// Multi-model registry/router constructors and sentinel errors.
+var (
+	NewModelRegistry  = serving.NewRegistry
+	NewModelRouter    = serving.NewRouter
+	ErrUnknownModel   = serving.ErrUnknownModel
+	ErrRegistryClosed = serving.ErrRegistryClosed
+)
+
+// Mixed-model trace replay: a tagged request stream partitioned by model,
+// each model replaying its subsequence on its own seeded virtual timeline.
+type (
+	TaggedRequest     = serving.TaggedRequest
+	TaggedSource      = serving.TaggedSource
+	TaggedPart        = serving.TaggedPart
+	ReplayModel       = serving.ReplayModel
+	MultiReplayConfig = serving.MultiReplayConfig
+	MultiReplayResult = serving.MultiReplayResult
+)
+
+// MultiReplay helpers: the replay itself, the deterministic weighted
+// interleave of per-model sources, and the per-model seed derivation that
+// makes mixed-replay results reproducible one model at a time.
+var (
+	MultiReplay          = serving.MultiReplay
+	NewInterleavedSource = serving.NewInterleavedSource
+	ModelReplaySeed      = serving.ModelReplaySeed
+)
+
 // --- experiments ---
 
 // Experiment is a runnable paper experiment (a table or figure).
