@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet lint test test-simdebug test-golden race fuzz-smoke bench bench-perf check
+.PHONY: build fmt vet lint lint-fixtures test test-simdebug test-golden race fuzz-smoke bench bench-perf check
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,17 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Domain-aware static analysis: determinism (wallclock), unit safety
-# (units), error hygiene (errcheck) and panic diagnosability (panicmsg).
+# Domain-aware static analysis: determinism (wallclock, mapiter), unit
+# safety (units), error hygiene (errcheck), panic diagnosability
+# (panicmsg), concurrency discipline (goroutine, locks) and suppression
+# hygiene (allowaudit). CI runs the same gate as `rmlint -json`.
 lint:
 	$(GO) run ./cmd/rmlint ./...
+
+# Fast iteration on the analyzers themselves: only the fixture-driven
+# lint tests, skipping the whole-module dogfood load.
+lint-fixtures:
+	$(GO) test ./internal/lint/ -run 'TestAnalyzerFixtures|TestDirectives|TestAllowAudit'
 
 test:
 	$(GO) test ./...

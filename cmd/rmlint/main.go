@@ -2,16 +2,22 @@
 //
 //	go run ./cmd/rmlint ./...
 //	go run ./cmd/rmlint -analyzers wallclock,units ./internal/... (subtree)
+//	go run ./cmd/rmlint -json ./... (one JSON diagnostic per line, for CI)
 //	go run ./cmd/rmlint -list
 //
-// rmlint exits non-zero if any diagnostic survives //lint:allow filtering,
-// making it suitable as a CI gate (see .github/workflows/ci.yml and
-// `make check`). See internal/lint for the analyzer suite: wallclock
-// (determinism), units (sim.Cycles vs time.Duration), errcheck (discarded
-// errors) and panicmsg (package-prefixed panics).
+// rmlint exits 0 when the tree is clean, 1 if any diagnostic survives
+// //lint:allow filtering, and 2 on load/usage errors, making it suitable
+// as a CI gate (see .github/workflows/ci.yml and `make check`). See
+// internal/lint for the analyzer suite: wallclock (determinism), units
+// (sim.Cycles vs time.Duration), errcheck (discarded errors), panicmsg
+// (package-prefixed panics), mapiter (map iteration feeding order-
+// sensitive sinks), goroutine (join/capture discipline in the concurrent
+// core), locks (mutex copy/release/send-under-lock discipline) and
+// allowaudit (stale //lint:allow directives).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,11 +26,21 @@ import (
 	"rmssd/internal/lint"
 )
 
+// jsonDiagnostic is the machine-readable diagnostic shape: one object per
+// line on stdout, stable field names, nothing else interleaved (the
+// summary goes to stderr).
+type jsonDiagnostic struct {
+	Pos      string `json:"pos"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		rootDir   = flag.String("root", "", "module root (default: nearest go.mod upward from the working directory)")
 		list      = flag.Bool("list", false, "list available analyzers and exit")
+		asJSON    = flag.Bool("json", false, "emit one JSON diagnostic per line ({\"pos\",\"analyzer\",\"message\"}) instead of plain text")
 	)
 	flag.Parse()
 
@@ -61,6 +77,19 @@ func main() {
 	}
 	diags := lint.Run(pkgs, selected)
 	for _, d := range diags {
+		if *asJSON {
+			line, err := json.Marshal(jsonDiagnostic{
+				Pos:      fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column),
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rmlint:", err)
+				os.Exit(2)
+			}
+			fmt.Println(string(line))
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {

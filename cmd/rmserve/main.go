@@ -63,6 +63,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -366,10 +367,13 @@ func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleModels lists every hosted model's configuration alongside its live
-// routing, latency and coalescing counters.
+// routing, latency and coalescing counters, in sorted name order so the
+// response bytes are deterministic by construction.
 func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
-	out := make([]map[string]interface{}, 0, len(s.models))
-	for _, m := range s.models {
+	hosted := append([]*hostedModel(nil), s.models...)
+	sort.Slice(hosted, func(i, j int) bool { return hosted[i].name < hosted[j].name })
+	out := make([]map[string]interface{}, 0, len(hosted))
+	for _, m := range hosted {
 		st, err := s.reg.ModelStats(m.name)
 		if err != nil {
 			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})

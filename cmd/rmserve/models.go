@@ -107,8 +107,7 @@ func loadModelsConfig(path string) (modelsConfig, error) {
 	if err != nil {
 		return modelsConfig{}, err
 	}
-	//lint:allow errcheck read-only file; the parse result is what matters
-	defer f.Close()
+	defer f.Close() // read-only file; the parse result is what matters
 	return parseModelsConfig(f)
 }
 

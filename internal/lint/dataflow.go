@@ -1,0 +1,361 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Intra-function dataflow engine.
+//
+// The v2 analyzers (mapiter, goroutine, locks) need more than single-
+// expression pattern matching: whether a slice accumulated inside a loop
+// escapes the function, whether it is sorted before it does, which function
+// literal a `go name()` statement actually spawns, and which lock a given
+// Lock/Unlock call addresses. FuncFlow answers those questions with a
+// deliberately small reaching-values analysis over go/types: flow-
+// insensitive (every assignment to a variable is a possible value),
+// intra-procedural (one function body at a time) and built from the
+// standard library only, matching the loader's no-dependency constraint.
+//
+// The engine indexes three relations over one function body:
+//
+//   - sources: for each local *types.Var, the RHS expressions assigned to
+//     it (v := e, v = e, range bindings). Origins/ResolveFuncLit follow
+//     these bindings, so `work := func(){...}; go work()` resolves to the
+//     literal.
+//   - escapes: canonical expression chains ("res.Models", "keys") that
+//     leave the function — returned, sent, stored through a pointer/index,
+//     passed to a call, or placed in a composite literal. A chain escapes
+//     if it or its root variable does.
+//   - sorts: positions of sort.*/slices.Sort* calls keyed by the sorted
+//     chain, so "collected from a map, then sorted" is recognizable as
+//     order-safe.
+//
+// Approximations are one-sided where it matters: an expression the engine
+// cannot name (exprKey == "") is treated as escaping and never as sorted,
+// so the analyzers built on top err toward reporting, and //lint:allow
+// remains the pressure valve for the rare intentional case.
+
+// FuncFlow is the dataflow index of one function body.
+type FuncFlow struct {
+	pkg  *Package
+	body *ast.BlockStmt
+
+	sources map[*types.Var][]ast.Expr
+	escaped map[string]bool
+	sorts   []sortCall
+}
+
+// sortCall records one sort.*/slices.Sort* call site.
+type sortCall struct {
+	key string
+	pos token.Pos
+}
+
+// NewFuncFlow builds the dataflow index for a function body. Nested
+// function literals are included: the analysis is flow-insensitive, so a
+// binding or escape inside a closure is simply one more fact about the
+// enclosing function's values.
+func NewFuncFlow(p *Package, body *ast.BlockStmt) *FuncFlow {
+	f := &FuncFlow{
+		pkg:     p,
+		body:    body,
+		sources: map[*types.Var][]ast.Expr{},
+		escaped: map[string]bool{},
+	}
+	if body != nil {
+		ast.Inspect(body, f.index)
+	}
+	return f
+}
+
+// index is the single Inspect pass collecting bindings, escapes and sorts.
+func (f *FuncFlow) index(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.AssignStmt:
+		f.indexAssign(x)
+	case *ast.ValueSpec:
+		for i, name := range x.Names {
+			if i < len(x.Values) {
+				f.bind(name, x.Values[i])
+			}
+		}
+	case *ast.RangeStmt:
+		if x.Key != nil {
+			if id, ok := x.Key.(*ast.Ident); ok {
+				f.bind(id, x.X)
+			}
+		}
+		if x.Value != nil {
+			if id, ok := x.Value.(*ast.Ident); ok {
+				f.bind(id, x.X)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			f.escape(r)
+		}
+	case *ast.SendStmt:
+		f.escape(x.Value)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			f.escape(x.X)
+		}
+	case *ast.CallExpr:
+		f.indexCall(x)
+	case *ast.CompositeLit:
+		for _, e := range x.Elts {
+			if kv, ok := e.(*ast.KeyValueExpr); ok {
+				f.escape(kv.Value)
+				continue
+			}
+			f.escape(e)
+		}
+	}
+	return true
+}
+
+// indexAssign records bindings and escapes of one assignment.
+func (f *FuncFlow) indexAssign(x *ast.AssignStmt) {
+	if len(x.Lhs) == len(x.Rhs) {
+		for i, lhs := range x.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				f.bind(id, x.Rhs[i])
+			} else {
+				// Stores through a selector, index or deref publish the
+				// value beyond the local frame.
+				f.escape(x.Rhs[i])
+			}
+		}
+		return
+	}
+	// v, w := f(): every LHS variable reaches from the one call.
+	for _, lhs := range x.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok && len(x.Rhs) == 1 {
+			f.bind(id, x.Rhs[0])
+		}
+	}
+}
+
+// indexCall records sort sites and argument escapes of one call.
+func (f *FuncFlow) indexCall(call *ast.CallExpr) {
+	if key, ok := f.sortTarget(call); ok {
+		f.sorts = append(f.sorts, sortCall{key: key, pos: call.Pos()})
+		return // sorting does not publish the slice
+	}
+	if f.isNonEscapingBuiltin(call) {
+		return
+	}
+	for _, a := range call.Args {
+		f.escape(a)
+	}
+}
+
+// sortTarget reports the canonical chain a sort.*/slices.Sort* call sorts.
+func (f *FuncFlow) sortTarget(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := f.pkg.Info.Uses[x].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	switch pn.Imported().Path() {
+	case "sort":
+		switch sel.Sel.Name {
+		case "Slice", "SliceStable", "Sort", "Stable", "Strings", "Ints", "Float64s":
+		default:
+			return "", false
+		}
+	case "slices":
+		if !strings.HasPrefix(sel.Sel.Name, "Sort") {
+			return "", false
+		}
+	default:
+		return "", false
+	}
+	key := ExprKey(call.Args[0])
+	if key == "" {
+		return "", false
+	}
+	return key, true
+}
+
+// isNonEscapingBuiltin reports calls whose arguments stay local: len, cap,
+// delete, and append (the append target is the accumulation itself; the
+// appended values do flow into it, which the mapiter analyzer models
+// directly at the append site).
+func (f *FuncFlow) isNonEscapingBuiltin(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := f.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	switch id.Name {
+	case "len", "cap", "delete", "append", "make", "new":
+		return true
+	}
+	return false
+}
+
+// bind records one reaching value for the variable behind ident.
+func (f *FuncFlow) bind(id *ast.Ident, rhs ast.Expr) {
+	if id.Name == "_" {
+		return
+	}
+	obj := f.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = f.pkg.Info.Uses[id]
+	}
+	if v, ok := obj.(*types.Var); ok {
+		f.sources[v] = append(f.sources[v], rhs)
+	}
+}
+
+// escape marks an expression chain (and thereby its root) as leaving the
+// function.
+func (f *FuncFlow) escape(e ast.Expr) {
+	if key := ExprKey(e); key != "" {
+		f.escaped[key] = true
+	}
+}
+
+// Escapes reports whether the chain or its root variable leaves the
+// function. Unnameable chains are treated as escaping (one-sided safety).
+func (f *FuncFlow) Escapes(key string) bool {
+	if key == "" {
+		return true
+	}
+	if f.escaped[key] {
+		return true
+	}
+	root, _, cut := strings.Cut(key, ".")
+	return cut && f.escaped[root]
+}
+
+// SortedAfter reports whether the chain is sorted at some position after
+// pos — the "collect from a map, then sort" idiom.
+func (f *FuncFlow) SortedAfter(key string, pos token.Pos) bool {
+	if key == "" {
+		return false
+	}
+	for _, s := range f.sorts {
+		if s.key == key && s.pos > pos {
+			return true
+		}
+	}
+	return false
+}
+
+// ResolveFuncLit resolves an expression to the function literal it must
+// evaluate to: the literal itself, or a local variable every one of whose
+// reaching values is (transitively) a function literal. Used by the
+// goroutine analyzer to see through `work := func(){...}; go work()`.
+func (f *FuncFlow) ResolveFuncLit(e ast.Expr) *ast.FuncLit {
+	return f.resolveFuncLit(e, map[*types.Var]bool{})
+}
+
+func (f *FuncFlow) resolveFuncLit(e ast.Expr, seen map[*types.Var]bool) *ast.FuncLit {
+	switch x := e.(type) {
+	case *ast.FuncLit:
+		return x
+	case *ast.ParenExpr:
+		return f.resolveFuncLit(x.X, seen)
+	case *ast.Ident:
+		v, ok := f.pkg.Info.Uses[x].(*types.Var)
+		if !ok || seen[v] {
+			return nil
+		}
+		seen[v] = true
+		var lit *ast.FuncLit
+		for _, src := range f.sources[v] {
+			l := f.resolveFuncLit(src, seen)
+			if l == nil {
+				return nil // some reaching value is opaque
+			}
+			if lit != nil && lit != l {
+				return nil // conflicting literals reach the variable
+			}
+			lit = l
+		}
+		return lit
+	}
+	return nil
+}
+
+// ExprKey renders a pure identifier/selector chain as a canonical string
+// ("p.mu", "res.Models"), seeing through parens and derefs. Expressions
+// that are not pure chains (calls, index expressions with computed
+// operands) yield "" — callers must treat that as "unknown", which the
+// analyzers resolve pessimistically.
+func ExprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := ExprKey(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return ExprKey(x.X)
+	case *ast.StarExpr:
+		return ExprKey(x.X)
+	}
+	return ""
+}
+
+// declaredWithin reports whether the variable named by the root of expr is
+// declared inside the [lo, hi] source interval — e.g. a builder created
+// fresh on every loop iteration, which no cross-iteration ordering can
+// leak through.
+func declaredWithin(p *Package, e ast.Expr, lo, hi token.Pos) bool {
+	root := e
+	for {
+		switch x := root.(type) {
+		case *ast.SelectorExpr:
+			root = x.X
+			continue
+		case *ast.ParenExpr:
+			root = x.X
+			continue
+		case *ast.StarExpr:
+			root = x.X
+			continue
+		}
+		break
+	}
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+// forEachFuncBody invokes fn once per declared function body in the
+// package. Function literals nested in a declaration are analyzed as part
+// of that declaration's flow, not separately.
+func forEachFuncBody(p *Package, fn func(decl *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -14,6 +14,17 @@ import (
 // the offending statement).
 const directivePrefix = "//lint:allow"
 
+// directive is one //lint:allow site, with its usage tracked so the
+// allowaudit pass can report suppressions that no longer suppress
+// anything.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+	pos      token.Position
+	used     bool
+}
+
 // directiveKey identifies one suppression site.
 type directiveKey struct {
 	file     string
@@ -21,24 +32,49 @@ type directiveKey struct {
 	analyzer string
 }
 
-// directiveSet indexes the //lint:allow directives of one package.
-type directiveSet map[directiveKey]bool
+// directiveIndex indexes the //lint:allow directives of one package.
+type directiveIndex struct {
+	byKey map[directiveKey]*directive
+	// list preserves source order for deterministic audit output.
+	list []*directive
+}
 
-// allows reports whether a diagnostic of the analyzer at pos is suppressed.
-func (s directiveSet) allows(analyzer string, pos token.Position) bool {
-	return s[directiveKey{pos.Filename, pos.Line, analyzer}] ||
-		s[directiveKey{pos.Filename, pos.Line - 1, analyzer}]
+// allows reports whether a diagnostic of the analyzer at pos is
+// suppressed, marking the matching directive as used.
+func (ix *directiveIndex) allows(analyzer string, pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := ix.byKey[directiveKey{pos.Filename, line, analyzer}]; ok {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused returns the directives that suppressed nothing, restricted to the
+// analyzers in sel (a directive for an analyzer that did not run cannot be
+// judged stale). Directives naming allowaudit itself are exempt: they are
+// statements about the audit, consumed when audit findings are filtered.
+func (ix *directiveIndex) unused(sel map[string]bool) []*directive {
+	var out []*directive
+	for _, d := range ix.list {
+		if d.used || d.analyzer == AllowAudit.Name || !sel[d.analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // collectDirectives scans the package's comments for //lint:allow
 // directives. Malformed directives (unknown analyzer, missing reason) are
 // returned as diagnostics so they cannot silently fail to suppress.
-func collectDirectives(p *Package) (directiveSet, []Diagnostic) {
+func collectDirectives(p *Package) (*directiveIndex, []Diagnostic) {
 	known := map[string]bool{}
 	for _, a := range All() {
 		known[a.Name] = true
 	}
-	set := directiveSet{}
+	ix := &directiveIndex{byKey: map[directiveKey]*directive{}}
 	var bad []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -69,9 +105,11 @@ func collectDirectives(p *Package) (directiveSet, []Diagnostic) {
 					continue
 				}
 				pos := p.Position(c.Pos())
-				set[directiveKey{pos.Filename, pos.Line, name}] = true
+				d := &directive{file: pos.Filename, line: pos.Line, analyzer: name, pos: pos}
+				ix.byKey[directiveKey{pos.Filename, pos.Line, name}] = d
+				ix.list = append(ix.list, d)
 			}
 		}
 	}
-	return set, bad
+	return ix, bad
 }

@@ -15,7 +15,23 @@
 //   - diagnosability: panic messages must identify the originating package
 //     (`panicmsg`).
 //
-// Run the suite with `go run ./cmd/rmlint ./...`.
+// The v2 pack extends the suite past single-expression patterns with a
+// small intra-function dataflow engine (dataflow.go) and four more
+// analyzers:
+//
+//   - ordering: map iteration must not feed order-sensitive sinks —
+//     output, escaping unsorted accumulations, channel sends, folds
+//     (`mapiter`);
+//   - spawn discipline: every goroutine in the concurrent core needs a
+//     visible join or cancellation path, and loop variables are passed,
+//     not captured (`goroutine`);
+//   - mutex discipline: no lock copies, no Lock without a dominating
+//     release, no channel sends while a lock is held (`locks`);
+//   - suppression hygiene: every //lint:allow directive must still
+//     suppress something (`allowaudit`).
+//
+// Run the suite with `go run ./cmd/rmlint ./...` (or `-json` for the CI
+// form).
 //
 // # Suppressing a diagnostic
 //
@@ -89,9 +105,11 @@ func (p *Package) Diag(analyzer string, pos token.Pos, format string, args ...in
 	return Diagnostic{Pos: p.Position(pos), Analyzer: analyzer, Message: fmt.Sprintf(format, args...)}
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the v1 pattern
+// checks first, then the v2 dataflow-backed determinism/concurrency pack,
+// then the suppression audit.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, Units, Errcheck, Panicmsg}
+	return []*Analyzer{Wallclock, Units, Errcheck, Panicmsg, Mapiter, Goroutine, Locks, AllowAudit}
 }
 
 // ByName resolves a comma-separated analyzer list ("wallclock,units").
@@ -119,18 +137,52 @@ func ByName(names string) ([]*Analyzer, error) {
 // through //lint:allow directives, and returns the surviving diagnostics
 // sorted by position. Malformed directives are reported as diagnostics of
 // the pseudo-analyzer "directive".
+//
+// When allowaudit is among the analyzers, a post-pass per package reports
+// every directive that suppressed nothing — restricted to directives
+// naming analyzers that actually ran, since only those can be judged
+// stale. Audit findings are themselves suppressible with
+// //lint:allow allowaudit <reason>, which is the "re-justify in place"
+// mechanism for directives that fire only under other build
+// configurations.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	audit := false
+	sel := map[string]bool{}
+	for _, a := range analyzers {
+		sel[a.Name] = true
+		if a == AllowAudit {
+			audit = true
+		}
+	}
 	var out []Diagnostic
 	for _, p := range pkgs {
-		dirs, bad := collectDirectives(p)
+		ix, bad := collectDirectives(p)
 		out = append(out, bad...)
 		for _, a := range analyzers {
+			if a == AllowAudit {
+				continue // runs as the post-pass below
+			}
 			for _, d := range a.Run(p) {
-				if dirs.allows(d.Analyzer, d.Pos) {
+				if ix.allows(d.Analyzer, d.Pos) {
 					continue
 				}
 				out = append(out, d)
 			}
+		}
+		if !audit {
+			continue
+		}
+		for _, d := range ix.unused(sel) {
+			diag := Diagnostic{
+				Pos:      d.pos,
+				Analyzer: AllowAudit.Name,
+				Message: fmt.Sprintf("stale //lint:allow %s: no %s finding here anymore — delete it or re-justify with //lint:allow allowaudit <reason>",
+					d.analyzer, d.analyzer),
+			}
+			if ix.allows(AllowAudit.Name, diag.Pos) {
+				continue
+			}
+			out = append(out, diag)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

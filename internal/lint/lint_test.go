@@ -84,6 +84,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"clockbad", Wallclock},
 		{"errbad", Errcheck},
 		{"panicbad", Panicmsg},
+		{"mapiterbad", Mapiter},
+		{"goroutinebad", Goroutine},
+		{"locksbad", Locks},
 	}
 	for _, tc := range cases {
 		t.Run(tc.pkg, func(t *testing.T) {
@@ -128,6 +131,20 @@ func TestDirectives(t *testing.T) {
 		"21:directive": true, // missing analyzer name
 		"24:wallclock": true, // unsuppressed time.Now
 	}
+	diffSets(t, want, gotKeys(diags), diags)
+}
+
+// TestAllowAudit checks the suppression audit: a live directive stays
+// silent, a stale one is reported at its own position, and a stale one
+// re-justified with a companion //lint:allow allowaudit directive is
+// accepted.
+func TestAllowAudit(t *testing.T) {
+	p := loadFixture(t, "allowstale")
+	want := wantMarkers(t, filepath.Join("testdata", "src", "allowstale", "allowstale.go"))
+	if len(want) == 0 {
+		t.Fatal("fixture has no want markers; test would pass vacuously")
+	}
+	diags := Run([]*Package{p}, []*Analyzer{Wallclock, AllowAudit})
 	diffSets(t, want, gotKeys(diags), diags)
 }
 

@@ -1,0 +1,25 @@
+// Package allowstale seeds live, stale and re-justified //lint:allow
+// directives for the allowaudit pass.
+package allowstale
+
+import "time"
+
+// Used carries a live directive: it suppresses the finding below, so the
+// audit stays silent about it.
+func Used() time.Time {
+	//lint:allow wallclock fixture: live directive, suppresses the call below
+	return time.Now()
+}
+
+// Clean carries a stale directive: nothing on its line or the line below
+// triggers wallclock anymore.
+//
+//lint:allow wallclock nothing here reads the clock anymore // want:allowaudit
+func Clean() int { return 42 }
+
+// AlsoClean carries a stale directive re-justified in place: the companion
+// allowaudit directive keeps the audit quiet.
+//
+//lint:allow allowaudit fixture: directive below fires only under another build tag
+//lint:allow wallclock kept for a build-tagged variant not analyzed here
+func AlsoClean() int { return 43 }

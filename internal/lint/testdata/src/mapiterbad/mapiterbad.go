@@ -1,0 +1,101 @@
+// Package mapiterbad seeds map iterations feeding order-sensitive sinks
+// for the mapiter analyzer, alongside the order-safe idioms (sorted keys,
+// commutative folds, per-iteration state, bindingless loops).
+package mapiterbad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Emit prints in iteration order: the bytes shuffle between runs.
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want:mapiter
+	}
+}
+
+// Keys escapes an unsorted accumulation.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want:mapiter
+	}
+	return keys
+}
+
+// SortedKeys is the blessed idiom: collected, then sorted before escaping.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum is a commutative integer fold: order-insensitive, exempt.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// FloatSum is not exempt: float addition is not associative.
+func FloatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want:mapiter
+	}
+	return total
+}
+
+// Checksum folds with a non-commutative operator.
+func Checksum(m map[string]int) int {
+	h := 1
+	for _, v := range m {
+		h *= v + 3 // want:mapiter
+	}
+	return h
+}
+
+// Send delivers keys in iteration order: the receiver observes it.
+func Send(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want:mapiter
+	}
+}
+
+// Record streams bytes into a writer that outlives the loop.
+func Record(m map[string]int, w *strings.Builder) {
+	for k := range m {
+		w.WriteString(k) // want:mapiter
+	}
+}
+
+// Local builds per-iteration state: a fresh builder each round cannot leak
+// cross-iteration ordering.
+func Local(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// Count binds neither key nor value: iterations are indistinguishable, so
+// order cannot leak.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

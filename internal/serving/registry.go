@@ -3,6 +3,7 @@ package serving
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -126,11 +127,16 @@ func (r *Registry) Register(spec ModelSpec) error {
 	return nil
 }
 
-// Models returns the registered model names in registration order.
+// Models returns the registered model names in sorted order. Emission
+// surfaces sort so their output ordering is deterministic by construction;
+// registration order is kept internally as the WRR tie-break (see
+// Register) and the Close sequence.
 func (r *Registry) Models() []string {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return append([]string(nil), r.order...)
+	names := append([]string(nil), r.order...)
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
 }
 
 // entry resolves a model name.
@@ -180,11 +186,14 @@ func (e *modelEntry) stats() ModelStats {
 	return st
 }
 
-// Stats snapshots every hosted model, in registration order.
+// Stats snapshots every hosted model, in sorted name order — the
+// snapshot is an emission surface, so its ordering is deterministic by
+// construction rather than inherited from registration.
 func (r *Registry) Stats() []ModelStats {
+	names := r.Models()
 	r.mu.RLock()
-	entries := make([]*modelEntry, 0, len(r.order))
-	for _, name := range r.order {
+	entries := make([]*modelEntry, 0, len(names))
+	for _, name := range names {
 		entries = append(entries, r.entries[name])
 	}
 	r.mu.RUnlock()

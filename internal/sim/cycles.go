@@ -21,7 +21,8 @@ type Cycles int64
 // Duration converts the cycle count to simulated time at the given cycle
 // time (the duration of one clock cycle).
 func (c Cycles) Duration(cycleTime time.Duration) time.Duration {
-	//lint:allow units the canonical Cycles<->Duration bridge lives here
+	// The canonical Cycles<->Duration bridge lives here; package sim is
+	// the units analyzer's blessed home for conversions.
 	return time.Duration(c) * cycleTime
 }
 
@@ -32,7 +33,8 @@ func DurationToCycles(d, cycleTime time.Duration) Cycles {
 	if cycleTime <= 0 {
 		panic(fmt.Sprintf("sim: non-positive cycle time %v", cycleTime))
 	}
-	//lint:allow units the canonical Cycles<->Duration bridge lives here
+	// The canonical Cycles<->Duration bridge lives here; package sim is
+	// the units analyzer's blessed home for conversions.
 	return Cycles(d / cycleTime)
 }
 
