@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet lint lint-fixtures test test-simdebug test-golden race fuzz-smoke bench bench-perf check
+.PHONY: build fmt vet lint lint-fixtures test test-simdebug test-golden race fuzz-smoke bench bench-perf bench-micro check
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,15 @@ bench:
 # hammers the sharded serving pool, writing BENCH_simcore.json.
 bench-perf:
 	$(GO) run ./cmd/rmperf
+
+# Allocation micro-benchmarks for the serving/lookup/cache hot paths.
+# -benchtime=100x keeps it a smoke run: fixed iteration count, so it is
+# fast and deterministic enough for CI while still exercising
+# b.ReportAllocs on every hot path.
+bench-micro:
+	$(GO) test -run='^$$' -bench=BenchmarkPoolSubmit -benchtime=100x -benchmem ./internal/serving/
+	$(GO) test -run='^$$' -bench=BenchmarkLookupPoolHotTrace -benchtime=100x -benchmem ./internal/engine/
+	$(GO) test -run='^$$' -bench=BenchmarkEVCacheHit -benchtime=100x -benchmem ./internal/evcache/
 
 check: build fmt vet lint test test-simdebug race
 	@echo "all checks passed"

@@ -50,6 +50,10 @@ type SweepReport struct {
 	ParallelSeconds   float64  `json:"parallel_seconds"`
 	Speedup           float64  `json:"speedup"`
 	ByteIdentical     bool     `json:"byte_identical"`
+	// Status is "ok", or "skipped_overhead_bound" when the host exposes a
+	// single CPU: worker goroutines can only add scheduling overhead there,
+	// so the parallel leg is not run and its fields stay zero.
+	Status string `json:"status"`
 }
 
 // ServeReport records the sharded-serving throughput measurement.
@@ -70,11 +74,13 @@ type ServeReport struct {
 
 // Report is the full BENCH_simcore.json payload.
 type Report struct {
-	GOMAXPROCS int         `json:"gomaxprocs"`
-	NumCPU     int         `json:"num_cpu"`
-	Note       string      `json:"note,omitempty"`
-	Sweep      SweepReport `json:"sweep"`
-	Serve      ServeReport `json:"rmserve"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Note       string         `json:"note,omitempty"`
+	Sweep      SweepReport    `json:"sweep"`
+	Serve      ServeReport    `json:"rmserve"`
+	Micro      MicroReport    `json:"micro"`
+	Locality   LocalityReport `json:"locality"`
 }
 
 func main() {
@@ -90,6 +96,11 @@ func main() {
 		clients  = flag.Int("clients", 16, "concurrent serving clients")
 		requests = flag.Int("requests", 2000, "total serving requests")
 		reqBatch = flag.Int("req-batch", 4, "inferences per serving request")
+
+		locTableMB = flag.Int64("locality-table-mb", 64, "locality comparison embedding table budget in MiB")
+		locCacheMB = flag.Int64("locality-cache-mb", 8, "locality comparison EV cache budget in MiB")
+		locInfer   = flag.Int("locality-inferences", 512, "locality comparison inference count")
+		locBatch   = flag.Int("locality-batch", 32, "locality comparison device batch size")
 	)
 	flag.Parse()
 	if *maxprocs > 0 {
@@ -104,6 +115,8 @@ func main() {
 	names := strings.Split(*exps, ",")
 	rep.Sweep = runSweep(names, *tableMB, *parallel)
 	rep.Serve = runServe(*model, *srvMB, *shards, *clients, *requests, *reqBatch)
+	rep.Micro = runMicro()
+	rep.Locality = runLocality(*locTableMB, *locCacheMB, *locInfer, *locBatch)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -159,6 +172,17 @@ func runSweep(names []string, tableMB int64, parallel int) SweepReport {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if runtime.NumCPU() == 1 {
+		// One CPU: a worker pool can only lose to the sequential loop, so
+		// the comparison would measure goroutine overhead, not speedup.
+		return SweepReport{
+			Experiments:       names,
+			TableMB:           tableMB,
+			Parallel:          parallel,
+			SequentialSeconds: seqSec,
+			Status:            "skipped_overhead_bound",
+		}
+	}
 	parSec, parTabs, err := renderSweep(names, parOpts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -181,6 +205,7 @@ func runSweep(names []string, tableMB int64, parallel int) SweepReport {
 		SequentialSeconds: seqSec,
 		ParallelSeconds:   parSec,
 		ByteIdentical:     identical,
+		Status:            "ok",
 	}
 	if parSec > 0 {
 		rep.Speedup = seqSec / parSec

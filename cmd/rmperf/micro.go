@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"rmssd"
+	"rmssd/internal/evcache"
+	"rmssd/internal/serving"
+)
+
+// Micro-benchmarks: per-operation allocation and latency numbers for the
+// serving and lookup hot paths, measured in-process via testing.Benchmark so
+// rmperf needs no `go test` invocation. Each stat is recorded next to a
+// frozen baseline: the same benchmark's numbers at the commit before the
+// allocation-lean rework, so BENCH_simcore.json shows the delta without
+// having to rebuild history.
+
+// Frozen per-op baselines (see note above). The EV cache is new in the same
+// change, so it has no pre-rework baseline.
+const (
+	baseSubmitAllocs = 5
+	baseSubmitBytes  = 288
+	baseLookupAllocs = 1369
+	baseLookupBytes  = 165696
+)
+
+// MicroStat is one benchmark's per-op numbers next to its frozen baseline.
+type MicroStat struct {
+	NsPerOp        float64 `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	BaselineAllocs int64   `json:"baseline_allocs_per_op,omitempty"`
+	BaselineBytes  int64   `json:"baseline_bytes_per_op,omitempty"`
+}
+
+// MicroReport aggregates the micro-benchmarks plus the GC pause accumulated
+// while they ran (host wall-clock figures; simulated time is not involved).
+type MicroReport struct {
+	PoolSubmit    MicroStat `json:"pool_submit"`
+	LookupPoolHot MicroStat `json:"lookup_pool_hot"`
+	EVCacheHit    MicroStat `json:"evcache_hit"`
+	GCPauseMS     float64   `json:"gc_pause_total_ms"`
+}
+
+func stat(r testing.BenchmarkResult, baseAllocs, baseBytes int64) MicroStat {
+	return MicroStat{
+		NsPerOp:        float64(r.NsPerOp()),
+		AllocsPerOp:    r.AllocsPerOp(),
+		BytesPerOp:     r.AllocedBytesPerOp(),
+		BaselineAllocs: baseAllocs,
+		BaselineBytes:  baseBytes,
+	}
+}
+
+// nullBatcher isolates Pool.Submit's own cost: serving a batch is one slice
+// allocation and no simulation.
+type nullBatcher struct{}
+
+func (nullBatcher) ServeBatch(reqs []serving.Request) serving.BatchResult {
+	return serving.BatchResult{Preds: make([]float32, serving.CountOf(reqs))}
+}
+
+// runMicro measures the three hot paths. The lookup benchmark mirrors
+// internal/engine's BenchmarkLookupPoolHotTrace (same model shape, geometry,
+// trace seed and K=2 locality) so its numbers are comparable with `make
+// bench-micro` output and with the frozen baselines.
+func runMicro() MicroReport {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	pool := serving.NewPool([]serving.Batcher{nullBatcher{}}, 8, 64)
+	submit := testing.Benchmark(func(b *testing.B) {
+		ctx := context.Background()
+		req := serving.Request{N: 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pool.Submit(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	pool.Close()
+
+	cfg := rmssd.RMC1()
+	cfg.RowsPerTable = 2048
+	dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{
+		Geometry: rmssd.Geometry{
+			Channels: 4, DiesPerChannel: 4, PlanesPerDie: 2,
+			BlocksPerPlane: 64, PagesPerBlock: 16, PageSize: 4096,
+		},
+		Parallel: 1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tc, err := rmssd.TraceConfig{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 7,
+	}.WithLocality(2)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	gen := rmssd.MustNewTrace(tc)
+	batches := gen.Batch(64)
+	lookup := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dev.Lookup().Pool(0, batches[i%len(batches)])
+		}
+	})
+
+	evSize := cfg.EVSize()
+	cache := evcache.New(int64(evSize)*1024, evSize)
+	vec := make([]byte, evSize)
+	cache.Reserve(0, 1).Fill(vec)
+	hit := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			entry, ok := cache.Get(0, 1)
+			if !ok || !entry.Filled() {
+				b.Fatal("vector fell out of a one-entry working set")
+			}
+			cache.Hit(0)
+		}
+	})
+
+	runtime.ReadMemStats(&after)
+	return MicroReport{
+		PoolSubmit:    stat(submit, baseSubmitAllocs, baseSubmitBytes),
+		LookupPoolHot: stat(lookup, baseLookupAllocs, baseLookupBytes),
+		EVCacheHit:    stat(hit, 0, 0),
+		GCPauseMS:     float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6,
+	}
+}

@@ -25,7 +25,7 @@ func fuzzSrv() *server {
 				panic(fmt.Sprintf("rmserve: fuzz server: %v", err))
 			}
 			cfg.RowsPerTable = cfg.RowsForBudget(8 << 20)
-			m, err := newHostedModel(name, cfg, shards, 1, 4, 16, weight)
+			m, err := newHostedModel(name, cfg, hostOptions{shards: shards, seed: 1, maxBatch: 4, queue: 16, weight: weight})
 			if err != nil {
 				panic(fmt.Sprintf("rmserve: fuzz server: %v", err))
 			}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"rmssd"
+	"rmssd/internal/serving"
+)
+
+// TestCachedShardedPoolConcurrent drives a cache+dedup server from many
+// goroutines at once and checks every response bit-for-bit against an
+// uncached reference device. Predictions depend only on a request's own
+// inputs — never on coalescing, shard assignment or cache state — so the
+// equality must hold however the race resolves. Run under -race this also
+// proves the per-shard caches are confined to their shard goroutines.
+func TestCachedShardedPoolConcurrent(t *testing.T) {
+	cfg := rmssd.RMC1()
+	cfg.RowsPerTable = cfg.RowsForBudget(8 << 20)
+	s, err := newSingleServer(cfg, hostOptions{
+		shards: 2, seed: 1, maxBatch: 8, queue: 64,
+		evCacheMB: 4, dedup: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.close)
+
+	// Hot-skewed inputs (K=2) so the caches actually serve hits.
+	tc, err := rmssd.TraceConfig{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 11,
+	}.WithLocality(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := rmssd.MustNewTrace(tc)
+
+	const n = 24
+	ref := rmssd.MustNewDevice(cfg, rmssd.DeviceOptions{})
+	denses := make([]rmssd.Vector, n)
+	sparses := make([][][]int64, n)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		denses[i] = gen.DenseInput(i, cfg.DenseDim)
+		sparses[i] = gen.Batch(1)[0]
+		outs, _, _ := ref.InferBatch(0, denses[i:i+1], sparses[i:i+1])
+		want[i] = outs[0]
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := serving.Request{Sparse: sparses[i : i+1], Dense: denses[i : i+1]}
+			resp, err := s.def.pool.Submit(context.Background(), req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(resp.Preds) != 1 || math.Float32bits(resp.Preds[0]) != math.Float32bits(want[i]) {
+				t.Errorf("request %d: cached pred %v, reference %v", i, resp.Preds, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	lk, ev, cached := s.def.localityStats()
+	if !cached {
+		t.Fatal("no EV cache installed on any shard")
+	}
+	if lk.DedupHits == 0 && ev.Hits == 0 {
+		t.Errorf("hot trace produced no dedup or cache hits (lookups=%d)", lk.Lookups)
+	}
+}

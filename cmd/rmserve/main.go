@@ -84,6 +84,14 @@ type deviceShard struct {
 	mu  sync.Mutex
 	now time.Duration // shard-local simulated clock
 	seq int           // trace sequence cursor
+
+	// Batch-assembly scratch, reused across ServeBatch calls (the serving
+	// contract guarantees one caller at a time). zeroDense stands in for
+	// absent dense payloads; the MLP only reads its inputs, so one shared
+	// zero vector serves every inference.
+	denses    []rmssd.Vector
+	sparses   [][][]int64
+	zeroDense rmssd.Vector
 }
 
 // ServeBatch implements serving.Batcher: concatenate the coalesced
@@ -94,9 +102,11 @@ type deviceShard struct {
 func (d *deviceShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	n := serving.CountOf(reqs)
-	denses := make([]rmssd.Vector, 0, n)
-	sparses := make([][][]int64, 0, n)
+	if d.zeroDense == nil {
+		d.zeroDense = make(rmssd.Vector, d.cfg.DenseDim)
+	}
+	denses := d.denses[:0]
+	sparses := d.sparses[:0]
 	for _, req := range reqs {
 		if req.Explicit() {
 			for i, sp := range req.Sparse {
@@ -104,7 +114,7 @@ func (d *deviceShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
 				if req.Dense != nil {
 					denses = append(denses, req.Dense[i])
 				} else {
-					denses = append(denses, make(rmssd.Vector, d.cfg.DenseDim))
+					denses = append(denses, d.zeroDense)
 				}
 			}
 			continue
@@ -118,6 +128,10 @@ func (d *deviceShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
 	outs, done, bd := d.dev.InferBatch(d.now, denses, sparses)
 	lat := done - d.now
 	d.now = done
+	// Drop payload references before the next batch; keep the capacity.
+	clear(denses)
+	clear(sparses)
+	d.denses, d.sparses = denses[:0], sparses[:0]
 	return serving.BatchResult{Preds: outs, Latency: lat, Meta: bd}
 }
 
@@ -141,11 +155,27 @@ type hostedModel struct {
 	queue    int
 }
 
-// newHostedModel builds nshards independent devices for cfg. When several
+// hostOptions bundles a hosted model's serving knobs.
+type hostOptions struct {
+	shards   int // independent devices (<=0 = GOMAXPROCS)
+	seed     uint64
+	maxBatch int // coalesced device batch cap (<=0 = device NBatch)
+	queue    int // per-shard queue depth
+	weight   int // WRR admission weight
+	// evCacheMB budgets each shard's device-DRAM EV cache in MiB (0 = off);
+	// dedup merges duplicate (table,row) lookups within a device batch.
+	// Both are value-preserving: predictions are unchanged, only the
+	// simulated timing improves on skewed traffic.
+	evCacheMB int64
+	dedup     bool
+}
+
+// newHostedModel builds o.shards independent devices for cfg. When several
 // shards exist, each device simulates its flash channels sequentially
 // (shard-level parallelism already saturates the host); a single shard
 // keeps the device's own channel-parallel lanes.
-func newHostedModel(name string, cfg rmssd.ModelConfig, nshards int, seed uint64, maxBatch, queueDepth, weight int) (*hostedModel, error) {
+func newHostedModel(name string, cfg rmssd.ModelConfig, o hostOptions) (*hostedModel, error) {
+	nshards := o.shards
 	if nshards <= 0 {
 		nshards = runtime.GOMAXPROCS(0)
 	}
@@ -153,9 +183,14 @@ func newHostedModel(name string, cfg rmssd.ModelConfig, nshards int, seed uint64
 	if nshards == 1 {
 		devParallel = 0 // GOMAXPROCS lanes inside the single device
 	}
-	m := &hostedModel{name: name, weight: weight, cfg: cfg, queue: queueDepth}
+	m := &hostedModel{name: name, weight: o.weight, cfg: cfg, queue: o.queue}
+	maxBatch := o.maxBatch
 	for i := 0; i < nshards; i++ {
-		dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{Parallel: devParallel})
+		dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{
+			Parallel:     devParallel,
+			EVCacheBytes: o.evCacheMB << 20,
+			DedupLookups: o.dedup,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("rmserve: model %q: %w", name, err)
 		}
@@ -168,12 +203,33 @@ func newHostedModel(name string, cfg rmssd.ModelConfig, nshards int, seed uint64
 			cfg: cfg,
 			gen: rmssd.MustNewTrace(rmssd.TraceConfig{
 				Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
-				Seed: seed + uint64(i)*0x9e37,
+				Seed: o.seed + uint64(i)*0x9e37,
 			}),
 		})
 	}
 	m.maxBatch = maxBatch
 	return m, nil
+}
+
+// localityStats aggregates the model's lookup-engine and EV-cache counters
+// across shards; cached reports whether any shard has a cache installed.
+func (m *hostedModel) localityStats() (lk rmssd.LookupStats, ev rmssd.EVCacheStats, cached bool) {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		st := sh.dev.Lookup().Stats()
+		lk.Lookups += st.Lookups
+		lk.BytesPooled += st.BytesPooled
+		lk.DedupHits += st.DedupHits
+		if c := sh.dev.Lookup().EVCache(); c != nil {
+			cached = true
+			cs := c.Stats()
+			ev.Hits += cs.Hits
+			ev.Misses += cs.Misses
+			ev.Evictions += cs.Evictions
+		}
+		sh.mu.Unlock()
+	}
+	return lk, ev, cached
 }
 
 // backends adapts the shards to the serving layer.
@@ -233,8 +289,11 @@ func newServer(hosted []*hostedModel, budget int) (*server, error) {
 
 // newSingleServer is the single-model construction used by the classic
 // flag set (and most tests): one hosted model under its architecture name.
-func newSingleServer(cfg rmssd.ModelConfig, nshards int, seed uint64, maxBatch, queueDepth int) (*server, error) {
-	m, err := newHostedModel(cfg.Name, cfg, nshards, seed, maxBatch, queueDepth, 1)
+func newSingleServer(cfg rmssd.ModelConfig, o hostOptions) (*server, error) {
+	if o.weight == 0 {
+		o.weight = 1
+	}
+	m, err := newHostedModel(cfg.Name, cfg, o)
 	if err != nil {
 		return nil, err
 	}
@@ -268,6 +327,8 @@ func main() {
 		shards     = flag.Int("shards", 0, "independent device shards (0 = GOMAXPROCS; single-model mode)")
 		maxBatch   = flag.Int("max-batch", 0, "coalesced device batch cap (0 = device NBatch; single-model mode)")
 		queue      = flag.Int("queue", 256, "per-shard request queue depth (single-model mode)")
+		evCacheMB  = flag.Int64("ev-cache-mb", 0, "device-DRAM EV cache budget per shard in MiB (0 = off; single-model mode)")
+		dedup      = flag.Bool("dedup", false, "merge duplicate (table,row) lookups within a device batch (single-model mode)")
 		traceMode  = flag.String("trace", "", "replay a trace through the pool(s) and exit: 'synthetic' or 'criteo'")
 		criteoIn   = flag.String("criteo-in", "", "Criteo-format TSV file for -trace criteo")
 		rate       = flag.Float64("rate", 50000, "replay offered load in requests per simulated second")
@@ -298,7 +359,10 @@ func main() {
 		}
 		cfg.RowsPerTable = cfg.RowsForBudget(*tableMB << 20)
 		log.Printf("building RM-SSD shards for %s (%d MiB tables)...", cfg.Name, *tableMB)
-		s, err = newSingleServer(cfg, *shards, *seed, *maxBatch, *queue)
+		s, err = newSingleServer(cfg, hostOptions{
+			shards: *shards, seed: *seed, maxBatch: *maxBatch, queue: *queue,
+			evCacheMB: *evCacheMB, dedup: *dedup,
+		})
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -570,10 +634,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var (
 		vectorReads, pageReads, bytesTransferred, inferences int64
 		requests, batches                                    int64
+		lookups, dedupHits                                   int64
+		cacheHits, cacheMisses, cacheEvictions               int64
 		observedQPS                                          float64
 		perShard                                             []map[string]interface{}
 	)
 	for _, m := range s.models {
+		lk, ev, _ := m.localityStats()
+		lookups += lk.Lookups
+		dedupHits += lk.DedupHits
+		cacheHits += ev.Hits
+		cacheMisses += ev.Misses
+		cacheEvictions += ev.Evictions
 		for _, sh := range m.shards {
 			fs, inf, now := sh.snapshot()
 			vectorReads += fs.VectorReads
@@ -601,6 +673,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if batches > 0 {
 		meanBatch = float64(inferences) / float64(batches)
 	}
+	var cacheHitRatio float64
+	if probes := cacheHits + cacheMisses; probes > 0 {
+		cacheHitRatio = float64(cacheHits) / float64(probes)
+	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"vectorReads":      vectorReads,
 		"pageReads":        pageReads,
@@ -610,6 +686,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"requests":         requests,
 		"deviceBatches":    batches,
 		"meanBatch":        meanBatch,
+		"lookups":          lookups,
+		"dedupHits":        dedupHits,
+		"evCacheHits":      cacheHits,
+		"evCacheMisses":    cacheMisses,
+		"evCacheEvictions": cacheEvictions,
+		"evCacheHitRatio":  cacheHitRatio,
 		"inFlight":         s.router.InFlight(),
 		"shards":           perShard,
 	})

@@ -19,7 +19,7 @@ func testServer(t *testing.T, shards int) *server {
 	t.Helper()
 	cfg := rmssd.RMC1()
 	cfg.RowsPerTable = cfg.RowsForBudget(16 << 20)
-	s, err := newSingleServer(cfg, shards, 1, 8, 64)
+	s, err := newSingleServer(cfg, hostOptions{shards: shards, seed: 1, maxBatch: 8, queue: 64})
 	if err != nil {
 		t.Fatal(err)
 	}

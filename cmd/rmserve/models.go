@@ -43,6 +43,13 @@ type modelDecl struct {
 	// Seed overrides the trace seed for this model's shards; 0 inherits
 	// the global -seed flag.
 	Seed uint64 `json:"seed"`
+	// EVCacheMB budgets a device-DRAM embedding-vector cache per shard, in
+	// MiB (0 = disabled). Hot vectors get served from controller DRAM;
+	// predictions are byte-identical either way.
+	EVCacheMB int64 `json:"evCacheMB"`
+	// Dedup merges identical (table,row) lookups within one coalesced
+	// device batch into a single vector read.
+	Dedup bool `json:"dedup"`
 }
 
 // modelsConfig is the top-level shape of the -models file.
@@ -88,6 +95,9 @@ func parseModelsConfig(r io.Reader) (modelsConfig, error) {
 		if d.Shards < 0 || d.MaxBatch < 0 || d.Queue < 0 || d.Weight < 0 {
 			return modelsConfig{}, fmt.Errorf("rmserve: models[%d] (%q): negative shard/batch/queue/weight", i, d.Name)
 		}
+		if d.EVCacheMB < 0 || d.EVCacheMB > 1<<20 {
+			return modelsConfig{}, fmt.Errorf("rmserve: models[%d] (%q): evCacheMB %d outside [0, 2^20]", i, d.Name, d.EVCacheMB)
+		}
 		if d.Shards == 0 {
 			d.Shards = 1
 		}
@@ -126,7 +136,10 @@ func (mc modelsConfig) build(globalSeed uint64) ([]*hostedModel, error) {
 		if seed == 0 {
 			seed = globalSeed
 		}
-		m, err := newHostedModel(d.Name, cfg, d.Shards, seed, d.MaxBatch, d.Queue, d.Weight)
+		m, err := newHostedModel(d.Name, cfg, hostOptions{
+			shards: d.Shards, seed: seed, maxBatch: d.MaxBatch, queue: d.Queue,
+			weight: d.Weight, evCacheMB: d.EVCacheMB, dedup: d.Dedup,
+		})
 		if err != nil {
 			return nil, err
 		}

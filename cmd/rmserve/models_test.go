@@ -27,11 +27,11 @@ func testMultiServer(t *testing.T, budget int) *server {
 		t.Fatal(err)
 	}
 	wide.RowsPerTable = wide.RowsForBudget(16 << 20)
-	a, err := newHostedModel("ctr", ctr, 2, 1, 8, 64, 2)
+	a, err := newHostedModel("ctr", ctr, hostOptions{shards: 2, seed: 1, maxBatch: 8, queue: 64, weight: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := newHostedModel("wide", wide, 1, 1, 8, 64, 1)
+	b, err := newHostedModel("wide", wide, hostOptions{shards: 1, seed: 1, maxBatch: 8, queue: 64, weight: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestMultiReplaySynthetic(t *testing.T) {
 	// same config) over the same derived stream seed and request count.
 	ctr := rmssd.RMC1()
 	ctr.RowsPerTable = ctr.RowsForBudget(16 << 20)
-	m, err := newHostedModel("ctr", ctr, 2, 1, 8, 64, 2)
+	m, err := newHostedModel("ctr", ctr, hostOptions{shards: 2, seed: 1, maxBatch: 8, queue: 64, weight: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

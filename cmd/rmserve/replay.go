@@ -149,6 +149,27 @@ func formatReplayResult(sb *strings.Builder, res serving.ReplayResult) {
 	fmt.Fprintf(sb, " (inferences)\n")
 }
 
+// formatLocality appends the model's dedup/EV-cache counters when its
+// locality path is on; the default configuration prints nothing, keeping
+// classic replay reports byte-identical.
+func formatLocality(sb *strings.Builder, m *hostedModel) {
+	lk, ev, cached := m.localityStats()
+	if !cached && !m.shards[0].dev.Lookup().Dedup() {
+		return
+	}
+	fmt.Fprintf(sb, "locality:     %d/%d lookups deduped", lk.DedupHits, lk.Lookups)
+	if cached {
+		probes := ev.Hits + ev.Misses
+		var ratio float64
+		if probes > 0 {
+			ratio = float64(ev.Hits) / float64(probes)
+		}
+		fmt.Fprintf(sb, "; cache %d/%d hits (%.1f%%), %d evictions",
+			ev.Hits, probes, 100*ratio, ev.Evictions)
+	}
+	fmt.Fprintf(sb, "\n")
+}
+
 // runReplay runs the replay and prints the report: the classic single-model
 // report when one model is hosted, or one section per model plus the
 // aggregate in multi-model mode.
@@ -167,6 +188,7 @@ func (s *server) runReplay(rc replayConfig, w io.Writer) error {
 		fmt.Fprintf(&sb, "replay %s: model=%s shards=%d rate=%.0f req/s req-batch=%d seed=%d\n",
 			rc.Mode, s.def.cfg.Name, len(s.def.shards), rc.Rate, rc.ReqBatch, rc.Seed)
 		formatReplayResult(&sb, res)
+		formatLocality(&sb, s.def)
 	} else {
 		res, err := s.multiReplay(rc)
 		if err != nil {
@@ -181,6 +203,7 @@ func (s *server) runReplay(rc replayConfig, w io.Writer) error {
 			fmt.Fprintf(&sb, "--- model %s (%s, %d shards, weight %d, seed %d)\n",
 				name, m.cfg.Name, len(m.shards), m.weight, serving.ModelReplaySeed(rc.Seed, name))
 			formatReplayResult(&sb, res.PerModel[name])
+			formatLocality(&sb, m)
 		}
 	}
 	//lint:allow wallclock host-side harness reports real elapsed time next to simulated results

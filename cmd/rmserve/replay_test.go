@@ -140,7 +140,7 @@ func TestPayloadPathMatchesCountOnly(t *testing.T) {
 		batch = 2
 	)
 	newS := func() *server {
-		s, err := newSingleServer(cfg, 1, seed, 8, 64)
+		s, err := newSingleServer(cfg, hostOptions{shards: 1, seed: seed, maxBatch: 8, queue: 64})
 		if err != nil {
 			t.Fatal(err)
 		}

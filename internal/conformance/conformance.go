@@ -63,6 +63,7 @@ func Cases() []Case {
 		{Name: "device/infer", Render: renderDeviceInfer},
 		{Name: "replay/single", Render: renderSingleReplay},
 		{Name: "replay/mixed", Render: renderMixedReplay},
+		{Name: "replay/evcache", Render: renderEVCacheReplay},
 	}
 	// Static tables: pure functions of the calibration constants (Table II
 	// settings, model zoo, kernel search results, resource totals).
@@ -246,6 +247,73 @@ func renderSingleReplay() (string, error) {
 		return "", err
 	}
 	return "replay RMC1 shards=2\n" + formatReplay(res), nil
+}
+
+// renderEVCacheReplay replays a hot-locality synthetic trace through two
+// RMC1 shards with the device EV cache and intra-batch dedup enabled: the
+// rmserve -trace -ev-cache-mb -dedup path in library form. Beyond the
+// standard replay profile it pins the cache hit/miss/eviction and dedup
+// counters, so both the timing effect of the cache and its bookkeeping are
+// under golden control.
+func renderEVCacheReplay() (string, error) {
+	cfg := model.RMC1()
+	cfg.RowsPerTable = cfg.RowsForBudget(tableBudget)
+	const nshards = 2
+	devs := make([]*core.RMSSD, 0, nshards)
+	backends := make([]serving.Batcher, 0, nshards)
+	for i := 0; i < nshards; i++ {
+		dev, err := core.New(cfg, core.Options{
+			Parallel:     1,
+			EVCacheBytes: 4 << 20,
+			DedupLookups: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		tc, err := trace.Config{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+			Seed: 5 + uint64(i)*0x9e37,
+		}.WithLocality(2)
+		if err != nil {
+			return "", err
+		}
+		gen, err := trace.NewGenerator(tc)
+		if err != nil {
+			return "", err
+		}
+		devs = append(devs, dev)
+		backends = append(backends, &deviceBatcher{dev: dev, gen: gen, cfg: cfg})
+	}
+	tc, err := trace.Config{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 5,
+	}.WithLocality(2)
+	if err != nil {
+		return "", err
+	}
+	gen, err := trace.NewGenerator(tc)
+	if err != nil {
+		return "", err
+	}
+	src, err := serving.NewGeneratorSource(gen, 2, cfg.DenseDim)
+	if err != nil {
+		return "", err
+	}
+	res, err := serving.Replay(backends, serving.ReplayConfig{
+		Rate: 100000, MaxBatch: 8, Requests: 40, Seed: 5,
+	}, src)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("replay RMC1 shards=2 evcache=4MiB dedup=on locality K=2\n")
+	sb.WriteString(formatReplay(res))
+	for i, dev := range devs {
+		lk := dev.Lookup().Stats()
+		cs := dev.Lookup().EVCache().Stats()
+		fmt.Fprintf(&sb, "shard %d: lookups=%d dedup=%d hits=%d misses=%d evictions=%d\n",
+			i, lk.Lookups, lk.DedupHits, cs.Hits, cs.Misses, cs.Evictions)
+	}
+	return sb.String(), nil
 }
 
 // renderMixedReplay replays a weighted two-model mixed trace: the rmserve

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"rmssd/internal/model"
+	"rmssd/internal/params"
+	"rmssd/internal/sim"
+	"rmssd/internal/tensor"
+	"rmssd/internal/trace"
+)
+
+// localityConfigs enumerates the four cache×dedup settings whose predictions
+// must be byte-identical: the locality path only removes redundant fetches.
+var localityConfigs = []struct {
+	name  string
+	cache int64 // EV cache budget in bytes (0 = off)
+	dedup bool
+}{
+	{"plain", 0, false},
+	{"cache", 4 << 20, false},
+	{"dedup", 0, true},
+	{"cache+dedup", 4 << 20, true},
+}
+
+func newLocality(t *testing.T, cfg model.Config, cacheBytes int64, dedup bool, parallel int) *RMSSD {
+	t.Helper()
+	r, err := New(cfg, Options{
+		Geometry:     smallGeometry(),
+		Parallel:     parallel,
+		EVCacheBytes: cacheBytes,
+		DedupLookups: dedup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// hotInputs draws n inferences from a K=2 hot trace (heaviest reuse, so the
+// cache and dedup paths actually fire).
+func hotInputs(t *testing.T, cfg model.Config, n int, seed uint64) ([]tensor.Vector, [][][]int64) {
+	t.Helper()
+	tc, err := trace.Config{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: seed,
+	}.WithLocality(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := trace.MustNew(tc)
+	denses := make([]tensor.Vector, n)
+	sparses := g.Batch(n)
+	for i := range denses {
+		denses[i] = g.DenseInput(i, cfg.DenseDim)
+	}
+	return denses, sparses
+}
+
+// runStream feeds the inputs through the device in batches, each batch
+// starting at the previous one's completion, and returns all predictions
+// plus the final simulated time.
+func runStream(r *RMSSD, denses []tensor.Vector, sparses [][][]int64, batch int) ([]float32, sim.Time) {
+	var preds []float32
+	var now sim.Time
+	for off := 0; off < len(sparses); off += batch {
+		end := off + batch
+		if end > len(sparses) {
+			end = len(sparses)
+		}
+		outs, done, _ := r.InferBatch(now, denses[off:end], sparses[off:end])
+		preds = append(preds, outs...)
+		now = done
+	}
+	return preds, now
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d predictions, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: prediction %d = %x, want %x (values %v vs %v)",
+				name, i, math.Float32bits(got[i]), math.Float32bits(want[i]), got[i], want[i])
+		}
+	}
+}
+
+// TestLocalityDifferentialSynthetic: all four cache×dedup configurations
+// produce byte-identical predictions on a seeded hot synthetic trace.
+func TestLocalityDifferentialSynthetic(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	denses, sparses := hotInputs(t, cfg, 48, 42)
+	var want []float32
+	for _, lc := range localityConfigs {
+		r := newLocality(t, cfg, lc.cache, lc.dedup, 1)
+		preds, _ := runStream(r, denses, sparses, 16)
+		if want == nil {
+			want = preds
+			continue
+		}
+		bitsEqual(t, lc.name, preds, want)
+	}
+}
+
+// TestLocalityDifferentialCriteo repeats the differential over the Criteo
+// stand-in stream: synthesised TSV through the real parser, adapted to the
+// model's sparse shape.
+func TestLocalityDifferentialCriteo(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	gen := trace.MustNew(trace.Config{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 9,
+	})
+	var tsv bytes.Buffer
+	if err := trace.SynthesizeCriteoTSV(&tsv, 96, gen); err != nil {
+		t.Fatal(err)
+	}
+	p, err := trace.NewCriteoParser(&tsv, cfg.RowsPerTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []trace.CriteoRecord
+	for {
+		rec, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	const n = 24
+	perInf := len(recs) / n
+	denses := make([]tensor.Vector, n)
+	sparses := make([][][]int64, n)
+	for i := 0; i < n; i++ {
+		sparses[i] = trace.RecordsToInference(recs[i*perInf:(i+1)*perInf], cfg.Tables, cfg.Lookups)
+		denses[i] = gen.DenseInput(i, cfg.DenseDim)
+	}
+
+	var want []float32
+	for _, lc := range localityConfigs {
+		r := newLocality(t, cfg, lc.cache, lc.dedup, 1)
+		preds, _ := runStream(r, denses, sparses, 8)
+		if want == nil {
+			want = preds
+			continue
+		}
+		bitsEqual(t, lc.name, preds, want)
+	}
+}
+
+// TestLocalityParallelMatchesSequential: with the cache and dedup on, the
+// lane-parallel flash phase must reproduce the sequential schedule exactly —
+// predictions AND simulated times (all cache state mutates in the
+// sequential plan/reduce phases, so host parallelism cannot reorder it).
+func TestLocalityParallelMatchesSequential(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	denses, sparses := hotInputs(t, cfg, 32, 7)
+	seqDev := newLocality(t, cfg, 4<<20, true, 1)
+	parDev := newLocality(t, cfg, 4<<20, true, 4)
+	seqPreds, seqDone := runStream(seqDev, denses, sparses, 16)
+	parPreds, parDone := runStream(parDev, denses, sparses, 16)
+	bitsEqual(t, "parallel", parPreds, seqPreds)
+	if seqDone != parDone {
+		t.Fatalf("parallel completion %v, sequential %v", parDone, seqDone)
+	}
+	ss, ps := seqDev.Lookup().EVCache().Stats(), parDev.Lookup().EVCache().Stats()
+	if ss != ps {
+		t.Fatalf("cache stats diverge: sequential %+v, parallel %+v", ss, ps)
+	}
+}
+
+// TestLocalityTimingSeedStable: two devices in the same configuration replay
+// the same stream to the same simulated completion time and cache counters.
+func TestLocalityTimingSeedStable(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	denses, sparses := hotInputs(t, cfg, 32, 13)
+	a := newLocality(t, cfg, 4<<20, true, 1)
+	b := newLocality(t, cfg, 4<<20, true, 1)
+	aPreds, aDone := runStream(a, denses, sparses, 16)
+	bPreds, bDone := runStream(b, denses, sparses, 16)
+	bitsEqual(t, "rerun", bPreds, aPreds)
+	if aDone != bDone {
+		t.Fatalf("reruns complete at %v vs %v", aDone, bDone)
+	}
+	if as, bs := a.Lookup().EVCache().Stats(), b.Lookup().EVCache().Stats(); as != bs {
+		t.Fatalf("cache stats diverge across reruns: %+v vs %+v", as, bs)
+	}
+}
+
+// TestLocalityCacheSpeedsUpHotTrace: the whole point — on a hot trace the
+// cached+deduped device finishes the same work strictly earlier.
+func TestLocalityCacheSpeedsUpHotTrace(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	denses, sparses := hotInputs(t, cfg, 32, 21)
+	plain := newLocality(t, cfg, 0, false, 1)
+	fast := newLocality(t, cfg, 4<<20, true, 1)
+	_, plainDone := runStream(plain, denses, sparses, 16)
+	_, fastDone := runStream(fast, denses, sparses, 16)
+	if fastDone >= plainDone {
+		t.Fatalf("cache+dedup completion %v, plain %v — no speedup", fastDone, plainDone)
+	}
+}
+
+// TestFig14HitRatios: a cache holding the hot set observes the Fig. 14 hit
+// ratios — K = 0, 0.3, 1, 2 give roughly 80/65/45/30 %. Dedup stays OFF so
+// every lookup probes the cache, and the cache is sized well above the hot
+// set so only the cold (near-unique) stream misses after warm-up.
+func TestFig14HitRatios(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	for _, k := range []float64{0, 0.3, 1, 2} {
+		want := params.LocalityHitRatio[k]
+		tc, err := trace.Config{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 3,
+		}.WithLocality(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := trace.MustNew(tc)
+		// Budget for 16x the whole hot set (all tables): rarely-drawn hot
+		// rows must survive LRU churn from the cold stream, which inserts
+		// on every miss.
+		hotEntries := int64(cfg.Tables) * g.HotSetSize()
+		r := newLocality(t, cfg, 16*hotEntries*int64(cfg.EVSize()), false, 1)
+
+		warm := g.Batch(16)
+		denses := make([]tensor.Vector, len(warm))
+		for i := range denses {
+			denses[i] = g.DenseInput(i, cfg.DenseDim)
+		}
+		r.InferBatch(0, denses, warm)
+		r.Lookup().EVCache().ResetStats()
+
+		measure := g.Batch(24)
+		md := make([]tensor.Vector, len(measure))
+		for i := range md {
+			md[i] = g.DenseInput(i, cfg.DenseDim)
+		}
+		r.InferBatch(0, md, measure)
+
+		got := r.Lookup().EVCache().HitRatio()
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("K=%v: hit ratio %.3f, want %.2f +/- 0.05", k, got, want)
+		}
+	}
+}
+
+// TestUpdateVectorInvalidatesCache: overwriting a row through the block path
+// must drop its cached copy, so the next inference reads the new bytes.
+func TestUpdateVectorInvalidatesCache(t *testing.T) {
+	cfg := smallCfg("RMC1")
+	r := newLocality(t, cfg, 4<<20, false, 1)
+	ref := newLocality(t, cfg, 0, false, 1)
+
+	// One inference that repeatedly hits (0, 5), priming the cache.
+	sparse := make([][]int64, cfg.Tables)
+	for t := range sparse {
+		rows := make([]int64, cfg.Lookups)
+		for i := range rows {
+			rows[i] = 5
+		}
+		sparse[t] = rows
+	}
+	dense := make(tensor.Vector, cfg.DenseDim)
+	batch := [][][]int64{sparse}
+
+	before, _, _ := r.InferBatch(0, []tensor.Vector{dense}, batch)
+	refBefore, _, _ := ref.InferBatch(0, []tensor.Vector{dense}, batch)
+	bitsEqual(t, "before update", before, refBefore)
+
+	v := make(tensor.Vector, cfg.EVDim)
+	for i := range v {
+		v[i] = float32(i) * 0.25
+	}
+	var at time.Duration
+	for tab := 0; tab < cfg.Tables; tab++ {
+		at = r.UpdateVector(at, tab, 5, v)
+	}
+	var refAt time.Duration
+	for tab := 0; tab < cfg.Tables; tab++ {
+		refAt = ref.UpdateVector(refAt, tab, 5, v)
+	}
+
+	after, _, _ := r.InferBatch(at, []tensor.Vector{dense}, batch)
+	refAfter, _, _ := ref.InferBatch(refAt, []tensor.Vector{dense}, batch)
+	bitsEqual(t, "after update", after, refAfter)
+	if math.Float32bits(after[0]) == math.Float32bits(before[0]) {
+		t.Fatal("update did not change the prediction; test is vacuous")
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"rmssd/internal/embedding"
 	"rmssd/internal/engine"
+	"rmssd/internal/evcache"
 	"rmssd/internal/flash"
 	"rmssd/internal/hostio"
 	"rmssd/internal/model"
@@ -53,6 +54,15 @@ type Options struct {
 	// the exact sequential path. Lane partitioning keeps results
 	// byte-identical at any setting (see engine/parallel.go).
 	Parallel int
+	// EVCacheBytes budgets a device-DRAM embedding-vector cache (0, the
+	// default, disables it): hot vectors are served from controller DRAM
+	// in ~EVCacheHitCycles instead of a C_EV flash read. Predictions are
+	// byte-identical with the cache on or off (engine/locality.go).
+	EVCacheBytes int64
+	// DedupLookups merges identical (table,row) lookups within one device
+	// batch into a single vector read whose result fans out. Off by
+	// default; value-preserving like the cache.
+	DedupLookups bool
 }
 
 func (o Options) withDefaults() Options {
@@ -151,6 +161,10 @@ func New(cfg model.Config, opts Options) (*RMSSD, error) {
 		mmio:   NewMMIOManager(),
 	}
 	r.lookup.SetParallel(opts.Parallel)
+	if opts.EVCacheBytes > 0 {
+		r.lookup.SetEVCache(evcache.New(opts.EVCacheBytes, cfg.EVSize()))
+	}
+	r.lookup.SetDedup(opts.DedupLookups)
 	r.mmio.Poke(RegTableCount, uint64(cfg.Tables))
 	return r, nil
 }
@@ -243,13 +257,11 @@ func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]in
 	// the Le kernel, overlapped with the extended bottom MLP.
 	outs := make([]float32, n)
 	embStart := sendDone
-	embDone := embStart
-	pooled := make([][]tensor.Vector, n)
-	for i := 0; i < n; i++ {
-		p, done := r.lookup.Pool(embStart, sparses[i])
-		pooled[i] = p
-		embDone = sim.Max(embDone, done)
-	}
+	// PoolBatch shares one dedup table across the whole device batch when
+	// the locality path is enabled; otherwise it is exactly the
+	// per-inference Pool loop.
+	pooled, lookDone := r.lookup.PoolBatch(embStart, sparses)
+	embDone := sim.Max(embStart, lookDone)
 	if k := params.Duration(r.mlp.EmbKernelCycles(n)); embStart+k > embDone {
 		embDone = embStart + k
 	}
@@ -286,10 +298,7 @@ func (r *RMSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, Br
 	sendDone := r.SendInputs(at, n)
 	bd.Send = sendDone - at
 	embStart := sendDone
-	embDone := embStart
-	for i := 0; i < n; i++ {
-		embDone = sim.Max(embDone, r.lookup.PoolTiming(embStart, sparses[i]))
-	}
+	embDone := sim.Max(embStart, r.lookup.PoolBatchTiming(embStart, sparses))
 	if k := params.Duration(r.mlp.EmbKernelCycles(n)); embStart+k > embDone {
 		embDone = embStart + k
 	}
@@ -373,11 +382,19 @@ func (r *RMSSD) UpdateVector(at sim.Time, table int, row int64, v tensor.Vector)
 	for i, x := range v {
 		binary.LittleEndian.PutUint32(buf[col+4*i:], math.Float32bits(x))
 	}
-	return r.dev.WritePage(readDone, lpn, buf)
+	done := r.dev.WritePage(readDone, lpn, buf)
+	// A cached copy would now serve stale (and aliased-to-dead-page) bytes.
+	r.lookup.Invalidate(table, row)
+	return done
 }
 
 // Inferences returns the number of inferences served.
 func (r *RMSSD) Inferences() int64 { return r.inferences }
 
 // ResetTime idles the device's timing resources (between experiments).
-func (r *RMSSD) ResetTime() { r.dev.ResetTime() }
+func (r *RMSSD) ResetTime() {
+	r.dev.ResetTime()
+	if c := r.lookup.EVCache(); c != nil {
+		c.ResetTime()
+	}
+}

@@ -1,0 +1,29 @@
+package engine
+
+import (
+	"testing"
+
+	"rmssd/internal/trace"
+)
+
+// BenchmarkLookupPoolHotTrace measures the host cost of one inference's
+// pooled lookups under a K=2 locality trace (Fig. 14's least-local preset:
+// a 30 % hot mass over a Zipf hot set). Tracked in BENCH_simcore.json
+// (allocs/op must not regress).
+func BenchmarkLookupPoolHotTrace(b *testing.B) {
+	cfg := smallRMC1()
+	_, _, eng, _ := setupLookup(b, cfg)
+	tc, err := trace.Config{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 7,
+	}.WithLocality(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := trace.MustNew(tc)
+	batches := gen.Batch(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Pool(0, batches[i%len(batches)])
+	}
+}

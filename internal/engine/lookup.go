@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"rmssd/internal/embedding"
+	"rmssd/internal/evcache"
 	"rmssd/internal/model"
 	"rmssd/internal/params"
 	"rmssd/internal/sim"
@@ -98,6 +99,10 @@ func (tr *Translator) Lookup(table int, row int64) int64 {
 type LookupStats struct {
 	Lookups     int64
 	BytesPooled int64 // bytes read at vector granularity
+	// DedupHits counts lookups merged with an earlier identical (table,row)
+	// lookup of the same coalesced batch instead of issuing their own read
+	// (locality path with dedup enabled; see locality.go).
+	DedupHits int64
 }
 
 // LookupEngine is the assembled Embedding Lookup Engine.
@@ -112,6 +117,22 @@ type LookupEngine struct {
 	// channels of one batch (see parallel.go). <=1 keeps the original
 	// sequential path; results are byte-identical either way.
 	parallel int
+
+	// cache and dedup enable the locality fast path (locality.go). Both off
+	// (the default) keeps pool() on the exact calibrated default path.
+	cache *evcache.Cache
+	dedup bool
+
+	// Scratch buffers reused across lookup batches. The engine is driven
+	// from a single goroutine (one device per serving shard); every buffer
+	// is dead by the time a pool call returns, so reuse only trims
+	// allocations, never aliases live state.
+	pend   []pendingRead
+	slots  []lkSlot
+	perCh  [][]int32
+	owners map[evcache.Key]int32
+	oneInf [1][][]int64
+	zeroEV []byte
 }
 
 // NewLookupEngine wires the engine to a store's device.
@@ -146,6 +167,34 @@ func (e *LookupEngine) Parallel() int {
 	return e.parallel
 }
 
+// SetEVCache installs (or, with nil, removes) the device-DRAM EV cache.
+// Installing a cache routes lookups through the locality path of
+// locality.go; predictions remain byte-identical to the uncached path.
+func (e *LookupEngine) SetEVCache(c *evcache.Cache) { e.cache = c }
+
+// EVCache returns the installed cache, or nil.
+func (e *LookupEngine) EVCache() *evcache.Cache { return e.cache }
+
+// SetDedup enables intra-batch duplicate-lookup dedup: identical
+// (table,row) references within one pooled batch issue a single vector read
+// whose result fans out (each duplicate still contributes its term to the
+// pooled sum and its EV Sum occupancy).
+func (e *LookupEngine) SetDedup(on bool) { e.dedup = on }
+
+// Dedup reports whether intra-batch dedup is enabled.
+func (e *LookupEngine) Dedup() bool { return e.dedup }
+
+// LocalityEnabled reports whether lookups run through the locality path.
+func (e *LookupEngine) LocalityEnabled() bool { return e.cache != nil || e.dedup }
+
+// Invalidate drops a vector from the EV cache (no-op without one). The
+// device calls it when the row is overwritten through the block path.
+func (e *LookupEngine) Invalidate(table int, row int64) {
+	if e.cache != nil {
+		e.cache.Invalidate(table, row)
+	}
+}
+
 // Stats returns a snapshot of engine counters.
 func (e *LookupEngine) Stats() LookupStats { return e.stats }
 
@@ -176,20 +225,44 @@ func (e *LookupEngine) PoolTiming(at sim.Time, sparse [][]int64) sim.Time {
 	return done
 }
 
+// pooledVectors allocates n inferences' worth of per-table accumulators over
+// one flat backing array (2 allocations per inference instead of Tables+1;
+// the zero values and full-cap sub-slices are indistinguishable from
+// individually allocated vectors).
+func pooledVectors(n, tables, dim int) [][]tensor.Vector {
+	flat := make(tensor.Vector, n*tables*dim)
+	out := make([][]tensor.Vector, n)
+	for i := range out {
+		vecs := make([]tensor.Vector, tables)
+		for t := range vecs {
+			off := (i*tables + t) * dim
+			vecs[t] = flat[off : off+dim : off+dim]
+		}
+		out[i] = vecs
+	}
+	return out
+}
+
 func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time) {
 	cfg := e.st.Model().Cfg
 	if len(sparse) != cfg.Tables {
 		panic(fmt.Sprintf("engine: %d sparse inputs, want %d", len(sparse), cfg.Tables))
+	}
+	if e.LocalityEnabled() {
+		e.oneInf[0] = sparse
+		pooled, done := e.poolLocality(at, e.oneInf[:], materialize)
+		e.oneInf[0] = nil
+		if pooled == nil {
+			return nil, done
+		}
+		return pooled[0], done
 	}
 	if e.Parallel() > 1 && e.dev.Channels() > 1 {
 		return e.poolParallel(at, sparse, materialize)
 	}
 	var pooled []tensor.Vector
 	if materialize {
-		pooled = make([]tensor.Vector, cfg.Tables)
-		for t := range pooled {
-			pooled[t] = make(tensor.Vector, cfg.EVDim)
-		}
+		pooled = pooledVectors(1, cfg.Tables, cfg.EVDim)[0]
 	}
 	evSize := cfg.EVSize()
 	sumOcc := params.Duration(e.sumCycles())
@@ -204,7 +277,7 @@ func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]
 			var readDone sim.Time
 			if materialize {
 				data, readDone = e.dev.ReadVectorAt(issue, addr, evSize)
-				tensor.AccumulateInto(pooled[t], model.DecodeEV(data))
+				model.AccumulateEV(pooled[t], data)
 			} else {
 				_, readDone = e.dev.ReadVectorAt(issue, addr, evSize)
 			}

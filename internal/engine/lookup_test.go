@@ -31,7 +31,7 @@ func smallRMC1() model.Config {
 	return c
 }
 
-func setupLookup(t *testing.T, cfg model.Config) (*model.Model, *embedding.Store, *LookupEngine, *ssd.Device) {
+func setupLookup(t testing.TB, cfg model.Config) (*model.Model, *embedding.Store, *LookupEngine, *ssd.Device) {
 	t.Helper()
 	dev := ssd.MustNew(testGeo())
 	fs := hostio.NewFS(dev, 64<<10)

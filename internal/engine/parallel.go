@@ -50,18 +50,25 @@ type pendingRead struct {
 	done  sim.Time
 }
 
+// resetPerCh returns the engine's per-channel bucket scratch, emptied.
+func (e *LookupEngine) resetPerCh() [][]int32 {
+	if len(e.perCh) != e.dev.Channels() {
+		e.perCh = make([][]int32, e.dev.Channels())
+	}
+	for ch := range e.perCh {
+		e.perCh[ch] = e.perCh[ch][:0]
+	}
+	return e.perCh
+}
+
 func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time) {
 	cfg := e.st.Model().Cfg
 	evSize := cfg.EVSize()
 	sumOcc := params.Duration(e.sumCycles())
 
 	// Phase 1 — sequential prepare in global order.
-	total := 0
-	for _, rows := range sparse {
-		total += len(rows)
-	}
-	reqs := make([]pendingRead, 0, total)
-	perCh := make([][]int32, e.dev.Channels())
+	reqs := e.pend[:0]
+	perCh := e.resetPerCh()
 	issue := at
 	for t, rows := range sparse {
 		for _, row := range rows {
@@ -129,16 +136,13 @@ func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize b
 	// Phase 3 — sequential reduce in global order.
 	var pooled []tensor.Vector
 	if materialize {
-		pooled = make([]tensor.Vector, cfg.Tables)
-		for t := range pooled {
-			pooled[t] = make(tensor.Vector, cfg.EVDim)
-		}
+		pooled = pooledVectors(1, cfg.Tables, cfg.EVDim)[0]
 	}
 	var done sim.Time
 	for i := range reqs {
 		r := &reqs[i]
 		if materialize {
-			tensor.AccumulateInto(pooled[r.table], model.DecodeEV(r.data))
+			model.AccumulateEV(pooled[r.table], r.data)
 		}
 		_, sumDone := e.sum.Acquire(r.done, sumOcc)
 		done = sim.Max(done, sumDone)
@@ -146,5 +150,6 @@ func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize b
 	if done < issue {
 		done = issue
 	}
+	e.pend = reqs[:0]
 	return pooled, done
 }

@@ -1,0 +1,168 @@
+package evcache
+
+import (
+	"testing"
+
+	"rmssd/internal/params"
+)
+
+func TestByteBudgetToEntries(t *testing.T) {
+	c := New(1024, 128)
+	if c.CapEntries() != 8 {
+		t.Fatalf("cap = %d, want 8", c.CapEntries())
+	}
+	if c := New(100, 128); c.CapEntries() != 0 {
+		t.Fatalf("sub-vector budget must admit nothing, cap = %d", c.CapEntries())
+	}
+	if c := New(-1, 128); c.CapEntries() != 0 {
+		t.Fatalf("negative budget must admit nothing, cap = %d", c.CapEntries())
+	}
+}
+
+func TestGetMissReserveFill(t *testing.T) {
+	c := New(4*128, 128)
+	if _, ok := c.Get(0, 7); ok {
+		t.Fatal("empty cache must miss")
+	}
+	e := c.Reserve(0, 7)
+	if e == nil || e.Filled() {
+		t.Fatalf("reserve returned %+v", e)
+	}
+	// In-flight merge: a Get before Fill is a hit on the unfilled entry.
+	got, ok := c.Get(0, 7)
+	if !ok || got != e || got.Filled() {
+		t.Fatalf("get during flight = %v, %v", got, ok)
+	}
+	data := []byte{1, 2, 3}
+	e.Fill(data)
+	got, ok = c.Get(0, 7)
+	if !ok || !got.Filled() || &got.Data()[0] != &data[0] {
+		t.Fatal("filled entry must return the deposited bytes without copying")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(2*128, 128)
+	c.Reserve(0, 1).Fill(nil)
+	c.Reserve(0, 2).Fill(nil)
+	c.Get(0, 1) // refresh 1; 2 is now LRU
+	c.Reserve(0, 3).Fill(nil)
+	if _, ok := c.Get(0, 2); ok {
+		t.Fatal("row 2 should have been evicted")
+	}
+	if _, ok := c.Get(0, 1); !ok {
+		t.Fatal("row 1 was refreshed and must survive")
+	}
+	if _, ok := c.Get(0, 3); !ok {
+		t.Fatal("row 3 was just inserted and must survive")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestReserveExistingRefreshes(t *testing.T) {
+	c := New(2*128, 128)
+	e1 := c.Reserve(0, 1)
+	e1.Fill(nil)
+	c.Reserve(0, 2).Fill(nil)
+	if e := c.Reserve(0, 1); e != e1 {
+		t.Fatal("reserving a present key must return the existing entry")
+	}
+	c.Reserve(0, 3).Fill(nil) // evicts 2, not the refreshed 1
+	if _, ok := c.Get(0, 1); !ok {
+		t.Fatal("refreshed entry evicted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4*128, 128)
+	c.Reserve(1, 5).Fill([]byte{9})
+	if !c.Invalidate(1, 5) {
+		t.Fatal("invalidate must report a resident entry")
+	}
+	if c.Invalidate(1, 5) {
+		t.Fatal("second invalidate must miss")
+	}
+	if _, ok := c.Get(1, 5); ok {
+		t.Fatal("invalidated entry still resident")
+	}
+}
+
+func TestZeroCapReserveNil(t *testing.T) {
+	c := New(0, 128)
+	if e := c.Reserve(0, 0); e != nil {
+		t.Fatal("zero-cap cache must not reserve")
+	}
+	if _, ok := c.Get(0, 0); ok {
+		t.Fatal("zero-cap cache must miss")
+	}
+}
+
+func TestHitTimingSerializesOnPort(t *testing.T) {
+	c := New(4*128, 128)
+	occ := params.Duration(params.EVCacheHitCycles(128))
+	d1 := c.Hit(0)
+	if d1 != occ {
+		t.Fatalf("first hit done = %v, want %v", d1, occ)
+	}
+	// A second hit issued at the same instant queues behind the first.
+	if d2 := c.Hit(0); d2 != 2*occ {
+		t.Fatalf("second hit done = %v, want %v", d2, 2*occ)
+	}
+	c.ResetTime()
+	if d := c.Hit(0); d != occ {
+		t.Fatalf("after ResetTime hit done = %v, want %v", d, occ)
+	}
+}
+
+func TestHitFarCheaperThanFlash(t *testing.T) {
+	for _, ev := range []int{128, 256, 512} {
+		hit := params.EVCacheHitCycles(ev)
+		flash := params.EVReadCycles(ev)
+		if hit*100 > flash {
+			t.Fatalf("EVsize %d: hit %d cycles vs C_EV %d — cache not ≪ flash", ev, hit, flash)
+		}
+	}
+}
+
+func TestHitRatioAndReset(t *testing.T) {
+	c := New(4*128, 128)
+	c.Reserve(0, 1).Fill(nil)
+	c.Get(0, 1)
+	c.Get(0, 2)
+	if hr := c.HitRatio(); hr != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", hr)
+	}
+	c.ResetStats()
+	if c.Stats() != (Stats{}) || c.HitRatio() != 0 {
+		t.Fatal("reset must zero counters")
+	}
+	if c.Len() != 1 {
+		t.Fatal("reset must keep contents")
+	}
+}
+
+// BenchmarkEVCacheHit measures the host cost of the cache hit path: one Get
+// plus the port acquire. Tracked in BENCH_simcore.json.
+func BenchmarkEVCacheHit(b *testing.B) {
+	c := New(1024*128, 128)
+	for r := int64(0); r < 64; r++ {
+		c.Reserve(0, r).Fill(make([]byte, 128))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := c.Get(0, int64(i%64)); !ok {
+			b.Fatal("unexpected miss")
+		}
+		c.Hit(0)
+	}
+}

@@ -53,7 +53,7 @@ func goroutineScoped(p *Package) bool {
 		return false
 	}
 	switch strings.TrimSuffix(p.Types.Name(), "_test") {
-	case "sim", "serving", "engine":
+	case "sim", "serving", "engine", "evcache":
 		return true
 	}
 	return false

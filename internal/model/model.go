@@ -376,6 +376,19 @@ func DecodeEV(buf []byte) tensor.Vector {
 	return v
 }
 
+// AccumulateEV adds the float32 vector encoded in buf into dst without
+// allocating: bit-for-bit equivalent to
+// tensor.AccumulateInto(dst, DecodeEV(buf)), but it is the lookup engines'
+// per-lookup hot path, so the intermediate vector is elided.
+func AccumulateEV(dst tensor.Vector, buf []byte) {
+	if len(buf) != 4*len(dst) {
+		panic(fmt.Sprintf("model: %d EV bytes for a dim-%d accumulator", len(buf), len(dst)))
+	}
+	for i := range dst {
+		dst[i] += math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+}
+
 // PoolReference computes the SparseLengthsSum pooling for one table from
 // the deterministic generator: the ground truth every SLS implementation
 // must reproduce.

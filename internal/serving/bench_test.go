@@ -1,0 +1,33 @@
+package serving
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// benchBatcher is a near-free backend: the benchmark measures the pool's own
+// submission/coalescing machinery, not a simulated device.
+type benchBatcher struct{}
+
+func (benchBatcher) ServeBatch(reqs []Request) BatchResult {
+	preds := make([]float32, CountOf(reqs))
+	return BatchResult{Preds: preds, Latency: time.Microsecond}
+}
+
+// BenchmarkPoolSubmit measures the per-request cost of the serving hot path:
+// one count-only request through Submit, coalescing and the reply fan-out.
+// Tracked in BENCH_simcore.json (allocs/op must not regress).
+func BenchmarkPoolSubmit(b *testing.B) {
+	pool := NewPool([]Batcher{benchBatcher{}}, 8, 64)
+	defer pool.Close()
+	ctx := context.Background()
+	req := Request{N: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Submit(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

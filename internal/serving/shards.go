@@ -58,6 +58,11 @@ type Batcher interface {
 	// count-only requests take backend-synthesised inputs. Preds must hold
 	// CountOf(reqs) predictions in request order (or nil for timing-only
 	// backends).
+	//
+	// reqs is valid only for the duration of the call: the pool reuses its
+	// backing array for the next coalesced batch. Implementations must not
+	// retain the slice (copy any request they need to keep), and the result
+	// they return must not alias it.
 	ServeBatch(reqs []Request) BatchResult
 }
 
@@ -80,6 +85,16 @@ type submission struct {
 	reply chan Response
 }
 
+// replyPool recycles the buffered reply channels Submit hands to shards. A
+// channel goes back to the pool only while Submit provably owns both ends:
+// before it was ever enqueued, or after its one response was received (which
+// empties the buffer). A reply abandoned to a cancelled context is never
+// recycled — the shard still holds the send side and will deposit a late
+// response, which must not leak into an unrelated request.
+var replyPool = sync.Pool{
+	New: func() interface{} { return make(chan Response, 1) },
+}
+
 // shard is one backend plus its queue and worker state.
 type shard struct {
 	id      int
@@ -88,6 +103,11 @@ type shard struct {
 	served  atomic.Int64 // inferences
 	batches atomic.Int64 // device batches issued
 	reqs    atomic.Int64 // requests answered
+
+	// reqScratch backs the []Request view handed to ServeBatch, reused
+	// across batches (the Batcher contract forbids retaining it). Only the
+	// shard goroutine touches it.
+	reqScratch []Request
 }
 
 // Pool is the sharded batching front-end.
@@ -154,11 +174,12 @@ func (p *Pool) Submit(ctx context.Context, req Request) (Response, error) {
 		return Response{}, err
 	}
 	s := p.shards[(p.rr.Add(1)-1)%uint64(len(p.shards))]
-	reply := make(chan Response, 1)
+	reply := replyPool.Get().(chan Response)
 
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
+		replyPool.Put(reply)
 		return Response{}, ErrPoolClosed
 	}
 	select {
@@ -167,13 +188,17 @@ func (p *Pool) Submit(ctx context.Context, req Request) (Response, error) {
 		p.mu.RUnlock()
 	case <-ctx.Done():
 		p.mu.RUnlock()
+		replyPool.Put(reply)
 		return Response{}, fmt.Errorf("serving: shard %d queue full: %w", s.id, ctx.Err())
 	}
 
 	select {
 	case r := <-reply:
+		// The receive emptied the buffer; the shard is done with its end.
+		replyPool.Put(reply)
 		return r, r.Err
 	case <-ctx.Done():
+		// Abandon the channel: the shard will still deposit a response.
 		return Response{}, ctx.Err()
 	}
 }
@@ -226,11 +251,16 @@ func (p *Pool) Close() {
 // whatever else is already queued up to maxBatch, serve it all as one
 // device batch and fan the results back out.
 func (s *shard) run(maxBatch int) {
-	var carry *submission // request deferred because it would overflow maxBatch
+	var (
+		batch    []submission // scratch reused across coalesced batches
+		carry    submission   // request deferred because it would overflow maxBatch
+		hasCarry bool
+	)
 	for {
 		var first submission
-		if carry != nil {
-			first, carry = *carry, nil
+		if hasCarry {
+			first, hasCarry = carry, false
+			carry = submission{}
 		} else {
 			var ok bool
 			first, ok = <-s.subs
@@ -238,7 +268,7 @@ func (s *shard) run(maxBatch int) {
 				return
 			}
 		}
-		batch := []submission{first}
+		batch = append(batch[:0], first)
 		total := first.req.Count()
 		open := true
 	coalesce:
@@ -250,7 +280,7 @@ func (s *shard) run(maxBatch int) {
 					break coalesce
 				}
 				if total+more.req.Count() > maxBatch {
-					carry = &more
+					carry, hasCarry = more, true
 					break coalesce
 				}
 				batch = append(batch, more)
@@ -261,10 +291,13 @@ func (s *shard) run(maxBatch int) {
 		}
 
 		s.serve(batch, total)
+		// Drop payload and reply references so the scratch array does not
+		// pin served requests until the slots are next overwritten.
+		clear(batch)
 		if !open {
-			if carry != nil {
+			if hasCarry {
 				// Serve the deferred request before exiting.
-				s.serve([]submission{*carry}, carry.req.Count())
+				s.serve(append(batch[:0], carry), carry.req.Count())
 			}
 			return
 		}
@@ -274,11 +307,13 @@ func (s *shard) run(maxBatch int) {
 // serve runs one coalesced group as a device batch and fans the results
 // back out, copying each request's window of the shared prediction slice.
 func (s *shard) serve(batch []submission, total int) {
-	reqs := make([]Request, len(batch))
-	for i, sub := range batch {
-		reqs[i] = sub.req
+	reqs := s.reqScratch[:0]
+	for _, sub := range batch {
+		reqs = append(reqs, sub.req)
 	}
 	res := s.b.ServeBatch(reqs)
+	clear(reqs)
+	s.reqScratch = reqs[:0]
 	s.served.Add(int64(total))
 	s.batches.Add(1)
 	s.reqs.Add(int64(len(batch)))

@@ -41,6 +41,7 @@ import (
 	"rmssd/internal/bench"
 	"rmssd/internal/core"
 	"rmssd/internal/engine"
+	"rmssd/internal/evcache"
 	"rmssd/internal/flash"
 	"rmssd/internal/model"
 	"rmssd/internal/params"
@@ -126,6 +127,17 @@ func NewNaiveDevice(cfg ModelConfig, opts DeviceOptions) (*Device, error) {
 	opts.Design = engine.DesignNaive
 	return core.New(cfg, opts)
 }
+
+// LookupStats counts Embedding Lookup Engine activity (lookups, pooled
+// bytes, intra-batch dedup hits); snapshot via Device.Lookup().Stats().
+type LookupStats = engine.LookupStats
+
+// EVCache is the device-DRAM hot-vector cache installed by
+// DeviceOptions.EVCacheBytes; reach it via Device.Lookup().EVCache().
+type EVCache = evcache.Cache
+
+// EVCacheStats counts EV cache hits, misses and evictions.
+type EVCacheStats = evcache.Stats
 
 // Session is the paper's host runtime interface: fd-based table access
 // with ownership checks (RM_create_table / RM_open_table /
