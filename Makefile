@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet lint lint-fixtures test test-simdebug test-golden race fuzz-smoke bench bench-perf bench-micro check
+.PHONY: build fmt vet lint lint-fixtures test test-simdebug test-golden test-faults race fuzz-smoke bench bench-perf bench-micro check
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,15 @@ test-simdebug:
 test-golden:
 	$(GO) test -count=1 ./internal/conformance/
 
+# Fault-containment and fault-injection suite under the race detector:
+# panicking backends, dead-on-arrival contexts and per-request errors in
+# the pool; the seeded flash fault plan's determinism and typed-error
+# surfacing on the device; the out-of-range replay path end to end.
+test-faults:
+	$(GO) test -race -count=1 \
+		-run 'TestShard|TestSubmitDead|TestPerRequest|TestPool|TestFault|TestUncorrectable|TestReplayOutOfRange' \
+		./internal/serving/ ./internal/core/ ./cmd/rmserve/
+
 race:
 	$(GO) test -race ./...
 
@@ -67,5 +76,5 @@ bench-micro:
 	$(GO) test -run='^$$' -bench=BenchmarkLookupPoolHotTrace -benchtime=100x -benchmem ./internal/engine/
 	$(GO) test -run='^$$' -bench=BenchmarkEVCacheHit -benchtime=100x -benchmem ./internal/evcache/
 
-check: build fmt vet lint test test-simdebug race
+check: build fmt vet lint test test-simdebug test-faults race
 	@echo "all checks passed"

@@ -175,7 +175,11 @@ func BenchmarkLookupEnginePool(b *testing.B) {
 	b.ResetTimer()
 	var at sim.Time
 	for i := 0; i < b.N; i++ {
-		at = eng.PoolTiming(at, sparse)
+		var err error
+		at, err = eng.PoolTiming(at, sparse)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(cfg.Tables*cfg.Lookups), "lookups/op")
 }
@@ -188,7 +192,11 @@ func BenchmarkRMSSDInferBatch(b *testing.B) {
 	b.ResetTimer()
 	var at sim.Time
 	for i := 0; i < b.N; i++ {
-		at, _ = dev.InferBatchTiming(at, sparse)
+		var err error
+		at, _, err = dev.InferBatchTiming(at, sparse)
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -75,7 +75,11 @@ func runLocality(tableMB, cacheMB int64, inferences, batch int) LocalityReport {
 			if end > len(sparses) {
 				end = len(sparses)
 			}
-			outs, done, _ := dev.InferBatch(now, denses[off:end], sparses[off:end])
+			outs, done, _, err := dev.InferBatch(now, denses[off:end], sparses[off:end])
+			if err != nil {
+				// Generator inputs on an unfaulted device cannot error.
+				panic(fmt.Sprintf("rmperf: %v", err))
+			}
 			preds = append(preds, outs...)
 			now = done
 		}

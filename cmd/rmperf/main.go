@@ -249,10 +249,10 @@ func (s *perfShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
 		sparses = append(sparses, s.gen.Batch(req.N)...)
 		s.seq += req.N
 	}
-	outs, done, _ := s.dev.InferBatch(s.now, denses, sparses)
+	outs, done, _, err := s.dev.InferBatch(s.now, denses, sparses)
 	lat := done - s.now
 	s.now = done
-	return serving.BatchResult{Preds: outs, Latency: lat}
+	return serving.BatchResult{Preds: outs, Latency: lat, Err: err}
 }
 
 // runServe builds the sharded pool and measures host-side throughput under

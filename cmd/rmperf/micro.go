@@ -112,7 +112,9 @@ func runMicro() MicroReport {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			dev.Lookup().Pool(0, batches[i%len(batches)])
+			if _, _, err := dev.Lookup().Pool(0, batches[i%len(batches)]); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 

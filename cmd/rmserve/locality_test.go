@@ -45,7 +45,10 @@ func TestCachedShardedPoolConcurrent(t *testing.T) {
 	for i := 0; i < n; i++ {
 		denses[i] = gen.DenseInput(i, cfg.DenseDim)
 		sparses[i] = gen.Batch(1)[0]
-		outs, _, _ := ref.InferBatch(0, denses[i:i+1], sparses[i:i+1])
+		outs, _, _, err := ref.InferBatch(0, denses[i:i+1], sparses[i:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
 		want[i] = outs[0]
 	}
 

@@ -107,8 +107,10 @@ func (d *deviceShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
 	}
 	denses := d.denses[:0]
 	sparses := d.sparses[:0]
-	for _, req := range reqs {
+	var reqErrs []error
+	for ri, req := range reqs {
 		if req.Explicit() {
+			mark := len(sparses)
 			for i, sp := range req.Sparse {
 				sparses = append(sparses, sp)
 				if req.Dense != nil {
@@ -116,6 +118,18 @@ func (d *deviceShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
 				} else {
 					denses = append(denses, d.zeroDense)
 				}
+			}
+			// Prevalidate this request's slice of the batch on its own: a
+			// malformed payload (wrong shape, out-of-range row) fails exactly
+			// its submission with a typed error while its coalesced
+			// batch-mates are served normally.
+			if err := d.dev.ValidateInputs(denses[mark:], sparses[mark:]); err != nil {
+				if reqErrs == nil {
+					reqErrs = make([]error, len(reqs))
+				}
+				reqErrs[ri] = err
+				denses = denses[:mark]
+				sparses = sparses[:mark]
 			}
 			continue
 		}
@@ -125,14 +139,20 @@ func (d *deviceShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
 		sparses = append(sparses, d.gen.Batch(req.N)...)
 		d.seq += req.N
 	}
-	outs, done, bd := d.dev.InferBatch(d.now, denses, sparses)
-	lat := done - d.now
-	d.now = done
+	res := serving.BatchResult{ReqErrs: reqErrs}
+	if len(sparses) > 0 {
+		// Device-level failure (e.g. an injected uncorrectable read) fails
+		// everyone who rode the batch; the clock still advances because the
+		// device did the work up to the failure.
+		outs, done, bd, err := d.dev.InferBatch(d.now, denses, sparses)
+		res.Preds, res.Latency, res.Meta, res.Err = outs, done-d.now, bd, err
+		d.now = done
+	}
 	// Drop payload references before the next batch; keep the capacity.
 	clear(denses)
 	clear(sparses)
 	d.denses, d.sparses = denses[:0], sparses[:0]
-	return serving.BatchResult{Preds: outs, Latency: lat, Meta: bd}
+	return res
 }
 
 // snapshot returns the shard's counters consistently.
@@ -168,6 +188,11 @@ type hostOptions struct {
 	// simulated timing improves on skewed traffic.
 	evCacheMB int64
 	dedup     bool
+	// faultRate/faultSeed enable deterministic flash read-fault injection
+	// on every shard device (0 rate = off, the default: timelines and
+	// predictions stay byte-identical to an unfaulted server).
+	faultRate float64
+	faultSeed uint64
 }
 
 // newHostedModel builds o.shards independent devices for cfg. When several
@@ -190,6 +215,9 @@ func newHostedModel(name string, cfg rmssd.ModelConfig, o hostOptions) (*hostedM
 			Parallel:     devParallel,
 			EVCacheBytes: o.evCacheMB << 20,
 			DedupLookups: o.dedup,
+			// Per-shard seed offset mirrors the trace generator's, so shards
+			// draw independent (but reproducible) fault sequences.
+			FaultPlan: rmssd.FaultPlan{Rate: o.faultRate, Seed: o.faultSeed + uint64(i)*0x9e37},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rmserve: model %q: %w", name, err)
@@ -329,6 +357,8 @@ func main() {
 		queue      = flag.Int("queue", 256, "per-shard request queue depth (single-model mode)")
 		evCacheMB  = flag.Int64("ev-cache-mb", 0, "device-DRAM EV cache budget per shard in MiB (0 = off; single-model mode)")
 		dedup      = flag.Bool("dedup", false, "merge duplicate (table,row) lookups within a device batch (single-model mode)")
+		faultRate  = flag.Float64("fault-rate", 0, "per-attempt flash ECC failure probability in [0,1) (0 = off; single-model mode)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection (single-model mode)")
 		traceMode  = flag.String("trace", "", "replay a trace through the pool(s) and exit: 'synthetic' or 'criteo'")
 		criteoIn   = flag.String("criteo-in", "", "Criteo-format TSV file for -trace criteo")
 		rate       = flag.Float64("rate", 50000, "replay offered load in requests per simulated second")
@@ -362,6 +392,7 @@ func main() {
 		s, err = newSingleServer(cfg, hostOptions{
 			shards: *shards, seed: *seed, maxBatch: *maxBatch, queue: *queue,
 			evCacheMB: *evCacheMB, dedup: *dedup,
+			faultRate: *faultRate, faultSeed: *faultSeed,
 		})
 	}
 	if err != nil {
@@ -458,6 +489,8 @@ func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
 			"weight":         st.Weight,
 			"submitted":      st.Submitted,
 			"rejected":       st.Rejected,
+			"failed":         st.Failed,
+			"shardFaults":    st.Pool.Faults,
 			"waited":         st.Waited,
 			"requests":       st.Pool.Requests,
 			"inferences":     st.Pool.Inferences,
@@ -604,12 +637,7 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.router.Submit(r.Context(), m.name, sreq)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, serving.ErrPoolClosed) || errors.Is(err, context.Canceled) ||
-			errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusServiceUnavailable
-		}
-		writeJSON(w, status, map[string]string{"error": err.Error()})
+		writeJSON(w, inferStatus(err), map[string]string{"error": err.Error()})
 		return
 	}
 	bd, _ := resp.Meta.(rmssd.Breakdown)
@@ -630,12 +658,34 @@ func (s *server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// inferStatus maps a submission error onto an HTTP status: malformed
+// payloads are the client's fault (400), transient conditions — shutdown,
+// cancellation, an injected read fault the client may retry — are 503, and
+// a recovered backend panic is a genuine server error (500).
+func inferStatus(err error) int {
+	var fault *serving.ShardFaultError
+	switch {
+	case errors.Is(err, rmssd.ErrShapeMismatch), errors.Is(err, rmssd.ErrRowOutOfRange):
+		return http.StatusBadRequest
+	case errors.Is(err, serving.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, serving.ErrPoolClosed), errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded), errors.Is(err, rmssd.ErrReadFault):
+		return http.StatusServiceUnavailable
+	case errors.As(err, &fault):
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var (
 		vectorReads, pageReads, bytesTransferred, inferences int64
 		requests, batches                                    int64
 		lookups, dedupHits                                   int64
 		cacheHits, cacheMisses, cacheEvictions               int64
+		readFaults, eccRetries, uncorrectable                int64
+		shardFaults, failedReqs                              int64
 		observedQPS                                          float64
 		perShard                                             []map[string]interface{}
 	)
@@ -651,6 +701,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			vectorReads += fs.VectorReads
 			pageReads += fs.PageReads
 			bytesTransferred += fs.BytesTransferred
+			readFaults += fs.ReadFaults
+			eccRetries += fs.ECCRetries
+			uncorrectable += fs.Uncorrectable
 			inferences += inf
 			var qps float64
 			if now > 0 {
@@ -668,6 +721,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ps := m.pool.Stats()
 		requests += ps.Requests
 		batches += ps.Batches
+		shardFaults += ps.Faults
+		failedReqs += ps.Failed
 	}
 	var meanBatch float64
 	if batches > 0 {
@@ -692,6 +747,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"evCacheMisses":    cacheMisses,
 		"evCacheEvictions": cacheEvictions,
 		"evCacheHitRatio":  cacheHitRatio,
+		"readFaults":       readFaults,
+		"eccRetries":       eccRetries,
+		"uncorrectable":    uncorrectable,
+		"shardFaults":      shardFaults,
+		"failedRequests":   failedReqs,
 		"inFlight":         s.router.InFlight(),
 		"shards":           perShard,
 	})

@@ -50,6 +50,12 @@ type modelDecl struct {
 	// Dedup merges identical (table,row) lookups within one coalesced
 	// device batch into a single vector read.
 	Dedup bool `json:"dedup"`
+	// FaultRate enables deterministic flash read-fault injection on this
+	// model's devices: the per-attempt ECC failure probability, in [0,1).
+	// 0 (the default) disables injection entirely.
+	FaultRate float64 `json:"faultRate"`
+	// FaultSeed seeds the fault sequence when FaultRate > 0.
+	FaultSeed uint64 `json:"faultSeed"`
 }
 
 // modelsConfig is the top-level shape of the -models file.
@@ -98,6 +104,9 @@ func parseModelsConfig(r io.Reader) (modelsConfig, error) {
 		if d.EVCacheMB < 0 || d.EVCacheMB > 1<<20 {
 			return modelsConfig{}, fmt.Errorf("rmserve: models[%d] (%q): evCacheMB %d outside [0, 2^20]", i, d.Name, d.EVCacheMB)
 		}
+		if d.FaultRate < 0 || d.FaultRate >= 1 {
+			return modelsConfig{}, fmt.Errorf("rmserve: models[%d] (%q): faultRate %v outside [0,1)", i, d.Name, d.FaultRate)
+		}
 		if d.Shards == 0 {
 			d.Shards = 1
 		}
@@ -139,6 +148,7 @@ func (mc modelsConfig) build(globalSeed uint64) ([]*hostedModel, error) {
 		m, err := newHostedModel(d.Name, cfg, hostOptions{
 			shards: d.Shards, seed: seed, maxBatch: d.MaxBatch, queue: d.Queue,
 			weight: d.Weight, evCacheMB: d.EVCacheMB, dedup: d.Dedup,
+			faultRate: d.FaultRate, faultSeed: d.FaultSeed,
 		})
 		if err != nil {
 			return nil, err

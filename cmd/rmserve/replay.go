@@ -170,6 +170,25 @@ func formatLocality(sb *strings.Builder, m *hostedModel) {
 	fmt.Fprintf(sb, "\n")
 }
 
+// formatFaults appends fault-injection counters when the model's devices
+// have a fault plan enabled. With injection off (the default) nothing is
+// printed, keeping faults-off replay reports byte-identical to historical
+// output.
+func formatFaults(sb *strings.Builder, m *hostedModel, res serving.ReplayResult) {
+	if !m.shards[0].dev.Device().Array().FaultPlan().Enabled() {
+		return
+	}
+	var readFaults, retries, uncorrectable int64
+	for _, sh := range m.shards {
+		fs, _, _ := sh.snapshot()
+		readFaults += fs.ReadFaults
+		retries += fs.ECCRetries
+		uncorrectable += fs.Uncorrectable
+	}
+	fmt.Fprintf(sb, "faults:       %d read faults, %d ECC retries, %d uncorrectable; %d requests failed\n",
+		readFaults, retries, uncorrectable, res.Failed)
+}
+
 // runReplay runs the replay and prints the report: the classic single-model
 // report when one model is hosted, or one section per model plus the
 // aggregate in multi-model mode.
@@ -189,6 +208,7 @@ func (s *server) runReplay(rc replayConfig, w io.Writer) error {
 			rc.Mode, s.def.cfg.Name, len(s.def.shards), rc.Rate, rc.ReqBatch, rc.Seed)
 		formatReplayResult(&sb, res)
 		formatLocality(&sb, s.def)
+		formatFaults(&sb, s.def, res)
 	} else {
 		res, err := s.multiReplay(rc)
 		if err != nil {
@@ -204,6 +224,7 @@ func (s *server) runReplay(rc replayConfig, w io.Writer) error {
 				name, m.cfg.Name, len(m.shards), m.weight, serving.ModelReplaySeed(rc.Seed, name))
 			formatReplayResult(&sb, res.PerModel[name])
 			formatLocality(&sb, m)
+			formatFaults(&sb, m, res.PerModel[name])
 		}
 	}
 	//lint:allow wallclock host-side harness reports real elapsed time next to simulated results

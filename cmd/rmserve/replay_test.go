@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -39,7 +40,10 @@ func TestExplicitInferMatchesDevice(t *testing.T) {
 
 	// Reference: a fresh device of the same config serves the same inputs.
 	ref := rmssd.MustNewDevice(s.def.cfg, rmssd.DeviceOptions{})
-	want, _, _ := ref.InferBatch(0, denses, sparses)
+	want, _, _, err := ref.InferBatch(0, denses, sparses)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	body, err := json.Marshal(map[string]interface{}{"sparse": sparses, "dense": denses})
 	if err != nil {
@@ -276,5 +280,59 @@ func TestReplayErrors(t *testing.T) {
 	}
 	if _, err := s.replay(replayConfig{Mode: "synthetic", Rate: 1, Requests: 0, ReqBatch: 1}); err == nil {
 		t.Fatal("unbounded synthetic replay must error")
+	}
+}
+
+// TestReplayOutOfRangeTraceFailsTyped: a trace addressed to a larger table
+// than the hosted model covers must fail exactly the malformed requests
+// with the typed range error — per request, without wedging the pool or
+// aborting the replay.
+func TestReplayOutOfRangeTraceFailsTyped(t *testing.T) {
+	s := testServer(t, 2)
+	cfg := s.def.cfg
+
+	// Direct submission first: the typed error, and batch-mates unharmed.
+	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 77,
+	})
+	bad := gen.Batch(1)
+	bad[0][0][0] = cfg.RowsPerTable + 3
+	_, err := s.def.pool.Submit(context.Background(), serving.Request{Sparse: bad})
+	if !errors.Is(err, rmssd.ErrRowOutOfRange) {
+		t.Fatalf("err = %v, want ErrRowOutOfRange", err)
+	}
+	resp, err := s.def.pool.Submit(context.Background(), serving.Request{Sparse: gen.Batch(1)})
+	if err != nil || len(resp.Preds) != 1 {
+		t.Fatalf("in-range request after a rejected one: %+v %v", resp, err)
+	}
+
+	// A whole replay of the oversized trace: every request carries some
+	// out-of-range row (4x the row space, hundreds of draws per request),
+	// every one fails, and the replay still completes its full profile.
+	wide := rmssd.MustNewTrace(rmssd.TraceConfig{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable * 4, Lookups: cfg.Lookups, Seed: 7,
+	})
+	src, err := serving.NewGeneratorSource(wide, 1, cfg.DenseDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := serving.Replay(s.def.backends(), serving.ReplayConfig{
+		Rate: 100000, MaxBatch: s.def.maxBatch, Requests: 30, Seed: 7,
+	}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 30 || res.Failed != 30 || res.Inferences != 0 {
+		t.Fatalf("res = %+v, want all 30 requests failed and none inferred", res)
+	}
+	// The shard devices did no work for rejected payloads: across the whole
+	// test only the single in-range submission above reached a device.
+	var total int64
+	for _, sh := range s.def.shards {
+		_, inf, _ := sh.snapshot()
+		total += inf
+	}
+	if total != 1 {
+		t.Fatalf("devices ran %d inferences, want 1 (rejected payloads must not reach flash)", total)
 	}
 }

@@ -19,8 +19,11 @@ func ExampleNewDevice() {
 	gen := rmssd.MustNewTrace(rmssd.TraceConfig{
 		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 42,
 	})
-	outs, _, _ := dev.InferBatch(0,
+	outs, _, _, err := dev.InferBatch(0,
 		[]rmssd.Vector{gen.DenseInput(0, cfg.DenseDim)}, gen.Batch(1))
+	if err != nil {
+		panic(fmt.Sprintf("rmssd_test: %v", err))
+	}
 	ref := dev.Model().Infer(gen.DenseInput(0, cfg.DenseDim), gen.Batch(1)[0])
 	_ = ref
 	fmt.Printf("CTR prediction in (0,1): %v\n", outs[0] > 0 && outs[0] < 1)

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"rmssd"
 )
@@ -42,7 +43,10 @@ func main() {
 	sparses := gen.Batch(batch)
 
 	// Run the batch through the in-storage pipeline.
-	outs, done, bd := dev.InferBatch(0, denses, sparses)
+	outs, done, bd, err := dev.InferBatch(0, denses, sparses)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("CTR predictions (in-storage vs in-memory reference):")
 	ref := dev.Model()

@@ -69,7 +69,10 @@ func TestIntegrationAllModelsAllSystems(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%v: %v", name, design, err)
 			}
-			outs, _, _ := dev.InferBatch(0, []rmssd.Vector{dense}, [][][]int64{sparse})
+			outs, _, _, err := dev.InferBatch(0, []rmssd.Vector{dense}, [][][]int64{sparse})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if math.Abs(float64(outs[0]-want)) > 1e-4 {
 				t.Errorf("%s RM-SSD(%v): %v vs %v", name, design, outs[0], want)
 			}
@@ -158,14 +161,20 @@ func TestIntegrationBlockIOInterference(t *testing.T) {
 	sparse := gen.Inference()
 
 	alone := rmssd.MustNewDevice(cfg, rmssd.DeviceOptions{})
-	aloneDone, _ := alone.InferBatchTiming(0, [][][]int64{sparse})
+	aloneDone, _, err := alone.InferBatchTiming(0, [][][]int64{sparse})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	shared := rmssd.MustNewDevice(cfg, rmssd.DeviceOptions{})
 	// Fire a burst of block reads at t=0 on the same device.
 	for lpn := int64(0); lpn < 64; lpn++ {
 		shared.Device().ReadPage(0, lpn)
 	}
-	sharedDone, _ := shared.InferBatchTiming(0, [][][]int64{sparse})
+	sharedDone, _, err := shared.InferBatchTiming(0, [][][]int64{sparse})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if sharedDone <= aloneDone {
 		t.Fatal("block I/O contention should slow inference down")

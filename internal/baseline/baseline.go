@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"rmssd/internal/embedding"
+	"rmssd/internal/engine"
 	"rmssd/internal/flash"
 	"rmssd/internal/hostio"
 	"rmssd/internal/model"
@@ -130,6 +131,18 @@ func checkSparse(m *model.Model, sparse [][]int64) {
 	if len(sparse) != m.Cfg.Tables {
 		panic(fmt.Sprintf("baseline: %d sparse inputs, want %d", len(sparse), m.Cfg.Tables))
 	}
+}
+
+// mustAddr resolves a row's flash address. Baseline systems are measurement
+// harnesses driven by the repo's own in-range trace generators (no fault
+// plan, no untrusted payloads), so a translator error here is a harness
+// bug, not an input condition.
+func mustAddr(tr *engine.Translator, table int, row int64) int64 {
+	addr, err := tr.Lookup(table, row)
+	if err != nil {
+		panic(fmt.Sprintf("baseline: %v", err))
+	}
+	return addr
 }
 
 // hostForward completes an inference on the host given pooled embeddings.

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"fmt"
 	"time"
 
 	"rmssd/internal/model"
@@ -104,7 +105,12 @@ func (s *EmbVectorSum) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.T
 	devDone := at
 	for _, sparse := range sparses {
 		checkSparse(s.env.M, sparse)
-		devDone = sim.Max(devDone, s.lookup.PoolTiming(at, sparse))
+		poolDone, err := s.lookup.PoolTiming(at, sparse)
+		if err != nil {
+			// In-range generator inputs on an unfaulted device cannot error.
+			panic(fmt.Sprintf("baseline: %v", err))
+		}
+		devDone = sim.Max(devDone, poolDone)
 	}
 	bd := hostBatchBreakdown(s.env.M, b)
 	bd.EmbSSD = time.Duration(devDone - at)
@@ -129,7 +135,7 @@ func (s *RecSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, B
 					continue
 				}
 				issue += params.CycleTime
-				addr := s.tr.Lookup(t, row)
+				addr := mustAddr(s.tr, t, row)
 				devDone = sim.Max(devDone, s.pageRead(issue, addr/ps))
 				s.cache.Put(t, row, nil)
 			}

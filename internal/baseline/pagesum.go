@@ -48,7 +48,7 @@ func (s *EmbPageSum) pool(at sim.Time, sparse [][]int64, materialize bool) ([]te
 	for t, rows := range sparse {
 		for _, row := range rows {
 			issue += params.CycleTime
-			addr := s.tr.Lookup(t, row)
+			addr := mustAddr(s.tr, t, row)
 			lpn := addr / ps
 			readDone := s.env.Dev.ReadPageInternalTiming(issue, lpn)
 			done = sim.Max(done, readDone)

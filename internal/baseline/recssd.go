@@ -190,7 +190,7 @@ func (s *RecSSD) infer(at sim.Time, dense tensor.Vector, sparse [][]int64, mater
 			}
 			misses++
 			issue += params.CycleTime
-			addr := s.tr.Lookup(t, row)
+			addr := mustAddr(s.tr, t, row)
 			readDone := s.pageRead(issue, addr/ps)
 			devDone = sim.Max(devDone, readDone)
 			var v tensor.Vector

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"fmt"
 	"time"
 
 	"rmssd/internal/engine"
@@ -49,7 +50,11 @@ func (s *EmbVectorSum) finish(at, poolDone sim.Time) (sim.Time, Breakdown) {
 // Infer implements System.
 func (s *EmbVectorSum) Infer(at sim.Time, dense tensor.Vector, sparse [][]int64) (float32, sim.Time, Breakdown) {
 	checkSparse(s.env.M, sparse)
-	pooled, poolDone := s.lookup.Pool(at, sparse)
+	pooled, poolDone, err := s.lookup.Pool(at, sparse)
+	if err != nil {
+		// In-range generator inputs on an unfaulted device cannot error.
+		panic(fmt.Sprintf("baseline: %v", err))
+	}
 	done, bd := s.finish(at, poolDone)
 	return hostForward(s.env.M, dense, pooled), done, bd
 }
@@ -57,6 +62,9 @@ func (s *EmbVectorSum) Infer(at sim.Time, dense tensor.Vector, sparse [][]int64)
 // InferTiming implements System.
 func (s *EmbVectorSum) InferTiming(at sim.Time, sparse [][]int64) (sim.Time, Breakdown) {
 	checkSparse(s.env.M, sparse)
-	poolDone := s.lookup.PoolTiming(at, sparse)
+	poolDone, err := s.lookup.PoolTiming(at, sparse)
+	if err != nil {
+		panic(fmt.Sprintf("baseline: %v", err))
+	}
 	return s.finish(at, poolDone)
 }

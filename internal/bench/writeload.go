@@ -48,7 +48,11 @@ func WriteLoad(opts Options) []*Table {
 		}
 		// Warm-up.
 		for i := 0; i < iters/2; i++ {
-			done, _ := r.InferBatchTiming(now, gen.Batch(1))
+			done, _, err := r.InferBatchTiming(now, gen.Batch(1))
+			if err != nil {
+				// Generator inputs on an unfaulted device cannot error.
+				panic(fmt.Sprintf("bench: %v", err))
+			}
 			now = done
 		}
 		wafStart := r.Device().DynamicStats()
@@ -60,7 +64,10 @@ func WriteLoad(opts Options) []*Table {
 				lpn := int64(upd.Intn(int(cfg.TableBytes() / int64(r.Device().PageSize()))))
 				r.Device().WritePage(now, lpn, page)
 			}
-			done, _ := r.InferBatchTiming(now, gen.Batch(1))
+			done, _, err := r.InferBatchTiming(now, gen.Batch(1))
+			if err != nil {
+				panic(fmt.Sprintf("bench: %v", err))
+			}
 			now = done
 		}
 		elapsed := (now - start).Seconds()

@@ -29,6 +29,7 @@ import (
 
 	"rmssd/internal/bench"
 	"rmssd/internal/core"
+	"rmssd/internal/flash"
 	"rmssd/internal/model"
 	"rmssd/internal/serving"
 	"rmssd/internal/tensor"
@@ -64,6 +65,7 @@ func Cases() []Case {
 		{Name: "replay/single", Render: renderSingleReplay},
 		{Name: "replay/mixed", Render: renderMixedReplay},
 		{Name: "replay/evcache", Render: renderEVCacheReplay},
+		{Name: "replay/faults", Render: renderFaultReplay},
 	}
 	// Static tables: pure functions of the calibration constants (Table II
 	// settings, model zoo, kernel search results, resource totals).
@@ -137,7 +139,10 @@ func renderDeviceInfer() (string, error) {
 		fmt.Fprintf(&sb, "model %s tables=%d lookups=%d rows=%d\n",
 			cfg.Name, cfg.Tables, cfg.Lookups, cfg.RowsPerTable)
 		for it := 0; it < 2; it++ {
-			outs, done, bd := dev.InferBatch(now, denses, gen.Batch(batch))
+			outs, done, bd, err := dev.InferBatch(now, denses, gen.Batch(batch))
+			if err != nil {
+				return "", err
+			}
 			fmt.Fprintf(&sb, "  batch %d: done=%v send=%v emb=%v bot=%v top=%v read=%v preds=",
 				it, done, bd.Send, bd.Emb, bd.Bot, bd.Top, bd.Read)
 			for _, p := range outs {
@@ -182,10 +187,10 @@ func (d *deviceBatcher) ServeBatch(reqs []serving.Request) serving.BatchResult {
 		sparses = append(sparses, d.gen.Batch(req.N)...)
 		d.seq += req.N
 	}
-	outs, done, bd := d.dev.InferBatch(d.now, denses, sparses)
+	outs, done, bd, err := d.dev.InferBatch(d.now, denses, sparses)
 	lat := done - d.now
 	d.now = done
-	return serving.BatchResult{Preds: outs, Latency: lat, Meta: bd}
+	return serving.BatchResult{Preds: outs, Latency: lat, Meta: bd, Err: err}
 }
 
 // newBackends builds nshards device batchers for the config.
@@ -312,6 +317,64 @@ func renderEVCacheReplay() (string, error) {
 		cs := dev.Lookup().EVCache().Stats()
 		fmt.Fprintf(&sb, "shard %d: lookups=%d dedup=%d hits=%d misses=%d evictions=%d\n",
 			i, lk.Lookups, lk.DedupHits, cs.Hits, cs.Misses, cs.Evictions)
+	}
+	return sb.String(), nil
+}
+
+// renderFaultReplay replays the single-model trace on devices with the
+// deterministic fault plan enabled: the rmserve -fault-rate path in library
+// form. Beyond the replay profile it pins the failed-request count and each
+// shard's fault counters, so the seeded fault sequence itself — which reads
+// retried, which went uncorrectable, and what the retries cost the
+// timeline — is under golden control.
+func renderFaultReplay() (string, error) {
+	cfg := model.RMC1()
+	cfg.RowsPerTable = cfg.RowsForBudget(tableBudget)
+	const nshards = 2
+	devs := make([]*core.RMSSD, 0, nshards)
+	backends := make([]serving.Batcher, 0, nshards)
+	for i := 0; i < nshards; i++ {
+		dev, err := core.New(cfg, core.Options{
+			Parallel:  1,
+			FaultPlan: flash.FaultPlan{Rate: 0.35, Seed: 7 + uint64(i)*0x9e37},
+		})
+		if err != nil {
+			return "", err
+		}
+		gen, err := trace.NewGenerator(trace.Config{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+			Seed: 5 + uint64(i)*0x9e37,
+		})
+		if err != nil {
+			return "", err
+		}
+		devs = append(devs, dev)
+		backends = append(backends, &deviceBatcher{dev: dev, gen: gen, cfg: cfg})
+	}
+	gen, err := trace.NewGenerator(trace.Config{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 5,
+	})
+	if err != nil {
+		return "", err
+	}
+	src, err := serving.NewGeneratorSource(gen, 2, cfg.DenseDim)
+	if err != nil {
+		return "", err
+	}
+	res, err := serving.Replay(backends, serving.ReplayConfig{
+		Rate: 100000, MaxBatch: 8, Requests: 40, Seed: 5,
+	}, src)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("replay RMC1 shards=2 faultrate=0.35\n")
+	sb.WriteString(formatReplay(res))
+	fmt.Fprintf(&sb, "failed=%d\n", res.Failed)
+	for i, dev := range devs {
+		fs := dev.Device().Array().Stats()
+		fmt.Fprintf(&sb, "shard %d: readfaults=%d eccretries=%d uncorrectable=%d\n",
+			i, fs.ReadFaults, fs.ECCRetries, fs.Uncorrectable)
 	}
 	return sb.String(), nil
 }

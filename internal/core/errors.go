@@ -1,0 +1,25 @@
+package core
+
+import (
+	"rmssd/internal/engine"
+	"rmssd/internal/flash"
+)
+
+// Typed error taxonomy of the device API. Each sentinel aliases the value
+// of the layer that detects the condition, so errors.Is matches across
+// package boundaries without an import cycle (core imports engine and
+// flash, never the reverse). Input-dependent failures — anything a request
+// payload can trigger — surface as one of these, wrapped with inference,
+// table and row context; panics remain only for programmer invariants.
+var (
+	// ErrShapeMismatch: the batch shape disagrees with the model
+	// configuration (empty batch, dense/sparse count mismatch, wrong table
+	// count or dense width).
+	ErrShapeMismatch = engine.ErrShapeMismatch
+	// ErrRowOutOfRange: a sparse index addresses a row no registered
+	// embedding extent covers.
+	ErrRowOutOfRange = engine.ErrRowOutOfRange
+	// ErrReadFault: an injected flash read exhausted its ECC retry budget
+	// (only possible with Options.FaultPlan enabled).
+	ErrReadFault = flash.ErrUncorrectable
+)

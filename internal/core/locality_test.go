@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math"
 	"testing"
@@ -71,7 +72,10 @@ func runStream(r *RMSSD, denses []tensor.Vector, sparses [][][]int64, batch int)
 		if end > len(sparses) {
 			end = len(sparses)
 		}
-		outs, done, _ := r.InferBatch(now, denses[off:end], sparses[off:end])
+		outs, done, _, err := r.InferBatch(now, denses[off:end], sparses[off:end])
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
 		preds = append(preds, outs...)
 		now = done
 	}
@@ -235,7 +239,9 @@ func TestFig14HitRatios(t *testing.T) {
 		for i := range denses {
 			denses[i] = g.DenseInput(i, cfg.DenseDim)
 		}
-		r.InferBatch(0, denses, warm)
+		if _, _, _, err := r.InferBatch(0, denses, warm); err != nil {
+			t.Fatal(err)
+		}
 		r.Lookup().EVCache().ResetStats()
 
 		measure := g.Batch(24)
@@ -243,7 +249,9 @@ func TestFig14HitRatios(t *testing.T) {
 		for i := range md {
 			md[i] = g.DenseInput(i, cfg.DenseDim)
 		}
-		r.InferBatch(0, md, measure)
+		if _, _, _, err := r.InferBatch(0, md, measure); err != nil {
+			t.Fatal(err)
+		}
 
 		got := r.Lookup().EVCache().HitRatio()
 		if math.Abs(got-want) > 0.05 {
@@ -271,8 +279,11 @@ func TestUpdateVectorInvalidatesCache(t *testing.T) {
 	dense := make(tensor.Vector, cfg.DenseDim)
 	batch := [][][]int64{sparse}
 
-	before, _, _ := r.InferBatch(0, []tensor.Vector{dense}, batch)
-	refBefore, _, _ := ref.InferBatch(0, []tensor.Vector{dense}, batch)
+	before, _, _, bErr := r.InferBatch(0, []tensor.Vector{dense}, batch)
+	refBefore, _, _, rbErr := ref.InferBatch(0, []tensor.Vector{dense}, batch)
+	if bErr != nil || rbErr != nil {
+		t.Fatal(bErr, rbErr)
+	}
 	bitsEqual(t, "before update", before, refBefore)
 
 	v := make(tensor.Vector, cfg.EVDim)
@@ -281,15 +292,24 @@ func TestUpdateVectorInvalidatesCache(t *testing.T) {
 	}
 	var at time.Duration
 	for tab := 0; tab < cfg.Tables; tab++ {
-		at = r.UpdateVector(at, tab, 5, v)
+		var err error
+		if at, err = r.UpdateVector(at, tab, 5, v); err != nil {
+			t.Fatal(err)
+		}
 	}
 	var refAt time.Duration
 	for tab := 0; tab < cfg.Tables; tab++ {
-		refAt = ref.UpdateVector(refAt, tab, 5, v)
+		var err error
+		if refAt, err = ref.UpdateVector(refAt, tab, 5, v); err != nil {
+			t.Fatal(err)
+		}
 	}
 
-	after, _, _ := r.InferBatch(at, []tensor.Vector{dense}, batch)
-	refAfter, _, _ := ref.InferBatch(refAt, []tensor.Vector{dense}, batch)
+	after, _, _, aErr := r.InferBatch(at, []tensor.Vector{dense}, batch)
+	refAfter, _, _, raErr := ref.InferBatch(refAt, []tensor.Vector{dense}, batch)
+	if aErr != nil || raErr != nil {
+		t.Fatal(aErr, raErr)
+	}
 	bitsEqual(t, "after update", after, refAfter)
 	if math.Float32bits(after[0]) == math.Float32bits(before[0]) {
 		t.Fatal("update did not change the prediction; test is vacuous")

@@ -130,7 +130,9 @@ func TestStageTimesPure(t *testing.T) {
 func TestDeviceMMIOAccounting(t *testing.T) {
 	r := newSmall(t, "RMC1", 0)
 	_, sparses := genInputs(r, 1, 1)
-	r.InferBatchTiming(0, sparses)
+	if _, _, err := r.InferBatchTiming(0, sparses); err != nil {
+		t.Fatal(err)
+	}
 	reads, writes, bytes := r.MMIO().Stats()
 	if writes < 3 {
 		t.Fatalf("expected >=3 register writes, got %d", writes)

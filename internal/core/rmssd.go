@@ -63,6 +63,12 @@ type Options struct {
 	// batch into a single vector read whose result fans out. Off by
 	// default; value-preserving like the cache.
 	DedupLookups bool
+	// FaultPlan enables deterministic flash read-fault injection (zero
+	// value, the default, disables it): vector reads fail ECC with the
+	// plan's seeded per-channel probability, pay bounded retries on the
+	// die, and surface as ErrReadFault when uncorrectable. With the plan
+	// disabled the timing path is byte-identical to a build without it.
+	FaultPlan flash.FaultPlan
 }
 
 func (o Options) withDefaults() Options {
@@ -165,6 +171,9 @@ func New(cfg model.Config, opts Options) (*RMSSD, error) {
 		r.lookup.SetEVCache(evcache.New(opts.EVCacheBytes, cfg.EVSize()))
 	}
 	r.lookup.SetDedup(opts.DedupLookups)
+	if err := dev.Array().SetFaultPlan(opts.FaultPlan); err != nil {
+		return nil, err
+	}
 	r.mmio.Poke(RegTableCount, uint64(cfg.Tables))
 	return r, nil
 }
@@ -240,15 +249,42 @@ func (r *RMSSD) HostReadBytesPerBatch(n int) int64 {
 	return bytes
 }
 
+// ValidateInputs checks one batch's shape against the model configuration
+// and every sparse index against the translator's extent coverage, without
+// touching any device timing state. InferBatch runs it before admitting the
+// batch, so a malformed request fails the call — the paper's OS-mediated
+// contract (Section IV-D) — and leaves the device's clocks, cache and
+// counters exactly as they were.
+func (r *RMSSD) ValidateInputs(denses []tensor.Vector, sparses [][][]int64) error {
+	n := len(sparses)
+	if n == 0 || len(denses) != n {
+		return fmt.Errorf("core: batch of %d dense, %d sparse inputs: %w", len(denses), n, ErrShapeMismatch)
+	}
+	cfg := r.m.Cfg
+	for i, d := range denses {
+		if len(d) != cfg.DenseDim {
+			return fmt.Errorf("core: inference %d: dense dim %d, want %d: %w", i, len(d), cfg.DenseDim, ErrShapeMismatch)
+		}
+	}
+	return r.lookup.ValidateLookups(sparses)
+}
+
 // InferBatch runs one device batch end to end: send inputs, pool embeddings
 // on the lookup engine (simulated flash timing), run the remapped MLP, read
 // outputs. Outputs are real float32 CTR predictions; the returned Breakdown
 // carries the simulated stage times.
-func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]int64) ([]float32, sim.Time, Breakdown) {
-	n := len(sparses)
-	if n == 0 || len(denses) != n {
-		panic(fmt.Sprintf("core: batch of %d dense, %d sparse", len(denses), n))
+//
+// Shape and range errors (ErrShapeMismatch, ErrRowOutOfRange) are detected
+// before the device sees the batch: the call fails, the device does not.
+// With fault injection enabled a lookup can come back uncorrectable
+// (ErrReadFault) after the embedding stage ran; the call then fails without
+// running the MLP or crossing the host interface, and the batch does not
+// count as served.
+func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]int64) ([]float32, sim.Time, Breakdown, error) {
+	if err := r.ValidateInputs(denses, sparses); err != nil {
+		return nil, at, Breakdown{}, err
 	}
+	n := len(sparses)
 	var bd Breakdown
 	sendDone := r.SendInputs(at, n)
 	bd.Send = sendDone - at
@@ -260,12 +296,15 @@ func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]in
 	// PoolBatch shares one dedup table across the whole device batch when
 	// the locality path is enabled; otherwise it is exactly the
 	// per-inference Pool loop.
-	pooled, lookDone := r.lookup.PoolBatch(embStart, sparses)
+	pooled, lookDone, lookErr := r.lookup.PoolBatch(embStart, sparses)
 	embDone := sim.Max(embStart, lookDone)
 	if k := params.Duration(r.mlp.EmbKernelCycles(n)); embStart+k > embDone {
 		embDone = embStart + k
 	}
 	bd.Emb = embDone - embStart
+	if lookErr != nil {
+		return nil, embDone, bd, fmt.Errorf("core: infer batch: %w", lookErr)
+	}
 
 	bd.Bot = params.Duration(r.mlp.BottomStageCycles(n))
 	joined := sim.Max(embDone, embStart+bd.Bot)
@@ -285,24 +324,28 @@ func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]in
 	readDone := r.ReadOutputs(topDone, n)
 	bd.Read = readDone - topDone
 	r.inferences += int64(n)
-	return outs, readDone, bd
+	return outs, readDone, bd, nil
 }
 
 // InferBatchTiming is InferBatch without materialising values.
-func (r *RMSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, Breakdown) {
-	n := len(sparses)
-	if n == 0 {
-		panic("core: empty batch")
+func (r *RMSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, Breakdown, error) {
+	if err := r.lookup.ValidateLookups(sparses); err != nil {
+		return at, Breakdown{}, err
 	}
+	n := len(sparses)
 	var bd Breakdown
 	sendDone := r.SendInputs(at, n)
 	bd.Send = sendDone - at
 	embStart := sendDone
-	embDone := sim.Max(embStart, r.lookup.PoolBatchTiming(embStart, sparses))
+	lookDone, lookErr := r.lookup.PoolBatchTiming(embStart, sparses)
+	embDone := sim.Max(embStart, lookDone)
 	if k := params.Duration(r.mlp.EmbKernelCycles(n)); embStart+k > embDone {
 		embDone = embStart + k
 	}
 	bd.Emb = embDone - embStart
+	if lookErr != nil {
+		return embDone, bd, fmt.Errorf("core: infer batch: %w", lookErr)
+	}
 	bd.Bot = params.Duration(r.mlp.BottomStageCycles(n))
 	joined := sim.Max(embDone, embStart+bd.Bot)
 	if r.mlp.Design() == engine.DesignNaive {
@@ -313,7 +356,7 @@ func (r *RMSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, Br
 	readDone := r.ReadOutputs(topDone, n)
 	bd.Read = readDone - topDone
 	r.inferences += int64(n)
-	return readDone, bd
+	return readDone, bd, nil
 }
 
 // sendCost and readCost price the host-interface stages without touching
@@ -368,10 +411,14 @@ func (r *RMSSD) Latency(n int) time.Duration {
 // table-refresh operation a production recommender issues continuously.
 // On the linear device the page is rewritten in place; on the dynamic
 // device it goes out of place with GC. Returns the completion time.
-func (r *RMSSD) UpdateVector(at sim.Time, table int, row int64, v tensor.Vector) sim.Time {
+// Dimension and range errors fail the call before any device activity.
+func (r *RMSSD) UpdateVector(at sim.Time, table int, row int64, v tensor.Vector) (sim.Time, error) {
 	cfg := r.m.Cfg
 	if len(v) != cfg.EVDim {
-		panic(fmt.Sprintf("core: vector dim %d, want %d", len(v), cfg.EVDim))
+		return at, fmt.Errorf("core: vector dim %d, want %d: %w", len(v), cfg.EVDim, ErrShapeMismatch)
+	}
+	if !r.lookup.Translator().Covers(table, row) {
+		return at, fmt.Errorf("core: update row %d of table %d: %w", row, table, ErrRowOutOfRange)
 	}
 	addr := r.store.VectorAddr(table, row)
 	ps := int64(r.dev.PageSize())
@@ -385,7 +432,7 @@ func (r *RMSSD) UpdateVector(at sim.Time, table int, row int64, v tensor.Vector)
 	done := r.dev.WritePage(readDone, lpn, buf)
 	// A cached copy would now serve stale (and aliased-to-dead-page) bytes.
 	r.lookup.Invalidate(table, row)
-	return done
+	return done, nil
 }
 
 // Inferences returns the number of inferences served.

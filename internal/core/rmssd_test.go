@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -66,7 +67,10 @@ func TestInferBatchMatchesReference(t *testing.T) {
 	for _, name := range []string{"RMC1", "RMC2", "RMC3", "NCF", "WnD"} {
 		r := newSmall(t, name, engine.DesignSearched)
 		denses, sparses := genInputs(r, 3, 7)
-		outs, done, bd := r.InferBatch(0, denses, sparses)
+		outs, done, bd, err := r.InferBatch(0, denses, sparses)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if done <= 0 {
 			t.Fatalf("%s: no time elapsed", name)
 		}
@@ -89,8 +93,11 @@ func TestTimingPathAgreesWithDataPath(t *testing.T) {
 	a := newSmall(t, "RMC1", engine.DesignSearched)
 	b := newSmall(t, "RMC1", engine.DesignSearched)
 	denses, sparses := genInputs(a, 2, 9)
-	_, doneA, bdA := a.InferBatch(0, denses, sparses)
-	doneB, bdB := b.InferBatchTiming(0, sparses)
+	_, doneA, bdA, errA := a.InferBatch(0, denses, sparses)
+	doneB, bdB, errB := b.InferBatchTiming(0, sparses)
+	if errA != nil || errB != nil {
+		t.Fatalf("infer errs: %v, %v", errA, errB)
+	}
 	if doneA != doneB || bdA != bdB {
 		t.Fatalf("paths diverge: %v/%v vs %v/%v", doneA, bdA, doneB, bdB)
 	}
@@ -101,7 +108,10 @@ func TestMMIOOverheadNegligible(t *testing.T) {
 	// (less than 1%) for each inference".
 	r := newSmall(t, "RMC1", engine.DesignSearched)
 	_, sparses := genInputs(r, 1, 3)
-	done, bd := r.InferBatchTiming(0, sparses)
+	done, bd, err := r.InferBatchTiming(0, sparses)
+	if err != nil {
+		t.Fatal(err)
+	}
 	overhead := bd.Send + bd.Read
 	if overhead > 50*time.Microsecond {
 		t.Fatalf("interface overhead %v too large", overhead)
@@ -185,7 +195,9 @@ func TestRMC3ThroughputScalesWithBatchThenSaturates(t *testing.T) {
 func TestInferencesCounter(t *testing.T) {
 	r := newSmall(t, "RMC1", engine.DesignSearched)
 	_, sparses := genInputs(r, 3, 1)
-	r.InferBatchTiming(0, sparses)
+	if _, _, err := r.InferBatchTiming(0, sparses); err != nil {
+		t.Fatal(err)
+	}
 	if r.Inferences() != 3 {
 		t.Fatalf("Inferences = %d", r.Inferences())
 	}
@@ -193,12 +205,59 @@ func TestInferencesCounter(t *testing.T) {
 
 func TestInferBatchValidation(t *testing.T) {
 	r := newSmall(t, "RMC1", engine.DesignSearched)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	r.InferBatch(0, nil, nil)
+	denses, sparses := genInputs(r, 2, 11)
+
+	// Empty batch, mismatched dense count, wrong dense width, wrong table
+	// count: all typed shape errors, none touching the device.
+	if _, _, _, err := r.InferBatch(0, nil, nil); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("empty batch err = %v, want ErrShapeMismatch", err)
+	}
+	if _, _, _, err := r.InferBatch(0, denses[:1], sparses); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("dense count err = %v, want ErrShapeMismatch", err)
+	}
+	badDense := []tensor.Vector{make(tensor.Vector, 3), make(tensor.Vector, 3)}
+	if _, _, _, err := r.InferBatch(0, badDense, sparses); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("dense width err = %v, want ErrShapeMismatch", err)
+	}
+	badTables := [][][]int64{sparses[0][:1], sparses[1][:1]}
+	if _, _, _, err := r.InferBatch(0, denses, badTables); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("table count err = %v, want ErrShapeMismatch", err)
+	}
+
+	// Out-of-range row: typed row error naming the offender, still without
+	// touching the flash (prevalidated before any device work).
+	before := r.Device().Array().Stats()
+	bad := [][][]int64{cloneSparse(sparses[0]), cloneSparse(sparses[1])}
+	bad[1][2][0] = int64(r.Model().Cfg.RowsPerTable) + 7
+	_, _, _, err := r.InferBatch(0, denses, bad)
+	if !errors.Is(err, ErrRowOutOfRange) {
+		t.Fatalf("row err = %v, want ErrRowOutOfRange", err)
+	}
+	if after := r.Device().Array().Stats(); after != before {
+		t.Fatal("validation error must not touch the flash")
+	}
+	if r.Inferences() != 0 {
+		t.Fatalf("failed batches must not count inferences, got %d", r.Inferences())
+	}
+
+	// The device still serves good batches afterwards.
+	if _, _, _, err := r.InferBatch(0, denses, sparses); err != nil {
+		t.Fatalf("device wedged after validation errors: %v", err)
+	}
+
+	// Timing path validates identically.
+	if _, _, err := r.InferBatchTiming(0, badTables); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("timing table count err = %v, want ErrShapeMismatch", err)
+	}
+}
+
+// cloneSparse deep-copies one inference's lookup indices.
+func cloneSparse(sp [][]int64) [][]int64 {
+	out := make([][]int64, len(sp))
+	for i, rows := range sp {
+		out[i] = append([]int64(nil), rows...)
+	}
+	return out
 }
 
 func TestVectorGrainedTrafficOnly(t *testing.T) {
@@ -206,7 +265,9 @@ func TestVectorGrainedTrafficOnly(t *testing.T) {
 	// inference: read amplification is eliminated by design.
 	r := newSmall(t, "RMC2", engine.DesignSearched)
 	_, sparses := genInputs(r, 2, 5)
-	r.InferBatchTiming(0, sparses)
+	if _, _, err := r.InferBatchTiming(0, sparses); err != nil {
+		t.Fatal(err)
+	}
 	fs := r.Device().Array().Stats()
 	if fs.PageReads != 0 {
 		t.Fatalf("page reads = %d, want 0", fs.PageReads)
@@ -297,7 +358,10 @@ func TestDynamicCoreDevice(t *testing.T) {
 		t.Fatal("device not dynamic")
 	}
 	denses, sparses := genInputs(r, 2, 3)
-	outs, _, _ := r.InferBatch(0, denses, sparses)
+	outs, _, _, err := r.InferBatch(0, denses, sparses)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range outs {
 		want := r.Model().Infer(denses[i], sparses[i])
 		if d := outs[i] - want; d > 1e-4 || d < -1e-4 {
@@ -309,7 +373,10 @@ func TestDynamicCoreDevice(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		r.Device().WritePage(0, int64(i%100), page)
 	}
-	outs2, _, _ := r.InferBatch(0, denses, sparses)
+	outs2, _, _, err2 := r.InferBatch(0, denses, sparses)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
 	_ = outs2 // values may legitimately change only for overwritten rows;
 	// here we overwrote table pages with zeros, so just require sane output
 	for _, o := range outs2 {
@@ -325,16 +392,25 @@ func TestUpdateVector(t *testing.T) {
 	table, row := 2, sparses[0][2][0]
 
 	// Baseline pooled value via the lookup engine.
-	before, _ := r.Lookup().Pool(0, sparses[0])
+	before, _, perr := r.Lookup().Pool(0, sparses[0])
+	if perr != nil {
+		t.Fatal(perr)
+	}
 
 	// Overwrite the vector with zeros and re-pool: the contribution of
 	// (table,row) must vanish from that table's sum.
 	zero := make(tensor.Vector, r.Model().Cfg.EVDim)
-	done := r.UpdateVector(0, table, row, zero)
+	done, uerr := r.UpdateVector(0, table, row, zero)
+	if uerr != nil {
+		t.Fatal(uerr)
+	}
 	if done <= 0 {
 		t.Fatal("update must take time")
 	}
-	after, _ := r.Lookup().Pool(done, sparses[0])
+	after, _, perr2 := r.Lookup().Pool(done, sparses[0])
+	if perr2 != nil {
+		t.Fatal(perr2)
+	}
 
 	oldVec := r.Model().EmbeddingVector(table, row)
 	occurrences := 0
@@ -355,12 +431,16 @@ func TestUpdateVector(t *testing.T) {
 	}
 }
 
-func TestUpdateVectorDimPanics(t *testing.T) {
+func TestUpdateVectorErrors(t *testing.T) {
 	r := newSmall(t, "RMC1", engine.DesignSearched)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	r.UpdateVector(0, 0, 0, make(tensor.Vector, 3))
+	if _, err := r.UpdateVector(0, 0, 0, make(tensor.Vector, 3)); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("dim err = %v, want ErrShapeMismatch", err)
+	}
+	good := make(tensor.Vector, r.Model().Cfg.EVDim)
+	if _, err := r.UpdateVector(0, 0, int64(r.Model().Cfg.RowsPerTable)+1, good); !errors.Is(err, ErrRowOutOfRange) {
+		t.Fatalf("row err = %v, want ErrRowOutOfRange", err)
+	}
+	if _, err := r.UpdateVector(0, 0, 0, good); err != nil {
+		t.Fatalf("valid update err = %v", err)
+	}
 }

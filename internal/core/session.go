@@ -122,11 +122,17 @@ func (s *Session) ReadOutputs(at sim.Time) (sim.Time, error) {
 }
 
 // InferBatch runs a complete authenticated round trip: validate the fd,
-// send inputs, run the engines, read outputs.
+// send inputs, run the engines, read outputs. Device-side failures — shape
+// mismatches, out-of-range rows, injected read faults — propagate as the
+// typed errors of RMSSD.InferBatch, so the authenticated path can never
+// panic on bad inputs.
 func (s *Session) InferBatch(at sim.Time, fd int, denses []tensor.Vector, sparses [][][]int64) ([]float32, sim.Time, error) {
 	if _, ok := s.fds[fd]; !ok {
 		return nil, at, fmt.Errorf("core: invalid fd %d", fd)
 	}
-	outs, done, _ := s.r.InferBatch(at, denses, sparses)
+	outs, done, _, err := s.r.InferBatch(at, denses, sparses)
+	if err != nil {
+		return nil, done, err
+	}
 	return outs, done, nil
 }

@@ -138,7 +138,10 @@ func TestFillerVectorReadThroughFlashPath(t *testing.T) {
 	m, st, fs := testSetup(t, smallRMC1())
 	dev := fs.Device()
 	addr := st.VectorAddr(5, 123)
-	data, done := dev.ReadVectorAt(0, addr, m.Cfg.EVSize())
+	data, done, err := dev.ReadVectorAt(0, addr, m.Cfg.EVSize())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if done <= 0 {
 		t.Fatal("vector read must consume time")
 	}
@@ -214,7 +217,10 @@ func TestPoolViaDeviceMatchesReference(t *testing.T) {
 	rows := []int64{5, 99, 1024, 5, 2047}
 	sum := make(tensor.Vector, m.Cfg.EVDim)
 	for _, r := range rows {
-		data, _ := dev.ReadVectorAt(0, st.VectorAddr(4, r), m.Cfg.EVSize())
+		data, _, err := dev.ReadVectorAt(0, st.VectorAddr(4, r), m.Cfg.EVSize())
+		if err != nil {
+			t.Fatal(err)
+		}
 		tensor.AccumulateInto(sum, model.DecodeEV(data))
 	}
 	want := m.PoolReference(4, rows)

@@ -24,6 +24,8 @@ func BenchmarkLookupPoolHotTrace(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.Pool(0, batches[i%len(batches)])
+		if _, _, err := eng.Pool(0, batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

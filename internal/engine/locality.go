@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -72,10 +73,12 @@ type lkSlot struct {
 	kind  slotKind
 	owner int32    // slotDup: the owning slot's index
 	start sim.Time // slotDup: the duplicate's own issue time (ready floor)
+	key   evcache.Key
 	vr    ssd.VectorRead
 	fill  *evcache.Entry // slotFlash/slotZero: reserved entry to Fill (may be nil)
 	data  []byte
 	ready sim.Time
+	err   error // uncorrectable read (wraps flash.ErrUncorrectable)
 }
 
 // PoolBatch performs the pooled lookups of a whole coalesced batch of
@@ -87,19 +90,19 @@ type lkSlot struct {
 //
 // Without a cache or dedup enabled this degrades to the default path,
 // byte-identical to calling Pool per inference.
-func (e *LookupEngine) PoolBatch(at sim.Time, sparses [][][]int64) ([][]tensor.Vector, sim.Time) {
+func (e *LookupEngine) PoolBatch(at sim.Time, sparses [][][]int64) ([][]tensor.Vector, sim.Time, error) {
 	return e.poolBatch(at, sparses, true)
 }
 
 // PoolBatchTiming is PoolBatch without materialising values.
-func (e *LookupEngine) PoolBatchTiming(at sim.Time, sparses [][][]int64) sim.Time {
-	_, done := e.poolBatch(at, sparses, false)
-	return done
+func (e *LookupEngine) PoolBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, error) {
+	_, done, err := e.poolBatch(at, sparses, false)
+	return done, err
 }
 
-func (e *LookupEngine) poolBatch(at sim.Time, sparses [][][]int64, materialize bool) ([][]tensor.Vector, sim.Time) {
+func (e *LookupEngine) poolBatch(at sim.Time, sparses [][][]int64, materialize bool) ([][]tensor.Vector, sim.Time, error) {
 	if len(sparses) == 0 {
-		panic("engine: empty lookup batch")
+		return nil, at, fmt.Errorf("engine: empty lookup batch: %w", ErrShapeMismatch)
 	}
 	if e.LocalityEnabled() {
 		return e.poolLocality(at, sparses, materialize)
@@ -109,17 +112,41 @@ func (e *LookupEngine) poolBatch(at sim.Time, sparses [][][]int64, materialize b
 		pooled = make([][]tensor.Vector, len(sparses))
 	}
 	var done sim.Time
+	var firstErr error
 	for i, sparse := range sparses {
-		p, d := e.pool(at, sparse, materialize)
+		p, d, err := e.pool(at, sparse, materialize)
+		if err != nil {
+			// Shape/range errors abort the whole batch: the remaining
+			// inferences were never admitted to the device. A read fault
+			// keeps going — the other inferences' reads already issued.
+			if !errors.Is(err, flash.ErrUncorrectable) {
+				return nil, sim.Max(done, d), fmt.Errorf("engine: inference %d: %w", i, err)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("engine: inference %d: %w", i, err)
+			}
+		}
 		if materialize {
 			pooled[i] = p
 		}
 		done = sim.Max(done, d)
 	}
-	return pooled, done
+	return pooled, done, firstErr
 }
 
-func (e *LookupEngine) poolLocality(at sim.Time, sparses [][][]int64, materialize bool) ([][]tensor.Vector, sim.Time) {
+// abortLocality restores the MSHR invariant after an aborted plan phase:
+// every entry the plan reserved is dropped from the cache, so no unfilled
+// entry survives into the next batch.
+func (e *LookupEngine) abortLocality(slots []lkSlot) {
+	for i := range slots {
+		if slots[i].fill != nil {
+			e.cache.Invalidate(slots[i].key.Table, slots[i].key.Row)
+		}
+	}
+	e.slots = slots[:0]
+}
+
+func (e *LookupEngine) poolLocality(at sim.Time, sparses [][][]int64, materialize bool) ([][]tensor.Vector, sim.Time, error) {
 	cfg := e.st.Model().Cfg
 	evSize := cfg.EVSize()
 	sumOcc := params.Duration(e.sumCycles())
@@ -138,7 +165,9 @@ func (e *LookupEngine) poolLocality(at sim.Time, sparses [][][]int64, materializ
 	var maxIssue sim.Time
 	for b, sparse := range sparses {
 		if len(sparse) != cfg.Tables {
-			panic(fmt.Sprintf("engine: %d sparse inputs, want %d", len(sparse), cfg.Tables))
+			e.abortLocality(slots)
+			return nil, sim.Max(at, maxIssue), fmt.Errorf("engine: inference %d: %d sparse inputs, want %d: %w",
+				b, len(sparse), cfg.Tables, ErrShapeMismatch)
 		}
 		issue := at
 		for t, rows := range sparse {
@@ -154,7 +183,7 @@ func (e *LookupEngine) poolLocality(at sim.Time, sparses [][][]int64, materializ
 				if e.dedup {
 					if own, ok := e.owners[key]; ok {
 						e.stats.DedupHits++
-						slots = append(slots, lkSlot{vec: vec, kind: slotDup, owner: own, start: issue})
+						slots = append(slots, lkSlot{vec: vec, kind: slotDup, owner: own, start: issue, key: key})
 						continue
 					}
 				}
@@ -163,7 +192,7 @@ func (e *LookupEngine) poolLocality(at sim.Time, sparses [][][]int64, materializ
 						if entry.Filled() {
 							// Resident vector: one DRAM burst on the port.
 							slots = append(slots, lkSlot{
-								vec: vec, kind: slotHit,
+								vec: vec, kind: slotHit, key: key,
 								data: entry.Data(), ready: e.cache.Hit(issue),
 							})
 						} else {
@@ -172,26 +201,30 @@ func (e *LookupEngine) poolLocality(at sim.Time, sparses [][][]int64, materializ
 							if !ok {
 								panic(fmt.Sprintf("engine: unfilled cache entry for table %d row %d has no owning slot", t, row))
 							}
-							slots = append(slots, lkSlot{vec: vec, kind: slotDup, owner: own, start: issue})
+							slots = append(slots, lkSlot{vec: vec, kind: slotDup, owner: own, start: issue, key: key})
 						}
 						continue
 					}
 				}
 
 				// Miss everywhere: read flash, exactly as the default path.
-				addr := e.tr.Lookup(t, row)
+				addr, err := e.tr.Lookup(t, row)
+				if err != nil {
+					e.abortLocality(slots)
+					return nil, sim.Max(issue, maxIssue), fmt.Errorf("engine: inference %d: %w", b, err)
+				}
 				vr := e.dev.PrepareVectorRead(issue, addr, evSize)
 				var fill *evcache.Entry
 				if e.cache != nil {
 					fill = e.cache.Reserve(t, row)
 				}
 				if vr.Mapped {
-					slots = append(slots, lkSlot{vec: vec, kind: slotFlash, vr: vr, fill: fill})
+					slots = append(slots, lkSlot{vec: vec, kind: slotFlash, vr: vr, fill: fill, key: key})
 					perCh[vr.PPA.Channel] = append(perCh[vr.PPA.Channel], idx)
 				} else {
 					// Never-written page on a dynamic device: zeros at
 					// translation time, no flash involvement.
-					slots = append(slots, lkSlot{vec: vec, kind: slotZero, ready: vr.Start, fill: fill, data: e.zeroEV})
+					slots = append(slots, lkSlot{vec: vec, kind: slotZero, ready: vr.Start, fill: fill, data: e.zeroEV, key: key})
 				}
 				if e.dedup || e.cache != nil {
 					e.owners[key] = idx
@@ -226,7 +259,7 @@ func (e *LookupEngine) poolLocality(at sim.Time, sparses [][][]int64, materializ
 			// Bytes are materialised even on timing-only runs: the cache
 			// may serve them to a later materialising batch, and fetching
 			// them is a copy-free alias into the immutable page store.
-			r.data, r.ready = lane.ReadVector(r.vr.Start, r.vr.PPA, r.vr.Col, r.vr.Size)
+			r.data, r.ready, r.err = lane.ReadVector(r.vr.Start, r.vr.PPA, r.vr.Col, r.vr.Size)
 		}
 	}
 	if workers > 1 {
@@ -263,12 +296,29 @@ func (e *LookupEngine) poolLocality(at sim.Time, sparses [][][]int64, materializ
 		}
 	}
 	var done sim.Time
+	var firstErr error
 	for i := range slots {
 		s := &slots[i]
 		if s.kind == slotDup {
 			own := &slots[s.owner]
 			s.data = own.data
 			s.ready = sim.Max(s.start, own.ready)
+			s.err = own.err
+		}
+		if s.err != nil {
+			// Uncorrectable read: drop the reserved entry (a Fill(nil)
+			// would later serve nil bytes as a resident hit), contribute
+			// no bytes and no EV Sum term, and fail the call after the
+			// reduce completes so cache state stays on the deterministic
+			// schedule.
+			if s.fill != nil {
+				e.cache.Invalidate(s.key.Table, s.key.Row)
+			}
+			if firstErr == nil {
+				firstErr = fmt.Errorf("engine: row %d of table %d: %w", s.key.Row, s.key.Table, s.err)
+			}
+			done = sim.Max(done, s.ready)
+			continue
 		}
 		if s.fill != nil {
 			// Deposit the read bytes (global order; recency untouched).
@@ -284,5 +334,5 @@ func (e *LookupEngine) poolLocality(at sim.Time, sparses [][][]int64, materializ
 		done = maxIssue
 	}
 	e.slots = slots[:0]
-	return pooled, done
+	return pooled, done, firstErr
 }

@@ -78,21 +78,44 @@ func (tr *Translator) Tables() int { return len(tr.tables) }
 // index range contains it (the hardware checks index ranges in parallel;
 // here a binary search over the sorted ranges), take the extent's start
 // address, and add the in-extent offset (slot arithmetic keeps vectors
-// page-aligned).
-func (tr *Translator) Lookup(table int, row int64) int64 {
+// page-aligned). Lookups outside the registered extents return an error
+// wrapping ErrRowOutOfRange: indices come straight from request payloads,
+// so a bad one must fail the call, not the device.
+func (tr *Translator) Lookup(table int, row int64) (int64, error) {
 	if table < 0 || table >= len(tr.tables) {
-		panic(fmt.Sprintf("engine: table %d of %d", table, len(tr.tables)))
+		return 0, fmt.Errorf("engine: table %d of %d: %w", table, len(tr.tables), ErrRowOutOfRange)
+	}
+	e, ok := tr.find(table, row)
+	if !ok {
+		return 0, fmt.Errorf("engine: row %d of table %d not covered by extents: %w", row, table, ErrRowOutOfRange)
+	}
+	local := row - e.FirstRow
+	return e.Addr + (local/tr.vpp)*tr.ps + (local%tr.vpp)*tr.evSize, nil
+}
+
+// Covers reports whether (table, row) resolves to a registered extent,
+// without computing the address. It backs request prevalidation.
+func (tr *Translator) Covers(table int, row int64) bool {
+	if table < 0 || table >= len(tr.tables) {
+		return false
+	}
+	_, ok := tr.find(table, row)
+	return ok
+}
+
+// find locates the extent containing row in table's sorted extent list.
+func (tr *Translator) find(table int, row int64) (extentMeta, bool) {
+	if row < 0 {
+		return extentMeta{}, false
 	}
 	metas := tr.tables[table]
 	i := sort.Search(len(metas), func(i int) bool {
 		return metas[i].FirstRow+metas[i].RowCount > row
 	})
 	if i == len(metas) || row < metas[i].FirstRow {
-		panic(fmt.Sprintf("engine: row %d of table %d not covered by extents", row, table))
+		return extentMeta{}, false
 	}
-	e := metas[i]
-	local := row - e.FirstRow
-	return e.Addr + (local/tr.vpp)*tr.ps + (local%tr.vpp)*tr.evSize
+	return metas[i], true
 }
 
 // LookupStats counts Embedding Lookup Engine activity.
@@ -215,14 +238,21 @@ func (e *LookupEngine) sumCycles() sim.Cycles {
 // vector-grained reads striped over channels and dies by the FTL's linear
 // map, and accumulates returns in the EV Sum unit. It returns the pooled
 // vector per table and the completion time.
-func (e *LookupEngine) Pool(at sim.Time, sparse [][]int64) ([]tensor.Vector, sim.Time) {
+//
+// Shape and row errors (ErrShapeMismatch, ErrRowOutOfRange) abort the pool
+// immediately; callers that prevalidate with ValidateLookups never see
+// them. Injected read faults (flash.ErrUncorrectable) do not abort: every
+// lookup of the batch still issues — so the simulated timeline stays
+// deterministic and identical across host-parallelism settings — and the
+// first fault is returned, wrapped with its table and row.
+func (e *LookupEngine) Pool(at sim.Time, sparse [][]int64) ([]tensor.Vector, sim.Time, error) {
 	return e.pool(at, sparse, true)
 }
 
 // PoolTiming is Pool without materialising values (timing and traffic only).
-func (e *LookupEngine) PoolTiming(at sim.Time, sparse [][]int64) sim.Time {
-	_, done := e.pool(at, sparse, false)
-	return done
+func (e *LookupEngine) PoolTiming(at sim.Time, sparse [][]int64) (sim.Time, error) {
+	_, done, err := e.pool(at, sparse, false)
+	return done, err
 }
 
 // pooledVectors allocates n inferences' worth of per-table accumulators over
@@ -243,19 +273,19 @@ func pooledVectors(n, tables, dim int) [][]tensor.Vector {
 	return out
 }
 
-func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time) {
+func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time, error) {
 	cfg := e.st.Model().Cfg
 	if len(sparse) != cfg.Tables {
-		panic(fmt.Sprintf("engine: %d sparse inputs, want %d", len(sparse), cfg.Tables))
+		return nil, at, fmt.Errorf("engine: %d sparse inputs, want %d: %w", len(sparse), cfg.Tables, ErrShapeMismatch)
 	}
 	if e.LocalityEnabled() {
 		e.oneInf[0] = sparse
-		pooled, done := e.poolLocality(at, e.oneInf[:], materialize)
+		pooled, done, err := e.poolLocality(at, e.oneInf[:], materialize)
 		e.oneInf[0] = nil
 		if pooled == nil {
-			return nil, done
+			return nil, done, err
 		}
-		return pooled[0], done
+		return pooled[0], done, err
 	}
 	if e.Parallel() > 1 && e.dev.Channels() > 1 {
 		return e.poolParallel(at, sparse, materialize)
@@ -268,21 +298,31 @@ func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]
 	sumOcc := params.Duration(e.sumCycles())
 	issue := at
 	var done sim.Time
+	var firstErr error
 	for t, rows := range sparse {
 		for _, row := range rows {
 			// One index parsed per cycle (Read EV Req, Fig. 6).
 			issue += params.CycleTime
-			addr := e.tr.Lookup(t, row)
-			var data []byte
-			var readDone sim.Time
-			if materialize {
-				data, readDone = e.dev.ReadVectorAt(issue, addr, evSize)
-				model.AccumulateEV(pooled[t], data)
-			} else {
-				_, readDone = e.dev.ReadVectorAt(issue, addr, evSize)
+			addr, err := e.tr.Lookup(t, row)
+			if err != nil {
+				return nil, sim.Max(done, issue), err
 			}
-			_, sumDone := e.sum.Acquire(readDone, sumOcc)
-			done = sim.Max(done, sumDone)
+			data, readDone, err := e.dev.ReadVectorAt(issue, addr, evSize)
+			if err != nil {
+				// Uncorrectable read: no bytes returned, no EV Sum term.
+				// The batch keeps issuing so the timeline stays on the
+				// deterministic schedule; the call fails at the end.
+				if firstErr == nil {
+					firstErr = fmt.Errorf("engine: row %d of table %d: %w", row, t, err)
+				}
+				done = sim.Max(done, readDone)
+			} else {
+				if materialize {
+					model.AccumulateEV(pooled[t], data)
+				}
+				_, sumDone := e.sum.Acquire(readDone, sumOcc)
+				done = sim.Max(done, sumDone)
+			}
 			e.stats.Lookups++
 			e.stats.BytesPooled += int64(evSize)
 		}
@@ -290,7 +330,7 @@ func (e *LookupEngine) pool(at sim.Time, sparse [][]int64, materialize bool) ([]
 	if done < issue {
 		done = issue
 	}
-	return pooled, done
+	return pooled, done, firstErr
 }
 
 // VectorReadBandwidth returns bEV: the steady-state vector-read bandwidth

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -52,21 +53,30 @@ func TestTranslatorMatchesStoreAddresses(t *testing.T) {
 	prop := func(tbl uint8, row uint16) bool {
 		table := int(tbl) % 8
 		r := int64(row) % 2048
-		return tr.Lookup(table, r) == st.VectorAddr(table, r)
+		addr, err := tr.Lookup(table, r)
+		return err == nil && addr == st.VectorAddr(table, r)
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestTranslatorPanicsOutOfRange(t *testing.T) {
+func TestTranslatorErrorsOutOfRange(t *testing.T) {
 	_, _, eng, _ := setupLookup(t, smallRMC1())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	for _, c := range []struct {
+		table int
+		row   int64
+	}{{99, 0}, {-1, 0}, {0, -1}, {0, 1 << 40}} {
+		if _, err := eng.Translator().Lookup(c.table, c.row); !errors.Is(err, ErrRowOutOfRange) {
+			t.Fatalf("Lookup(%d,%d) err = %v, want ErrRowOutOfRange", c.table, c.row, err)
 		}
-	}()
-	eng.Translator().Lookup(99, 0)
+	}
+	if !eng.Translator().Covers(0, 17) {
+		t.Fatal("Covers(0,17) should hold")
+	}
+	if eng.Translator().Covers(0, 1<<40) || eng.Translator().Covers(8, 0) {
+		t.Fatal("Covers must reject out-of-range coordinates")
+	}
 }
 
 func TestPoolMatchesReference(t *testing.T) {
@@ -77,7 +87,10 @@ func TestPoolMatchesReference(t *testing.T) {
 			sparse[tbl] = append(sparse[tbl], int64((tbl*997+i*13)%2048))
 		}
 	}
-	pooled, done := eng.Pool(0, sparse)
+	pooled, done, err := eng.Pool(0, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if done <= 0 {
 		t.Fatal("pooling must take time")
 	}
@@ -99,8 +112,11 @@ func TestPoolTimingAgreesWithPool(t *testing.T) {
 			sparse[tbl] = append(sparse[tbl], int64((tbl+i*31)%2048))
 		}
 	}
-	_, doneA := engA.Pool(0, sparse)
-	doneB := engB.PoolTiming(0, sparse)
+	_, doneA, errA := engA.Pool(0, sparse)
+	doneB, errB := engB.PoolTiming(0, sparse)
+	if errA != nil || errB != nil {
+		t.Fatalf("pool errs: %v, %v", errA, errB)
+	}
 	if doneA != doneB {
 		t.Fatalf("data and timing paths diverge: %v vs %v", doneA, doneB)
 	}
@@ -116,7 +132,10 @@ func TestPoolThroughputNearAnalyticBound(t *testing.T) {
 			sparse[tbl] = append(sparse[tbl], int64(gen.Intn(2048)))
 		}
 	}
-	done := eng.PoolTiming(0, sparse)
+	done, err := eng.PoolTiming(0, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
 	analytic := TembEstimate(m.Cfg, 1, 4, 4)
 	ratio := float64(done) / float64(analytic)
 	// The simulated completion should be within 2x of the analytic
@@ -132,7 +151,9 @@ func TestPoolStatsAndTraffic(t *testing.T) {
 	for tbl := range sparse {
 		sparse[tbl] = []int64{1, 2, 3}
 	}
-	eng.PoolTiming(0, sparse)
+	if _, err := eng.PoolTiming(0, sparse); err != nil {
+		t.Fatal(err)
+	}
 	if eng.Stats().Lookups != 24 {
 		t.Fatalf("lookups = %d, want 24", eng.Stats().Lookups)
 	}
@@ -149,14 +170,11 @@ func TestPoolStatsAndTraffic(t *testing.T) {
 	}
 }
 
-func TestPoolPanicsOnWrongTableCount(t *testing.T) {
+func TestPoolErrorsOnWrongTableCount(t *testing.T) {
 	_, _, eng, _ := setupLookup(t, smallRMC1())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	eng.Pool(0, make([][]int64, 3))
+	if _, _, err := eng.Pool(0, make([][]int64, 3)); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("Pool err = %v, want ErrShapeMismatch", err)
+	}
 }
 
 func TestVectorReadBandwidth(t *testing.T) {
@@ -212,8 +230,11 @@ func TestPoolDeterministic(t *testing.T) {
 	_, _, engA, _ := setupLookup(t, cfg)
 	_, _, engB, _ := setupLookup(t, cfg)
 	sparse := [][]int64{{1}, {2}, {3}, {4}, {5}, {6}, {7}, {8}}
-	pa, da := engA.Pool(0, sparse)
-	pb, db := engB.Pool(0, sparse)
+	pa, da, errA := engA.Pool(0, sparse)
+	pb, db, errB := engB.Pool(0, sparse)
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
 	if da != db {
 		t.Fatal("timing not deterministic")
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 
 	"rmssd/internal/flash"
@@ -45,9 +46,11 @@ import (
 // pendingRead is one lookup's state across the three phases.
 type pendingRead struct {
 	table int
+	row   int64
 	vr    ssd.VectorRead
 	data  []byte
 	done  sim.Time
+	err   error // uncorrectable read (wraps flash.ErrUncorrectable)
 }
 
 // resetPerCh returns the engine's per-channel bucket scratch, emptied.
@@ -61,7 +64,7 @@ func (e *LookupEngine) resetPerCh() [][]int32 {
 	return e.perCh
 }
 
-func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time) {
+func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize bool) ([]tensor.Vector, sim.Time, error) {
 	cfg := e.st.Model().Cfg
 	evSize := cfg.EVSize()
 	sumOcc := params.Duration(e.sumCycles())
@@ -74,10 +77,14 @@ func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize b
 		for _, row := range rows {
 			// One index parsed per cycle (Read EV Req, Fig. 6).
 			issue += params.CycleTime
-			addr := e.tr.Lookup(t, row)
+			addr, err := e.tr.Lookup(t, row)
+			if err != nil {
+				e.pend = reqs[:0]
+				return nil, issue, err
+			}
 			vr := e.dev.PrepareVectorRead(issue, addr, evSize)
 			idx := len(reqs)
-			reqs = append(reqs, pendingRead{table: t, vr: vr})
+			reqs = append(reqs, pendingRead{table: t, row: row, vr: vr})
 			if vr.Mapped {
 				perCh[vr.PPA.Channel] = append(perCh[vr.PPA.Channel], int32(idx))
 			} else {
@@ -118,9 +125,9 @@ func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize b
 				for _, i := range perCh[ch] {
 					r := &reqs[i]
 					if materialize {
-						r.data, r.done = lane.ReadVector(r.vr.Start, r.vr.PPA, r.vr.Col, r.vr.Size)
+						r.data, r.done, r.err = lane.ReadVector(r.vr.Start, r.vr.PPA, r.vr.Col, r.vr.Size)
 					} else {
-						r.done = lane.ReadVectorTiming(r.vr.Start, r.vr.PPA, r.vr.Col, r.vr.Size)
+						r.done, r.err = lane.ReadVectorTiming(r.vr.Start, r.vr.PPA, r.vr.Col, r.vr.Size)
 					}
 				}
 			}
@@ -133,14 +140,24 @@ func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize b
 		}
 	}
 
-	// Phase 3 — sequential reduce in global order.
+	// Phase 3 — sequential reduce in global order. Errored reads return no
+	// bytes and no EV Sum term, exactly as the sequential path; the first
+	// error (in global order) fails the call after the reduce completes.
 	var pooled []tensor.Vector
 	if materialize {
 		pooled = pooledVectors(1, cfg.Tables, cfg.EVDim)[0]
 	}
 	var done sim.Time
+	var firstErr error
 	for i := range reqs {
 		r := &reqs[i]
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("engine: row %d of table %d: %w", r.row, r.table, r.err)
+			}
+			done = sim.Max(done, r.done)
+			continue
+		}
 		if materialize {
 			model.AccumulateEV(pooled[r.table], r.data)
 		}
@@ -151,5 +168,5 @@ func (e *LookupEngine) poolParallel(at sim.Time, sparse [][]int64, materialize b
 		done = issue
 	}
 	e.pend = reqs[:0]
-	return pooled, done
+	return pooled, done, firstErr
 }

@@ -36,8 +36,11 @@ func TestPoolParallelMatchesSequential(t *testing.T) {
 		var at sim.Time
 		for round := 0; round < 3; round++ {
 			sparse := buildSparse(int64(round)*7717+1, 8, 120, 2048)
-			a, aDone := seq.Pool(at, sparse)
-			b, bDone := pll.Pool(at, sparse)
+			a, aDone, aErr := seq.Pool(at, sparse)
+			b, bDone, bErr := pll.Pool(at, sparse)
+			if aErr != nil || bErr != nil {
+				t.Fatalf("pool errs: %v, %v", aErr, bErr)
+			}
 			if aDone != bDone {
 				t.Fatalf("par=%d round=%d: done %v != %v", par, round, aDone, bDone)
 			}
@@ -50,7 +53,12 @@ func TestPoolParallelMatchesSequential(t *testing.T) {
 				}
 			}
 			// Timing-only path from the advanced clock.
-			if sd, pd := seq.PoolTiming(aDone, sparse), pll.PoolTiming(bDone, sparse); sd != pd {
+			sd, sErr := seq.PoolTiming(aDone, sparse)
+			pd, pErr := pll.PoolTiming(bDone, sparse)
+			if sErr != nil || pErr != nil {
+				t.Fatal(sErr, pErr)
+			}
+			if sd != pd {
 				t.Fatalf("par=%d round=%d: timing done %v != %v", par, round, sd, pd)
 			}
 			at = aDone + 1
@@ -89,9 +97,16 @@ func TestPoolParallelReusableAfterClose(t *testing.T) {
 	_, st, eng, dev := setupLookup(t, smallRMC1())
 	eng.SetParallel(4)
 	sparse := buildSparse(42, 8, 40, 2048)
-	_, done := eng.Pool(0, sparse)
+	_, done, err := eng.Pool(0, sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Direct array access after lanes closed: must not panic under simdebug.
-	if _, rd := dev.ReadVectorAt(done, st.VectorAddr(0, 0), st.Model().Cfg.EVSize()); rd <= done {
+	_, rd, rdErr := dev.ReadVectorAt(done, st.VectorAddr(0, 0), st.Model().Cfg.EVSize())
+	if rdErr != nil {
+		t.Fatal(rdErr)
+	}
+	if rd <= done {
 		t.Fatalf("read done %v not after %v", rd, done)
 	}
 }

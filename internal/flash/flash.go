@@ -114,6 +114,7 @@ func (g Geometry) Contains(p PPA) bool {
 }
 
 // Stats counts array activity for I/O-traffic accounting (Fig. 3, Table IV).
+// The fault counters stay zero unless a FaultPlan is installed.
 type Stats struct {
 	PageReads        int64 // whole-page reads
 	VectorReads      int64 // vector-grained reads
@@ -121,6 +122,9 @@ type Stats struct {
 	Erases           int64 // block erases
 	BytesTransferred int64 // bytes actually moved over channel buses
 	BytesFlushed     int64 // bytes flushed from cells into page buffers
+	ReadFaults       int64 // vector reads that needed >=1 ECC retry
+	ECCRetries       int64 // total failed ECC attempts across all reads
+	Uncorrectable    int64 // vector reads that exhausted the retry budget
 }
 
 // Array is the simulated flash array: data plus timing resources.
@@ -133,6 +137,11 @@ type Array struct {
 	wear   map[wearKey]int // per-block erase counts
 	tFlush time.Duration
 	tTrans time.Duration // full-page transfer
+
+	// Deterministic read-fault injection (see fault.go). faultRNG holds one
+	// splitmix64 state per channel; lanes advance only their own element.
+	fault    FaultPlan
+	faultRNG []uint64
 }
 
 // NewArray builds an array with the given geometry and an empty sparse
@@ -202,19 +211,30 @@ func (a *Array) ReadPage(at sim.Time, p PPA) ([]byte, sim.Time) {
 // transferred over the bus; "we can drop the remaining data in this page due
 // to the overall poor locality of the embedding workloads". The vector must
 // not cross a page boundary; the embedding layout guarantees alignment.
-func (a *Array) ReadVector(at sim.Time, p PPA, col, size int) ([]byte, sim.Time) {
+//
+// Under a FaultPlan the flush phase may fail ECC and retry (die busy for the
+// extra attempts); a read that exhausts its retries returns a nil slice, the
+// time at which the die gave up, and an error wrapping ErrUncorrectable.
+// Without a plan the error is always nil.
+func (a *Array) ReadVector(at sim.Time, p PPA, col, size int) ([]byte, sim.Time, error) {
 	a.checkPPA(p)
 	if col < 0 || size <= 0 || col+size > a.geo.PageSize {
 		panic(fmt.Sprintf("flash: vector read [%d,%d) crosses page of size %d", col, col+size, a.geo.PageSize))
 	}
+	retries, fatal := a.sampleVectorFaults(p.Channel)
 	die := a.dies[p.Channel].Get(p.Die)
-	_, flushDone := die.Acquire(at, a.tFlush)
-	trans := params.Duration(params.VectorTransferCycles(size))
-	_, done := a.buses[p.Channel].Acquire(flushDone, trans)
+	_, flushDone := die.Acquire(at, a.vectorFlushOccupancy(retries))
 	a.stats.VectorReads++
 	a.stats.BytesFlushed += int64(a.geo.PageSize)
+	countVectorFaults(&a.stats, a.geo.PageSize, retries, fatal)
+	if fatal {
+		return nil, flushDone, fmt.Errorf("flash: ch%d die %d page %d: vector read uncorrectable after %d retries: %w",
+			p.Channel, p.Die, p.Page, retries, ErrUncorrectable)
+	}
+	trans := params.Duration(params.VectorTransferCycles(size))
+	_, done := a.buses[p.Channel].Acquire(flushDone, trans)
 	a.stats.BytesTransferred += int64(size)
-	return a.store.ReadRange(a.geo.FlatIndex(p), col, size), done
+	return a.store.ReadRange(a.geo.FlatIndex(p), col, size), done, nil
 }
 
 // ReadPageTiming models a whole-page read without materialising the page

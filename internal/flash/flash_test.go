@@ -126,7 +126,10 @@ func TestReadPageLatencyIdle(t *testing.T) {
 func TestReadVectorLatencyIdle(t *testing.T) {
 	a := mustArray(t, smallGeometry())
 	const evSize = 128 // dim-32 fp32 vector
-	_, done := a.ReadVector(0, PPA{}, 0, evSize)
+	_, done, err := a.ReadVector(0, PPA{}, 0, evSize)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := params.Duration(params.FlushCycles + params.VectorTransferCycles(evSize))
 	if done != want {
 		t.Fatalf("vector read latency = %v, want %v", done, want)
@@ -143,7 +146,10 @@ func TestVectorReadFasterThanPageRead(t *testing.T) {
 	a := mustArray(t, smallGeometry())
 	_, pageDone := a.ReadPage(0, PPA{Die: 0})
 	a.ResetTime()
-	_, vecDone := a.ReadVector(0, PPA{Die: 0}, 0, 128)
+	_, vecDone, err := a.ReadVector(0, PPA{Die: 0}, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if vecDone >= pageDone {
 		t.Fatalf("vector read (%v) not faster than page read (%v)", vecDone, pageDone)
 	}
@@ -168,7 +174,10 @@ func TestVectorGrainedThroughputGain(t *testing.T) {
 	var vecDone sim.Time
 	for i := 0; i < n; i++ {
 		ppa := PPA{Channel: i % g.Channels, Die: (i / g.Channels) % g.DiesPerChannel, Page: i % g.PagesPerBlock}
-		_, done := vecArr.ReadVector(0, ppa, 0, evSize)
+		_, done, err := vecArr.ReadVector(0, ppa, 0, evSize)
+		if err != nil {
+			t.Fatal(err)
+		}
 		vecDone = sim.Max(vecDone, done)
 	}
 	// Page reads serialize on the bus for 6us each; vector reads are
@@ -192,6 +201,7 @@ func TestReadVectorBoundsPanic(t *testing.T) {
 					t.Errorf("ReadVector(col=%d,size=%d) did not panic", c.col, c.size)
 				}
 			}()
+			//lint:allow errcheck the call panics before returning a result
 			a.ReadVector(0, PPA{}, c.col, c.size)
 		}()
 	}
@@ -260,7 +270,9 @@ func TestFillerSynthesis(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	a := mustArray(t, smallGeometry())
 	a.ReadPage(0, PPA{})
-	a.ReadVector(0, PPA{}, 0, 128)
+	if _, _, err := a.ReadVector(0, PPA{}, 0, 128); err != nil {
+		t.Fatal(err)
+	}
 	a.WritePage(0, PPA{}, []byte{1})
 	s := a.Stats()
 	if s.PageReads != 1 || s.VectorReads != 1 || s.PageWrites != 1 {

@@ -62,26 +62,39 @@ func (l *Lane) checkPPA(p PPA) {
 }
 
 // ReadVector is Array.ReadVector on this lane: die flush, then size bytes
-// over the channel bus. Stats accumulate lane-locally.
-func (l *Lane) ReadVector(at sim.Time, p PPA, col, size int) ([]byte, sim.Time) {
-	done := l.ReadVectorTiming(at, p, col, size)
-	return l.a.store.ReadRange(l.a.geo.FlatIndex(p), col, size), done
+// over the channel bus. Stats accumulate lane-locally. On an uncorrectable
+// read the returned slice is nil and the error wraps ErrUncorrectable.
+func (l *Lane) ReadVector(at sim.Time, p PPA, col, size int) ([]byte, sim.Time, error) {
+	done, err := l.ReadVectorTiming(at, p, col, size)
+	if err != nil {
+		return nil, done, err
+	}
+	return l.a.store.ReadRange(l.a.geo.FlatIndex(p), col, size), done, nil
 }
 
-// ReadVectorTiming is ReadVector without materialising data.
-func (l *Lane) ReadVectorTiming(at sim.Time, p PPA, col, size int) sim.Time {
+// ReadVectorTiming is ReadVector without materialising data. Fault draws
+// advance only this lane's channel stream (a distinct slice element), so
+// concurrent lanes stay race-free and the draw order matches the
+// single-threaded schedule.
+func (l *Lane) ReadVectorTiming(at sim.Time, p PPA, col, size int) (sim.Time, error) {
 	l.checkPPA(p)
 	if col < 0 || size <= 0 || col+size > l.a.geo.PageSize {
 		panic(fmt.Sprintf("flash: vector read [%d,%d) crosses page of size %d", col, col+size, l.a.geo.PageSize))
 	}
+	retries, fatal := l.a.sampleVectorFaults(l.ch)
 	die := l.a.dies[l.ch].Get(p.Die)
-	_, flushDone := l.scope.Acquire(die, at, l.a.tFlush)
-	trans := params.Duration(params.VectorTransferCycles(size))
-	_, done := l.scope.Acquire(l.a.buses[l.ch], flushDone, trans)
+	_, flushDone := l.scope.Acquire(die, at, l.a.vectorFlushOccupancy(retries))
 	l.stats.VectorReads++
 	l.stats.BytesFlushed += int64(l.a.geo.PageSize)
+	countVectorFaults(&l.stats, l.a.geo.PageSize, retries, fatal)
+	if fatal {
+		return flushDone, fmt.Errorf("flash: ch%d die %d page %d: vector read uncorrectable after %d retries: %w",
+			l.ch, p.Die, p.Page, retries, ErrUncorrectable)
+	}
+	trans := params.Duration(params.VectorTransferCycles(size))
+	_, done := l.scope.Acquire(l.a.buses[l.ch], flushDone, trans)
 	l.stats.BytesTransferred += int64(size)
-	return done
+	return done, nil
 }
 
 // Stats returns the lane-local traffic counters accumulated so far.
@@ -112,6 +125,9 @@ func (s *Stats) Add(o Stats) {
 	s.Erases += o.Erases
 	s.BytesTransferred += o.BytesTransferred
 	s.BytesFlushed += o.BytesFlushed
+	s.ReadFaults += o.ReadFaults
+	s.ECCRetries += o.ECCRetries
+	s.Uncorrectable += o.Uncorrectable
 }
 
 // AddStats folds externally accumulated counters (a joined lane's) into the

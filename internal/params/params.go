@@ -258,6 +258,20 @@ func EVCacheHitCycles(evSize int) sim.Cycles {
 	return EVCacheLookupCycles + beats
 }
 
+// Read-fault injection timing (off by default; see flash.FaultPlan). NAND
+// read errors are serviced by an ECC retry loop in the controller: each
+// failed attempt re-reads the page with adjusted read-reference voltages, so
+// it costs one extra decode pass plus another cell-array flush on the die.
+// After MaxReadRetries consecutive failures the sector is reported
+// uncorrectable and the read fails with a typed error.
+const (
+	// ECCRetryCycles is the controller-side decode/voltage-adjust cost of
+	// one failed ECC attempt, charged on the die before the re-flush.
+	ECCRetryCycles sim.Cycles = 300
+	// MaxReadRetries bounds the retry loop (attempts = 1 + MaxReadRetries).
+	MaxReadRetries = 8
+)
+
 // EVSumLanes is the number of parallel fp32 adder lanes in the EV Sum unit.
 // Each dimension of an embedding vector is independent (Section IV-B3), so
 // the unit accumulates a full vector in ceil(dim/EVSumLanes) cycles.
@@ -371,6 +385,8 @@ func TimingFingerprint() uint64 {
 		KernelII, KMax, BRAMBytes, DRAMDataWidthBytes, EVSumLanes,
 		// Device-DRAM EV cache.
 		uint64(EVCacheLookupCycles),
+		// Read-fault retry model.
+		uint64(ECCRetryCycles), MaxReadRetries,
 		// NVMe block path and baselines.
 		uint64(NVMeCmdCost), uint64(NVMeCompletionCost),
 		uint64(RecSSDFirmwarePageOverhead), uint64(TErase),

@@ -1,0 +1,189 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// faultyBatcher panics on selected calls and serves normally otherwise:
+// the "poisoned batch" a shard worker must contain.
+type faultyBatcher struct {
+	fakeBatcher
+	panicOn map[int]bool // which ServeBatch calls (0-based) panic
+	calls   int
+}
+
+func (f *faultyBatcher) ServeBatch(reqs []Request) BatchResult {
+	call := f.calls
+	f.calls++
+	if f.panicOn[call] {
+		panic("serving: test backend poisoned")
+	}
+	return f.fakeBatcher.ServeBatch(reqs)
+}
+
+// TestShardSurvivesPanickingBatcher is the containment acceptance test: a
+// Batcher panic must fail exactly that batch's requests with a typed
+// ShardFaultError and leave the shard serving.
+func TestShardSurvivesPanickingBatcher(t *testing.T) {
+	fb := &faultyBatcher{panicOn: map[int]bool{0: true}}
+	p := NewPool([]Batcher{fb}, 8, 16)
+	defer p.Close()
+
+	_, err := p.Infer(2)
+	if err == nil {
+		t.Fatal("poisoned batch returned no error")
+	}
+	var sf *ShardFaultError
+	if !errors.As(err, &sf) {
+		t.Fatalf("err = %v (%T), want *ShardFaultError", err, err)
+	}
+	if sf.Shard != 0 || sf.Recovered != "serving: test backend poisoned" {
+		t.Fatalf("fault detail = %+v", sf)
+	}
+	if sf.Stack == "" || !strings.Contains(sf.Stack, "ServeBatch") {
+		t.Fatalf("fault stack not captured: %q", sf.Stack)
+	}
+
+	// The worker and its scratch must still be alive: later requests serve.
+	for i := 0; i < 5; i++ {
+		resp, err := p.Infer(3)
+		if err != nil {
+			t.Fatalf("request %d after fault: %v", i, err)
+		}
+		if len(resp.Preds) != 3 {
+			t.Fatalf("request %d after fault: %d preds", i, len(resp.Preds))
+		}
+	}
+
+	st := p.Stats()
+	if st.Faults != 1 || st.Failed != 1 {
+		t.Fatalf("stats = %+v, want Faults=1 Failed=1", st)
+	}
+	if st.Inferences != 15 {
+		t.Fatalf("Inferences = %d, want 15 (the faulted batch served none)", st.Inferences)
+	}
+}
+
+// TestShardFaultFailsWholeCoalescedBatch checks that every rider of a
+// poisoned batch gets the typed error, concurrently and under -race.
+func TestShardFaultFailsWholeCoalescedBatch(t *testing.T) {
+	fb := &faultyBatcher{panicOn: map[int]bool{0: true, 1: true}}
+	fb.delayed = true
+	p := NewPool([]Batcher{fb}, 16, 32)
+	defer p.Close()
+
+	const n = 12
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var faulted, served int
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := p.Infer(1)
+			var sf *ShardFaultError
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				served++
+			case errors.As(err, &sf):
+				faulted++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if faulted == 0 {
+		t.Fatal("no request saw the backend fault")
+	}
+	st := p.Stats()
+	if st.Failed != int64(faulted) || int(st.Inferences) != served {
+		t.Fatalf("stats %+v vs observed faulted=%d served=%d", st, faulted, served)
+	}
+	// Close must not hang on a shard that recovered panics.
+	p.Close()
+}
+
+// TestSubmitDeadOnArrivalContext: an already-cancelled context must never
+// enqueue (the shard would burn device time for nobody) and must not be
+// blamed on queue backpressure.
+func TestSubmitDeadOnArrivalContext(t *testing.T) {
+	fb := &fakeBatcher{}
+	p := NewPool([]Batcher{fb}, 8, 16)
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Submit(ctx, Request{N: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("dead-on-arrival context mislabeled as backpressure: %v", err)
+	}
+	// Nothing may have reached the backend or the counters.
+	if st := p.Stats(); st.Requests != 0 || st.Batches != 0 {
+		t.Fatalf("cancelled request was admitted: %+v", st)
+	}
+	fb.mu.Lock()
+	calls := len(fb.sizes)
+	fb.mu.Unlock()
+	if calls != 0 {
+		t.Fatalf("backend saw %d batches from a dead request", calls)
+	}
+}
+
+// TestPerRequestErrorsSpareBatchMates: a BatchResult carrying ReqErrs fails
+// only the flagged requests — they consume no prediction window — and every
+// other request keeps its own predictions, whether or not it rode the same
+// coalesced batch.
+func TestPerRequestErrorsSpareBatchMates(t *testing.T) {
+	errBad := errors.New("test: bad request payload")
+	b := &reqErrBatcher{badSize: 5, err: errBad}
+	p := NewPool([]Batcher{b}, 8, 16)
+	defer p.Close()
+
+	if _, err := p.Infer(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Infer(5); !errors.Is(err, errBad) {
+		t.Fatalf("flagged request err = %v, want %v", err, errBad)
+	}
+	resp, err := p.Infer(2)
+	if err != nil || len(resp.Preds) != 2 {
+		t.Fatalf("request after flagged one: err=%v preds=%d", err, len(resp.Preds))
+	}
+	st := p.Stats()
+	if st.Failed != 1 || st.Inferences != 4 {
+		t.Fatalf("stats = %+v, want Failed=1 Inferences=4", st)
+	}
+}
+
+// reqErrBatcher flags every request of size badSize via ReqErrs (it
+// contributes no predictions) and serves the rest: the pattern of a backend
+// that rejects malformed payloads per-request instead of failing the batch.
+type reqErrBatcher struct {
+	badSize int
+	err     error
+}
+
+func (b *reqErrBatcher) ServeBatch(reqs []Request) BatchResult {
+	reqErrs := make([]error, len(reqs))
+	preds := []float32{}
+	for i, r := range reqs {
+		if r.Count() == b.badSize {
+			reqErrs[i] = b.err
+			continue
+		}
+		for j := 0; j < r.Count(); j++ {
+			preds = append(preds, 0.5)
+		}
+	}
+	return BatchResult{Preds: preds, ReqErrs: reqErrs}
+}

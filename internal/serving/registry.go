@@ -49,15 +49,19 @@ type modelEntry struct {
 
 	// Live counters, written by the Router on every submission.
 	submitted atomic.Int64 // requests routed to this model
-	rejected  atomic.Int64 // submissions that returned an error
+	rejected  atomic.Int64 // submissions never admitted to a device
+	failed    atomic.Int64 // submissions served by a device that errored
 	waited    atomic.Int64 // submissions that queued for budget admission
+	latObs    atomic.Int64 // responses whose latency was observed
 	latSumNs  atomic.Int64 // sum of simulated batch latencies observed
 	latMaxNs  atomic.Int64 // max simulated batch latency observed
 }
 
-// observe records one successful response's simulated latency.
+// observe records one served response's simulated latency (successful or
+// device-failed — either way the batch actually ran on a device).
 func (e *modelEntry) observe(lat time.Duration) {
 	ns := int64(lat)
+	e.latObs.Add(1)
 	e.latSumNs.Add(ns)
 	for {
 		cur := e.latMaxNs.Load()
@@ -74,9 +78,10 @@ type ModelStats struct {
 	Pool   Stats  // pool counters (requests, inferences, batches, per shard)
 	// Router counters.
 	Submitted int64 // requests routed to this model
-	Rejected  int64 // submissions that returned an error
+	Rejected  int64 // submissions never admitted to a device (validation, admission, queue, close)
+	Failed    int64 // submissions a device served but answered with an error
 	Waited    int64 // submissions that queued behind the shared budget
-	// Simulated latency over successful submissions.
+	// Simulated latency over served submissions (successful or failed).
 	MeanLatency time.Duration
 	MaxLatency  time.Duration
 }
@@ -176,11 +181,11 @@ func (e *modelEntry) stats() ModelStats {
 		Pool:      e.pool.Stats(),
 		Submitted: e.submitted.Load(),
 		Rejected:  e.rejected.Load(),
+		Failed:    e.failed.Load(),
 		Waited:    e.waited.Load(),
 	}
-	ok := st.Submitted - st.Rejected
-	if ok > 0 {
-		st.MeanLatency = time.Duration(e.latSumNs.Load() / ok)
+	if n := e.latObs.Load(); n > 0 {
+		st.MeanLatency = time.Duration(e.latSumNs.Load() / n)
 	}
 	st.MaxLatency = time.Duration(e.latMaxNs.Load())
 	return st

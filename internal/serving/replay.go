@@ -63,10 +63,14 @@ func (c ReplayConfig) Validate() error {
 // (arrival to batch completion, including queueing); wall-clock timing is
 // the caller's concern.
 type ReplayResult struct {
-	Requests   int     // requests served
-	Inferences int     // inferences served
+	Requests   int     // requests served (successfully or with an error)
+	Inferences int     // inferences served successfully
 	Batches    int     // device batches issued
 	MeanBatch  float64 // inferences per device batch
+	// Failed counts requests the device answered with an error (typed
+	// validation errors or injected read faults). Their batches still ran
+	// and their latencies still count; only their predictions are absent.
+	Failed int
 	// Coalesced is the mean number of requests per device batch.
 	Coalesced float64
 	// Latency percentiles over requests (simulated, queueing included).
@@ -164,11 +168,21 @@ func Replay(backends []Batcher, cfg ReplayConfig, src RequestSource) (ReplayResu
 			complete := start + sim.Time(br.Latency)
 			free = complete
 			for k := i; k < j; k++ {
+				// Errored requests still rode the batch: their latency is
+				// real, only their inferences are not served.
 				latencies = append(latencies, time.Duration(complete-jobs[k].arrival))
+				switch {
+				case k-i < len(br.ReqErrs) && br.ReqErrs[k-i] != nil:
+					res.Failed++
+				case br.Err != nil:
+					res.Failed++
+				default:
+					n := jobs[k].req.Count()
+					res.Inferences += n
+					res.PerShard[sid] += int64(n)
+				}
 			}
 			res.Batches++
-			res.Inferences += total
-			res.PerShard[sid] += int64(total)
 			i = j
 		}
 		end = sim.Max(end, free)

@@ -101,7 +101,19 @@ func (rt *Router) Submit(ctx context.Context, model string, req Request) (Respon
 	resp, err := e.pool.Submit(ctx, req)
 	rt.release()
 	if err != nil {
-		e.rejected.Add(1)
+		// A response with a batch size was actually served by a backend and
+		// failed there (typed device error, shard fault, short predictions);
+		// a zero response never reached a device — it was rejected at
+		// validation, admission, queueing or pool close. The split keeps
+		// "rejected" an admission-health signal and "failed" a device-health
+		// signal, and only genuinely served responses carry a meaningful
+		// latency.
+		if resp.BatchSize > 0 {
+			e.failed.Add(1)
+			e.observe(resp.Latency)
+		} else {
+			e.rejected.Add(1)
+		}
 		return resp, err
 	}
 	e.observe(resp.Latency)

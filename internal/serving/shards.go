@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,13 +39,23 @@ var ErrPoolClosed = errors.New("serving: pool is closed")
 // BatchResult is the outcome of one coalesced device batch.
 type BatchResult struct {
 	// Preds holds one prediction per inference, concatenated in request
-	// submission order. Timing-only backends may leave it nil.
+	// submission order. Timing-only backends may leave it nil. Requests
+	// failed via ReqErrs contribute no predictions: their windows are
+	// simply absent and the remaining windows close ranks.
 	Preds []float32
 	// Latency is the simulated latency of the whole device batch.
 	Latency time.Duration
 	// Meta carries backend-specific detail (e.g. a stage breakdown)
 	// through to every response that rode this batch.
 	Meta interface{}
+	// Err fails the whole batch: every request on it gets this error and
+	// no predictions. Set it for device-level failures (an uncorrectable
+	// read fails the device call, hence everyone who rode it).
+	Err error
+	// ReqErrs, when non-nil, is indexed like reqs: a non-nil entry fails
+	// exactly that request (e.g. it failed the backend's shape or row
+	// validation) while its batch-mates are served normally.
+	ReqErrs []error
 }
 
 // Batcher is one shard's backend: an independent simulated device. The pool
@@ -79,6 +90,20 @@ type Response struct {
 	Err error
 }
 
+// ShardFaultError reports a Batcher that panicked under a shard worker.
+// The worker recovers, fails every request on the faulting batch with this
+// error, and keeps serving: one poisoned batch must not wedge the shard,
+// hang later Submits, or deadlock Close. Match with errors.As.
+type ShardFaultError struct {
+	Shard     int
+	Recovered interface{} // the recovered panic value
+	Stack     string      // stack captured at recovery, for diagnosis
+}
+
+func (e *ShardFaultError) Error() string {
+	return fmt.Sprintf("serving: shard %d backend fault: %v", e.Shard, e.Recovered)
+}
+
 // submission is one queued request.
 type submission struct {
 	req   Request
@@ -100,9 +125,11 @@ type shard struct {
 	id      int
 	b       Batcher
 	subs    chan submission
-	served  atomic.Int64 // inferences
+	served  atomic.Int64 // inferences served successfully
 	batches atomic.Int64 // device batches issued
 	reqs    atomic.Int64 // requests answered
+	failed  atomic.Int64 // requests answered with an error
+	faults  atomic.Int64 // backend panics recovered (ShardFaultError batches)
 
 	// reqScratch backs the []Request view handed to ServeBatch, reused
 	// across batches (the Batcher contract forbids retaining it). Only the
@@ -173,6 +200,12 @@ func (p *Pool) Submit(ctx context.Context, req Request) (Response, error) {
 	if err := req.Validate(); err != nil {
 		return Response{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		// Dead on arrival: a cancelled request must never enqueue (the
+		// inference would burn device work nobody waits for) and is not a
+		// queue-full condition.
+		return Response{}, err
+	}
 	s := p.shards[(p.rr.Add(1)-1)%uint64(len(p.shards))]
 	reply := replyPool.Get().(chan Response)
 
@@ -186,10 +219,18 @@ func (p *Pool) Submit(ctx context.Context, req Request) (Response, error) {
 	//lint:allow locks the read lock deliberately spans the queue send: Close takes the write lock, so a send in flight fences Close from closing s.subs under us; shard consumers never take p.mu, so the receiver cannot deadlock on it
 	case s.subs <- submission{req: req, reply: reply}:
 		p.mu.RUnlock()
-	case <-ctx.Done():
-		p.mu.RUnlock()
-		replyPool.Put(reply)
-		return Response{}, fmt.Errorf("serving: shard %d queue full: %w", s.id, ctx.Err())
+	default:
+		// The queue really is full: block for space or cancellation, and
+		// only this path may blame shard backpressure for a cancellation.
+		select {
+		//lint:allow locks same fence as above: the read lock spans the blocking send so Close cannot close s.subs under us
+		case s.subs <- submission{req: req, reply: reply}:
+			p.mu.RUnlock()
+		case <-ctx.Done():
+			p.mu.RUnlock()
+			replyPool.Put(reply)
+			return Response{}, fmt.Errorf("serving: shard %d queue full: %w", s.id, ctx.Err())
+		}
 	}
 
 	select {
@@ -206,10 +247,12 @@ func (p *Pool) Submit(ctx context.Context, req Request) (Response, error) {
 // Stats is an aggregate snapshot of pool activity.
 type Stats struct {
 	Requests   int64   // requests answered
-	Inferences int64   // inferences served
+	Inferences int64   // inferences served successfully
 	Batches    int64   // device batches issued
 	MeanBatch  float64 // inferences per device batch
 	PerShard   []int64 // inferences per shard
+	Failed     int64   // requests answered with an error
+	Faults     int64   // backend panics recovered (ShardFaultError batches)
 }
 
 // Stats returns the aggregate counters.
@@ -220,6 +263,8 @@ func (p *Pool) Stats() Stats {
 		st.Inferences += n
 		st.Batches += s.batches.Load()
 		st.Requests += s.reqs.Load()
+		st.Failed += s.failed.Load()
+		st.Faults += s.faults.Load()
 		st.PerShard = append(st.PerShard, n)
 	}
 	if st.Batches > 0 {
@@ -304,21 +349,42 @@ func (s *shard) run(maxBatch int) {
 	}
 }
 
+// callBatcher invokes the backend behind a recover fence: a panicking
+// Batcher is converted into a whole-batch ShardFaultError instead of
+// killing the shard goroutine (which would strand every queued reply,
+// wedge later Submits and deadlock Close on wg.Wait).
+func (s *shard) callBatcher(reqs []Request) (res BatchResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.faults.Add(1)
+			res = BatchResult{Err: &ShardFaultError{
+				Shard:     s.id,
+				Recovered: r,
+				Stack:     string(debug.Stack()),
+			}}
+		}
+	}()
+	return s.b.ServeBatch(reqs)
+}
+
 // serve runs one coalesced group as a device batch and fans the results
 // back out, copying each request's window of the shared prediction slice.
+// Per-request errors (ReqErrs) take precedence for their request, then a
+// whole-batch Err; only requests that actually receive predictions consume
+// a window of res.Preds, and only they count as served inferences.
 func (s *shard) serve(batch []submission, total int) {
 	reqs := s.reqScratch[:0]
 	for _, sub := range batch {
 		reqs = append(reqs, sub.req)
 	}
-	res := s.b.ServeBatch(reqs)
+	res := s.callBatcher(reqs)
 	clear(reqs)
 	s.reqScratch = reqs[:0]
-	s.served.Add(int64(total))
 	s.batches.Add(1)
 	s.reqs.Add(int64(len(batch)))
 	off := 0
-	for _, sub := range batch {
+	servedInf := 0
+	for i, sub := range batch {
 		n := sub.req.Count()
 		r := Response{
 			Latency:   res.Latency,
@@ -328,19 +394,31 @@ func (s *shard) serve(batch []submission, total int) {
 			Meta:      res.Meta,
 		}
 		switch {
+		case i < len(res.ReqErrs) && res.ReqErrs[i] != nil:
+			// This request failed backend validation; its batch-mates are
+			// unaffected and it consumes no prediction window.
+			r.Err = res.ReqErrs[i]
+			s.failed.Add(1)
+		case res.Err != nil:
+			r.Err = res.Err
+			s.failed.Add(1)
 		case res.Preds == nil:
 			// Timing-only backend: no predictions to slice.
+			servedInf += n
 		case off+n <= len(res.Preds):
 			// Copy: res.Preds is shared by every request on this batch
 			// (and possibly reused by the backend); an aliased window
 			// would let one requester's writes corrupt another's reads.
 			r.Preds = append([]float32(nil), res.Preds[off:off+n]...)
+			off += n
+			servedInf += n
 		default:
 			r.Err = fmt.Errorf(
 				"serving: shard %d returned %d predictions for a batch of %d; request window [%d,%d) unservable",
 				s.id, len(res.Preds), total, off, off+n)
+			s.failed.Add(1)
 		}
-		off += n
 		sub.reply <- r
 	}
+	s.served.Add(int64(servedInf))
 }

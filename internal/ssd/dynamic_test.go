@@ -136,7 +136,10 @@ func TestDynamicDeviceVectorReads(t *testing.T) {
 		page[i] = byte(i % 7)
 	}
 	d.WritePageUntimed(2, page)
-	got, done := d.ReadVectorAt(0, 2*4096+256, 128)
+	got, done, err := d.ReadVectorAt(0, 2*4096+256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if done <= 0 {
 		t.Fatal("mapped vector read must take flash time")
 	}

@@ -122,19 +122,20 @@ func (d *Device) WritePage(at sim.Time, lpn int64, data []byte) sim.Time {
 // ReadVectorAt serves an in-storage vector-grained read: the Embedding
 // Lookup Engine's data path. byteAddr is the logical byte address of the
 // vector (page-aligned layout guarantees it does not cross a page). The
-// NVMe controller is not involved.
-func (d *Device) ReadVectorAt(at sim.Time, byteAddr int64, size int) ([]byte, sim.Time) {
+// NVMe controller is not involved. Under a flash FaultPlan the read may fail
+// with an error wrapping flash.ErrUncorrectable; data is nil in that case.
+func (d *Device) ReadVectorAt(at sim.Time, byteAddr int64, size int) ([]byte, sim.Time, error) {
 	lpn := byteAddr / int64(d.PageSize())
 	col := int(byteAddr % int64(d.PageSize()))
 	ppa, mapped := d.translateRead(lpn)
 	d.stats.EVReads++
 	if !mapped {
-		return make([]byte, size), at + params.Duration(params.FTLCycles)
+		return make([]byte, size), at + params.Duration(params.FTLCycles), nil
 	}
 	d.path.Push(ftl.EVRead)
-	data, done := d.arr.ReadVector(at+params.Duration(params.FTLCycles), ppa, col, size)
+	data, done, err := d.arr.ReadVector(at+params.Duration(params.FTLCycles), ppa, col, size)
 	d.path.Pop()
-	return data, done
+	return data, done, err
 }
 
 // ReadPageInternal serves an in-storage whole-page read (used by the

@@ -56,7 +56,10 @@ func TestBlockReadBeatsNothingButParallelismHelps(t *testing.T) {
 
 func TestReadVectorBypassesNVMe(t *testing.T) {
 	d := testDevice(t)
-	_, done := d.ReadVectorAt(0, 0, 128)
+	_, done, err := d.ReadVectorAt(0, 0, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := params.Duration(params.FTLCycles + params.FlushCycles + params.VectorTransferCycles(128))
 	if done != want {
 		t.Fatalf("vector read latency = %v, want %v", done, want)
@@ -76,7 +79,10 @@ func TestReadVectorAddressing(t *testing.T) {
 	const lpn = 5
 	d.WritePageUntimed(lpn, page)
 	byteAddr := int64(lpn*4096 + 256)
-	got, _ := d.ReadVectorAt(0, byteAddr, 128)
+	got, _, err := d.ReadVectorAt(0, byteAddr, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range got {
 		if got[i] != byte((256+i)%251) {
 			t.Fatalf("vector byte %d = %d, want %d", i, got[i], byte((256+i)%251))
@@ -100,7 +106,9 @@ func TestStatsCounting(t *testing.T) {
 	d.ReadPage(0, 0)
 	d.ReadPage(0, 1)
 	d.WritePage(0, 2, []byte{1})
-	d.ReadVectorAt(0, 0, 128)
+	if _, _, err := d.ReadVectorAt(0, 0, 128); err != nil {
+		t.Fatal(err)
+	}
 	d.ReadPageInternal(0, 3)
 	s := d.Stats()
 	if s.BlockReads != 2 || s.BlockWrites != 1 || s.EVReads != 2 {
@@ -117,7 +125,9 @@ func TestStatsCounting(t *testing.T) {
 
 func TestFlashStatsDistinguishVectorReads(t *testing.T) {
 	d := testDevice(t)
-	d.ReadVectorAt(0, 0, 128)
+	if _, _, err := d.ReadVectorAt(0, 0, 128); err != nil {
+		t.Fatal(err)
+	}
 	d.ReadPageInternal(0, 1)
 	fs := d.Array().Stats()
 	if fs.VectorReads != 1 || fs.PageReads != 1 {
@@ -168,11 +178,14 @@ func TestNewRejectsBadGeometry(t *testing.T) {
 // progress and the shared-resource contention must be visible in timing.
 func TestSharedFlashContention(t *testing.T) {
 	d := testDevice(t)
-	_, aloneDone := d.ReadVectorAt(0, 0, 128)
+	_, aloneDone, aErr := d.ReadVectorAt(0, 0, 128)
 	d.ResetTime()
 	// Occupy channel 0's die 0 with a block read first.
 	d.ReadPage(0, 0) // LPN 0 -> channel 0, die 0
-	_, contendedDone := d.ReadVectorAt(0, 0, 128)
+	_, contendedDone, cErr := d.ReadVectorAt(0, 0, 128)
+	if aErr != nil || cErr != nil {
+		t.Fatal(aErr, cErr)
+	}
 	if contendedDone <= aloneDone {
 		t.Fatalf("contended vector read (%v) should be slower than alone (%v)", contendedDone, aloneDone)
 	}

@@ -26,7 +26,10 @@
 //		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
 //	})
 //	dense := gen.DenseInput(0, cfg.DenseDim)
-//	outs, done, _ := dev.InferBatch(0, []rmssd.Vector{dense}, gen.Batch(1))
+//	outs, done, _, err := dev.InferBatch(0, []rmssd.Vector{dense}, gen.Batch(1))
+//	if err != nil {
+//		log.Fatal(err) // typed: ErrShapeMismatch, ErrRowOutOfRange, ErrReadFault
+//	}
 //	fmt.Printf("CTR=%.4f in %v simulated\n", outs[0], done)
 //
 // All timing in this library is simulated virtual time derived from the
@@ -95,6 +98,23 @@ type DeviceOptions = core.Options
 
 // Breakdown reports a batch's stage times.
 type Breakdown = core.Breakdown
+
+// FaultPlan enables deterministic flash read-fault injection (seeded
+// per-channel ECC failures with bounded retries); the zero value disables
+// it and leaves every simulated timeline byte-identical to an unfaulted
+// device. Install via DeviceOptions.FaultPlan.
+type FaultPlan = flash.FaultPlan
+
+// Typed device errors. Any input-dependent failure of InferBatch wraps one
+// of these; match with errors.Is.
+var (
+	// ErrShapeMismatch: batch shape disagrees with the model configuration.
+	ErrShapeMismatch = core.ErrShapeMismatch
+	// ErrRowOutOfRange: a sparse index addresses an uncovered embedding row.
+	ErrRowOutOfRange = core.ErrRowOutOfRange
+	// ErrReadFault: an injected flash read exhausted its ECC retry budget.
+	ErrReadFault = core.ErrReadFault
+)
 
 // Design selects the MLP engine mapping; the zero value is the full RM-SSD.
 type Design = engine.Design
@@ -235,6 +255,15 @@ type ServingBatcher = serving.Batcher
 
 // ServingBatchResult is the outcome of one coalesced device batch.
 type ServingBatchResult = serving.BatchResult
+
+// ServingStats is an aggregate snapshot of a pool's counters, including
+// recovered backend faults and error-answered requests.
+type ServingStats = serving.Stats
+
+// ShardFaultError reports a serving backend that panicked under a shard
+// worker; the worker recovered, failed that batch's requests with this
+// error and kept serving. Match with errors.As.
+type ShardFaultError = serving.ShardFaultError
 
 // ErrPoolClosed is returned by pool submissions after Close.
 var ErrPoolClosed = serving.ErrPoolClosed

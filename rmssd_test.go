@@ -28,7 +28,10 @@ func TestPublicQuickstartPath(t *testing.T) {
 		denses[i] = gen.DenseInput(i, cfg.DenseDim)
 	}
 	sparses := gen.Batch(batch)
-	outs, done, bd := dev.InferBatch(0, denses, sparses)
+	outs, done, bd, err := dev.InferBatch(0, denses, sparses)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if done <= 0 || bd.Emb <= 0 {
 		t.Fatal("no simulated time")
 	}
@@ -88,8 +91,11 @@ func TestPublicDeterminism(t *testing.T) {
 		gen := rmssd.MustNewTrace(rmssd.TraceConfig{
 			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 1,
 		})
-		outs, done, _ := dev.InferBatch(0,
+		outs, done, _, err := dev.InferBatch(0,
 			[]rmssd.Vector{gen.DenseInput(0, cfg.DenseDim)}, gen.Batch(1))
+		if err != nil {
+			t.Fatal(err)
+		}
 		return outs[0], done
 	}
 	o1, d1 := run()
