@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet lint lint-fixtures test test-simdebug test-golden test-faults race fuzz-smoke bench bench-perf bench-micro check
+.PHONY: build fmt vet lint lint-fixtures test test-simdebug test-golden test-faults test-obs race fuzz-smoke bench bench-perf bench-micro check
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,13 @@ test-faults:
 		-run 'TestShard|TestSubmitDead|TestPerRequest|TestPool|TestFault|TestUncorrectable|TestReplayOutOfRange' \
 		./internal/serving/ ./internal/core/ ./cmd/rmserve/
 
+# Observability suite under the race detector: the obs unit tests, the
+# tracing-on/off differential and byte-determinism layer, and the rmserve
+# /metrics + traced-replay surface tests.
+test-obs:
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestMetrics|TestReplayReportTraced|TestReplayTracer|TestMountPprof' ./cmd/rmserve/
+
 race:
 	$(GO) test -race ./...
 
@@ -76,5 +83,5 @@ bench-micro:
 	$(GO) test -run='^$$' -bench=BenchmarkLookupPoolHotTrace -benchtime=100x -benchmem ./internal/engine/
 	$(GO) test -run='^$$' -bench=BenchmarkEVCacheHit -benchtime=100x -benchmem ./internal/evcache/
 
-check: build fmt vet lint test test-simdebug test-faults race
+check: build fmt vet lint test test-simdebug test-faults test-obs race
 	@echo "all checks passed"

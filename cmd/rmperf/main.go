@@ -81,6 +81,7 @@ type Report struct {
 	Serve      ServeReport    `json:"rmserve"`
 	Micro      MicroReport    `json:"micro"`
 	Locality   LocalityReport `json:"locality"`
+	Obs        ObsReport      `json:"obs"`
 }
 
 func main() {
@@ -101,6 +102,10 @@ func main() {
 		locCacheMB = flag.Int64("locality-cache-mb", 8, "locality comparison EV cache budget in MiB")
 		locInfer   = flag.Int("locality-inferences", 512, "locality comparison inference count")
 		locBatch   = flag.Int("locality-batch", 32, "locality comparison device batch size")
+
+		obsTableMB = flag.Int64("obs-table-mb", 64, "observability measurement embedding table budget in MiB")
+		obsShards  = flag.Int("obs-shards", 2, "observability measurement device shards")
+		obsReqs    = flag.Int("obs-requests", 400, "observability measurement replay requests")
 	)
 	flag.Parse()
 	if *maxprocs > 0 {
@@ -117,6 +122,7 @@ func main() {
 	rep.Serve = runServe(*model, *srvMB, *shards, *clients, *requests, *reqBatch)
 	rep.Micro = runMicro()
 	rep.Locality = runLocality(*locTableMB, *locCacheMB, *locInfer, *locBatch)
+	rep.Obs = runObs(*model, *obsTableMB, *obsShards, *obsReqs, *reqBatch)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

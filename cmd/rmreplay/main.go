@@ -29,12 +29,12 @@ import (
 	"io"
 	"net/http"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"rmssd"
+	"rmssd/internal/obs"
 )
 
 // info mirrors the fields of rmserve's /info and /models responses the
@@ -88,15 +88,16 @@ func main() {
 		concurrency = flag.Int("concurrency", 4, "in-flight request cap")
 		seed        = flag.Uint64("seed", 1, "synthetic trace seed")
 		model       = flag.String("model", "", "hosted model to address on a multi-model server (default: server's default)")
+		metricsOn   = flag.Bool("metrics", false, "after the report, fetch and print the server's /metrics exposition (server must run with -metrics)")
 	)
 	flag.Parse()
-	if err := run(*addr, *model, *criteoIn, *requests, *reqBatch, *rate, *concurrency, *seed, os.Stdout); err != nil {
+	if err := run(*addr, *model, *criteoIn, *requests, *reqBatch, *rate, *concurrency, *seed, *metricsOn, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rmreplay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, model, criteoIn string, requests, reqBatch int, rate float64, concurrency int, seed uint64, w io.Writer) error {
+func run(addr, model, criteoIn string, requests, reqBatch int, rate float64, concurrency int, seed uint64, metricsOn bool, w io.Writer) error {
 	if requests <= 0 || reqBatch <= 0 || concurrency <= 0 {
 		return fmt.Errorf("need positive -requests, -req-batch and -concurrency")
 	}
@@ -189,6 +190,9 @@ func run(addr, model, criteoIn string, requests, reqBatch int, rate float64, con
 	}
 
 	out := report(samples, inf.Shards, elapsed) + fetchStats(addr)
+	if metricsOn {
+		out += fetchMetrics(addr)
+	}
 	_, err = io.WriteString(w, out)
 	return err
 }
@@ -355,12 +359,27 @@ func fetchStats(addr string) string {
 		st.Requests, st.Inferences, st.DeviceBatches, st.MeanBatch)
 }
 
-// quantiles sorts in place and returns the p50/p95/p99/max marks.
-func quantiles(lat []time.Duration) (p50, p95, p99, max time.Duration) {
-	if len(lat) == 0 {
-		return
+// fetchMetrics pulls the server's Prometheus exposition, best-effort: an
+// unreachable endpoint yields an empty string, a non-200 (rmserve without
+// -metrics answers 404) a one-line note.
+func fetchMetrics(addr string) string {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return ""
 	}
-	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-	pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
-	return pct(0.50), pct(0.95), pct(0.99), lat[len(lat)-1]
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return ""
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Sprintf("metrics:      unavailable (%s)\n", strings.TrimSpace(string(body)))
+	}
+	return "-- /metrics --\n" + string(body)
+}
+
+// quantiles delegates to the repo's single quantile implementation so the
+// client report and every server-side report agree on the convention.
+func quantiles(lat []time.Duration) (p50, p95, p99, max time.Duration) {
+	return obs.Quantiles(lat)
 }

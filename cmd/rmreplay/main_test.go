@@ -69,7 +69,7 @@ func stubServer(t *testing.T) (*httptest.Server, *sync.Map) {
 func TestRunDefaultModel(t *testing.T) {
 	srv, seen := stubServer(t)
 	var sb strings.Builder
-	if err := run(srv.URL, "", "", 5, 1, 0, 1, 1, &sb); err != nil {
+	if err := run(srv.URL, "", "", 5, 1, 0, 1, 1, false, &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -88,7 +88,7 @@ func TestRunDefaultModel(t *testing.T) {
 func TestRunNamedModel(t *testing.T) {
 	srv, seen := stubServer(t)
 	var sb strings.Builder
-	if err := run(srv.URL, "wide", "", 4, 1, 0, 1, 1, &sb); err != nil {
+	if err := run(srv.URL, "wide", "", 4, 1, 0, 1, 1, false, &sb); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "model=WnD") {
@@ -105,20 +105,20 @@ func TestRunNamedModel(t *testing.T) {
 
 func TestRunUnknownModel(t *testing.T) {
 	srv, _ := stubServer(t)
-	err := run(srv.URL, "mystery", "", 1, 1, 0, 1, 1, &strings.Builder{})
+	err := run(srv.URL, "mystery", "", 1, 1, 0, 1, 1, false, &strings.Builder{})
 	if err == nil || !strings.Contains(err.Error(), "mystery") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("http://127.0.0.1:0", "", "", 0, 1, 0, 1, 1, &strings.Builder{}); err == nil {
+	if err := run("http://127.0.0.1:0", "", "", 0, 1, 0, 1, 1, false, &strings.Builder{}); err == nil {
 		t.Fatal("zero requests accepted")
 	}
-	if err := run("http://127.0.0.1:0", "", "", 1, 0, 0, 1, 1, &strings.Builder{}); err == nil {
+	if err := run("http://127.0.0.1:0", "", "", 1, 0, 0, 1, 1, false, &strings.Builder{}); err == nil {
 		t.Fatal("zero req-batch accepted")
 	}
-	if err := run("http://127.0.0.1:0", "", "", 1, 1, 0, 0, 1, &strings.Builder{}); err == nil {
+	if err := run("http://127.0.0.1:0", "", "", 1, 1, 0, 0, 1, false, &strings.Builder{}); err == nil {
 		t.Fatal("zero concurrency accepted")
 	}
 }

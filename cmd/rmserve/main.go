@@ -69,6 +69,7 @@ import (
 	"time"
 
 	"rmssd"
+	"rmssd/internal/obs"
 	"rmssd/internal/serving"
 )
 
@@ -279,6 +280,10 @@ type server struct {
 	models []*hostedModel
 	byName map[string]*hostedModel
 	def    *hostedModel
+
+	// metrics is the observability registry behind /metrics; nil (the
+	// default) keeps the endpoint returning 404 and the devices span-free.
+	metrics *obs.Registry
 }
 
 // newServer registers the hosted models and builds the router with the
@@ -364,6 +369,9 @@ func main() {
 		rate       = flag.Float64("rate", 50000, "replay offered load in requests per simulated second")
 		requests   = flag.Int("requests", 2000, "replay request count (synthetic; criteo stops at EOF)")
 		reqBatch   = flag.Int("req-batch", 1, "inferences per replayed request")
+		metrics    = flag.Bool("metrics", false, "expose the /metrics endpoint (Prometheus text format)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceOut   = flag.String("trace-out", "", "replay mode: write the sim-time trace as JSONL to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -403,6 +411,10 @@ func main() {
 		rc := replayConfig{
 			Mode: *traceMode, CriteoIn: *criteoIn, Rate: *rate,
 			Requests: *requests, ReqBatch: *reqBatch, Seed: *seed,
+			TraceOut: *traceOut,
+		}
+		if *traceOut != "" || *metrics {
+			rc.Tracer = obs.NewTracer(obs.NewRegistry())
 		}
 		if err := s.runReplay(rc, os.Stdout); err != nil {
 			log.Fatal(err)
@@ -411,7 +423,13 @@ func main() {
 		return
 	}
 
+	if *metrics {
+		s.enableMetrics()
+	}
 	mux := s.routes()
+	if *pprofOn {
+		mountPprof(mux)
+	}
 	var agg float64
 	for _, m := range s.models {
 		dev := m.shards[0].dev
@@ -431,6 +449,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/qps", s.handleQPS)
 	mux.HandleFunc("/infer", s.handleInfer)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 

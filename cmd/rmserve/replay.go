@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rmssd"
+	"rmssd/internal/obs"
 	"rmssd/internal/serving"
 )
 
@@ -33,6 +34,12 @@ type replayConfig struct {
 	Requests int     // request bound (criteo additionally stops at EOF)
 	ReqBatch int     // inferences per request
 	Seed     uint64
+	// Tracer, when non-nil, records sim-time batch spans during the replay;
+	// the report then gains per-stage breakdown tables and TraceOut (when
+	// set) receives the trace as JSONL. Tracing never changes the replayed
+	// numbers (pinned by the differential tests).
+	Tracer   *obs.Tracer
+	TraceOut string
 }
 
 // newSource builds the model's request source for the config, drawing from
@@ -91,8 +98,12 @@ func (s *server) replay(rc replayConfig) (serving.ReplayResult, error) {
 	if closer != nil {
 		defer closer.Close()
 	}
+	if rc.Tracer != nil {
+		s.installReplaySinks(rc.Tracer)
+	}
 	return serving.Replay(m.backends(), serving.ReplayConfig{
 		Rate: rc.Rate, MaxBatch: m.maxBatch, Requests: rc.Requests, Seed: rc.Seed,
+		Tracer: rc.Tracer, TraceModel: m.name,
 	}, src)
 }
 
@@ -124,8 +135,11 @@ func (s *server) multiReplay(rc replayConfig) (serving.MultiReplayResult, error)
 	if err != nil {
 		return serving.MultiReplayResult{}, err
 	}
+	if rc.Tracer != nil {
+		s.installReplaySinks(rc.Tracer)
+	}
 	return serving.MultiReplay(models, serving.MultiReplayConfig{
-		Rate: rc.Rate, Requests: rc.Requests, Seed: rc.Seed,
+		Rate: rc.Rate, Requests: rc.Requests, Seed: rc.Seed, Tracer: rc.Tracer,
 	}, src)
 }
 
@@ -209,6 +223,9 @@ func (s *server) runReplay(rc replayConfig, w io.Writer) error {
 		formatReplayResult(&sb, res)
 		formatLocality(&sb, s.def)
 		formatFaults(&sb, s.def, res)
+		if rc.Tracer != nil {
+			formatStages(&sb, rc.Tracer, s.def.name)
+		}
 	} else {
 		res, err := s.multiReplay(rc)
 		if err != nil {
@@ -225,6 +242,14 @@ func (s *server) runReplay(rc replayConfig, w io.Writer) error {
 			formatReplayResult(&sb, res.PerModel[name])
 			formatLocality(&sb, m)
 			formatFaults(&sb, m, res.PerModel[name])
+			if rc.Tracer != nil {
+				formatStages(&sb, rc.Tracer, name)
+			}
+		}
+	}
+	if rc.Tracer != nil && rc.TraceOut != "" {
+		if err := writeTraceFile(rc.Tracer, rc.TraceOut); err != nil {
+			return err
 		}
 	}
 	//lint:allow wallclock host-side harness reports real elapsed time next to simulated results

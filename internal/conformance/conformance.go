@@ -31,6 +31,7 @@ import (
 	"rmssd/internal/core"
 	"rmssd/internal/flash"
 	"rmssd/internal/model"
+	"rmssd/internal/obs"
 	"rmssd/internal/serving"
 	"rmssd/internal/tensor"
 	"rmssd/internal/trace"
@@ -66,6 +67,7 @@ func Cases() []Case {
 		{Name: "replay/mixed", Render: renderMixedReplay},
 		{Name: "replay/evcache", Render: renderEVCacheReplay},
 		{Name: "replay/faults", Render: renderFaultReplay},
+		{Name: "replay/trace", Render: renderTraceReplay},
 	}
 	// Static tables: pure functions of the calibration constants (Table II
 	// settings, model zoo, kernel search results, resource totals).
@@ -376,6 +378,60 @@ func renderFaultReplay() (string, error) {
 		fmt.Fprintf(&sb, "shard %d: readfaults=%d eccretries=%d uncorrectable=%d\n",
 			i, fs.ReadFaults, fs.ECCRetries, fs.Uncorrectable)
 	}
+	return sb.String(), nil
+}
+
+// renderTraceReplay replays the single-model trace with the observability
+// layer attached and renders the trace JSONL plus the Prometheus text of
+// the metrics registry it fed. This makes the trace schema and the metrics
+// exposition format golden artifacts: a field rename, a reordered series
+// or a drifting stage span moves this case and must bump
+// obs.TraceSchemaVersion (or regenerate consciously). The replay numbers
+// themselves are pinned separately by replay/single — tracing must not
+// move them (the differential suite enforces that directly).
+func renderTraceReplay() (string, error) {
+	cfg := model.RMC1()
+	cfg.RowsPerTable = cfg.RowsForBudget(tableBudget)
+	const nshards = 2
+	tracer := obs.NewTracer(obs.NewRegistry())
+	backends := make([]serving.Batcher, 0, nshards)
+	for i := 0; i < nshards; i++ {
+		dev, err := core.New(cfg, core.Options{Parallel: 1})
+		if err != nil {
+			return "", err
+		}
+		dev.SetSpanSink(tracer.DeviceSink("default", i))
+		gen, err := trace.NewGenerator(trace.Config{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+			Seed: 5 + uint64(i)*0x9e37,
+		})
+		if err != nil {
+			return "", err
+		}
+		backends = append(backends, &deviceBatcher{dev: dev, gen: gen, cfg: cfg})
+	}
+	gen, err := trace.NewGenerator(trace.Config{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 5,
+	})
+	if err != nil {
+		return "", err
+	}
+	src, err := serving.NewGeneratorSource(gen, 2, cfg.DenseDim)
+	if err != nil {
+		return "", err
+	}
+	if _, err := serving.Replay(backends, serving.ReplayConfig{
+		Rate: 100000, MaxBatch: 8, Requests: 40, Seed: 5, Tracer: tracer,
+	}, src); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("trace replay RMC1 shards=2\n")
+	if err := tracer.WriteJSONL(&sb); err != nil {
+		return "", err
+	}
+	sb.WriteString("-- metrics --\n")
+	sb.WriteString(tracer.Registry().RenderPrometheus())
 	return sb.String(), nil
 }
 

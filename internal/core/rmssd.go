@@ -28,6 +28,7 @@ import (
 	"rmssd/internal/flash"
 	"rmssd/internal/hostio"
 	"rmssd/internal/model"
+	"rmssd/internal/obs"
 	"rmssd/internal/params"
 	"rmssd/internal/sim"
 	"rmssd/internal/ssd"
@@ -125,6 +126,11 @@ type RMSSD struct {
 	owners owners // table ownership for the session API
 
 	inferences int64 // total inferences served
+
+	// spanSink, when non-nil, receives one obs.DeviceSpan per InferBatch /
+	// InferBatchTiming call (including fault-failed batches). The nil check
+	// is the entire cost of the disabled state.
+	spanSink obs.SpanSink
 }
 
 // New builds an RM-SSD hosting the given model: tables are created and laid
@@ -285,6 +291,10 @@ func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]in
 		return nil, at, Breakdown{}, err
 	}
 	n := len(sparses)
+	var probe spanProbe
+	if r.spanSink != nil {
+		probe = r.probeSpan()
+	}
 	var bd Breakdown
 	sendDone := r.SendInputs(at, n)
 	bd.Send = sendDone - at
@@ -303,6 +313,9 @@ func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]in
 	}
 	bd.Emb = embDone - embStart
 	if lookErr != nil {
+		if r.spanSink != nil {
+			r.emitSpan(probe, failedSpan(at, sendDone, embDone, n))
+		}
 		return nil, embDone, bd, fmt.Errorf("core: infer batch: %w", lookErr)
 	}
 
@@ -324,6 +337,9 @@ func (r *RMSSD) InferBatch(at sim.Time, denses []tensor.Vector, sparses [][][]in
 	readDone := r.ReadOutputs(topDone, n)
 	bd.Read = readDone - topDone
 	r.inferences += int64(n)
+	if r.spanSink != nil {
+		r.emitSpan(probe, r.servedSpan(at, sendDone, embDone, joined, topDone, readDone, bd.Bot, n))
+	}
 	return outs, readDone, bd, nil
 }
 
@@ -333,6 +349,10 @@ func (r *RMSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, Br
 		return at, Breakdown{}, err
 	}
 	n := len(sparses)
+	var probe spanProbe
+	if r.spanSink != nil {
+		probe = r.probeSpan()
+	}
 	var bd Breakdown
 	sendDone := r.SendInputs(at, n)
 	bd.Send = sendDone - at
@@ -344,6 +364,9 @@ func (r *RMSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, Br
 	}
 	bd.Emb = embDone - embStart
 	if lookErr != nil {
+		if r.spanSink != nil {
+			r.emitSpan(probe, failedSpan(at, sendDone, embDone, n))
+		}
 		return embDone, bd, fmt.Errorf("core: infer batch: %w", lookErr)
 	}
 	bd.Bot = params.Duration(r.mlp.BottomStageCycles(n))
@@ -356,6 +379,9 @@ func (r *RMSSD) InferBatchTiming(at sim.Time, sparses [][][]int64) (sim.Time, Br
 	readDone := r.ReadOutputs(topDone, n)
 	bd.Read = readDone - topDone
 	r.inferences += int64(n)
+	if r.spanSink != nil {
+		r.emitSpan(probe, r.servedSpan(at, sendDone, embDone, joined, topDone, readDone, bd.Bot, n))
+	}
 	return readDone, bd, nil
 }
 
@@ -433,6 +459,105 @@ func (r *RMSSD) UpdateVector(at sim.Time, table int, row int64, v tensor.Vector)
 	// A cached copy would now serve stale (and aliased-to-dead-page) bytes.
 	r.lookup.Invalidate(table, row)
 	return done, nil
+}
+
+// SetSpanSink installs (or, with nil, removes) the per-batch span sink.
+// The sink is called synchronously at the end of every inference batch
+// with stage spans and counter deltas derived purely from simulated
+// state — attaching it changes nothing about timing or predictions.
+func (r *RMSSD) SetSpanSink(s obs.SpanSink) { r.spanSink = s }
+
+// spanProbe snapshots the deterministic counters a batch can move, taken
+// before the embedding stage so emitSpan can attribute the deltas.
+type spanProbe struct {
+	look  engine.LookupStats
+	cache evcache.Stats
+	fl    flash.Stats
+	ch    []flash.ChannelCounters
+}
+
+func (r *RMSSD) probeSpan() spanProbe {
+	p := spanProbe{
+		look: r.lookup.Stats(),
+		fl:   r.dev.Array().Stats(),
+		ch:   r.dev.Array().ChannelIO(),
+	}
+	if c := r.lookup.EVCache(); c != nil {
+		p.cache = c.Stats()
+	}
+	return p
+}
+
+// emitSpan fills sp's counter fields with the deltas since probe and hands
+// the span to the sink.
+func (r *RMSSD) emitSpan(probe spanProbe, sp obs.DeviceSpan) {
+	look := r.lookup.Stats()
+	sp.Lookups = look.Lookups - probe.look.Lookups
+	sp.DedupHits = look.DedupHits - probe.look.DedupHits
+	sp.BytesPooled = look.BytesPooled - probe.look.BytesPooled
+	if c := r.lookup.EVCache(); c != nil {
+		cs := c.Stats()
+		sp.CacheHits = cs.Hits - probe.cache.Hits
+		sp.CacheMisses = cs.Misses - probe.cache.Misses
+		sp.CacheEvictions = cs.Evictions - probe.cache.Evictions
+	}
+	fl := r.dev.Array().Stats()
+	sp.VectorReads = fl.VectorReads - probe.fl.VectorReads
+	sp.PageReads = fl.PageReads - probe.fl.PageReads
+	sp.ECCRetries = fl.ECCRetries - probe.fl.ECCRetries
+	sp.ReadFaults = fl.ReadFaults - probe.fl.ReadFaults
+	sp.Uncorrectable = fl.Uncorrectable - probe.fl.Uncorrectable
+	sp.BytesTransferred = fl.BytesTransferred - probe.fl.BytesTransferred
+	for i, c := range r.dev.Array().ChannelIO() {
+		if i < len(probe.ch) {
+			c = c.Sub(probe.ch[i])
+		}
+		if c != (flash.ChannelCounters{}) {
+			sp.Channels = append(sp.Channels, obs.ChannelIO{
+				Channel:       i,
+				Reads:         c.Reads,
+				Retries:       c.Retries,
+				Uncorrectable: c.Uncorrectable,
+			})
+		}
+	}
+	r.spanSink(sp)
+}
+
+// failedSpan builds the span for a batch that failed after the embedding
+// stage: the remaining stages are empty at the failure point.
+func failedSpan(at, sendDone, embDone sim.Time, n int) obs.DeviceSpan {
+	return obs.DeviceSpan{
+		Start:  at,
+		Done:   embDone,
+		N:      n,
+		Failed: true,
+		Send:   obs.StageSpan{From: at, To: sendDone},
+		Emb:    obs.StageSpan{From: sendDone, To: embDone},
+		Bot:    obs.StageSpan{From: embDone, To: embDone},
+		Top:    obs.StageSpan{From: embDone, To: embDone},
+		Read:   obs.StageSpan{From: embDone, To: embDone},
+	}
+}
+
+// servedSpan builds the span for a successfully served batch. The bottom
+// MLP overlaps the embedding gather on the searched design and follows it
+// on the naive one; either way the top MLP starts at the join.
+func (r *RMSSD) servedSpan(at, sendDone, embDone, joined, topDone, readDone sim.Time, bot time.Duration, n int) obs.DeviceSpan {
+	botFrom := sendDone
+	if r.mlp.Design() == engine.DesignNaive {
+		botFrom = embDone
+	}
+	return obs.DeviceSpan{
+		Start: at,
+		Done:  readDone,
+		N:     n,
+		Send:  obs.StageSpan{From: at, To: sendDone},
+		Emb:   obs.StageSpan{From: sendDone, To: embDone},
+		Bot:   obs.StageSpan{From: botFrom, To: botFrom + bot},
+		Top:   obs.StageSpan{From: joined, To: topDone},
+		Read:  obs.StageSpan{From: topDone, To: readDone},
+	}
 }
 
 // Inferences returns the number of inferences served.

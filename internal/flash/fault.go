@@ -128,3 +128,14 @@ func countVectorFaults(st *Stats, pageSize, retries int, uncorrectable bool) {
 		st.Uncorrectable++
 	}
 }
+
+// countChannelFaults folds one vector read's outcome into a channel's
+// counters: every read counts, retries and uncorrectable verdicts only
+// when injection produced them.
+func countChannelFaults(c *ChannelCounters, retries int, uncorrectable bool) {
+	c.Reads++
+	c.Retries += int64(retries)
+	if uncorrectable {
+		c.Uncorrectable++
+	}
+}

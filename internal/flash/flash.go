@@ -127,6 +127,32 @@ type Stats struct {
 	Uncorrectable    int64 // vector reads that exhausted the retry budget
 }
 
+// ChannelCounters attribute read traffic to one flash channel, for the
+// observability layer's per-channel spans. They live outside Stats so the
+// value-copy snapshot/delta pattern on Stats keeps working; the array holds
+// one per channel, and lanes accumulate their own before merging in Close.
+type ChannelCounters struct {
+	Reads         int64 // page + vector reads issued on the channel
+	Retries       int64 // failed ECC attempts on the channel
+	Uncorrectable int64 // reads that exhausted the retry budget
+}
+
+// Add folds another snapshot into c.
+func (c *ChannelCounters) Add(o ChannelCounters) {
+	c.Reads += o.Reads
+	c.Retries += o.Retries
+	c.Uncorrectable += o.Uncorrectable
+}
+
+// Sub returns c minus o, for before/after deltas.
+func (c ChannelCounters) Sub(o ChannelCounters) ChannelCounters {
+	return ChannelCounters{
+		Reads:         c.Reads - o.Reads,
+		Retries:       c.Retries - o.Retries,
+		Uncorrectable: c.Uncorrectable - o.Uncorrectable,
+	}
+}
+
 // Array is the simulated flash array: data plus timing resources.
 type Array struct {
 	geo    Geometry
@@ -134,7 +160,8 @@ type Array struct {
 	buses  []*sim.Resource // per channel: the shared data bus
 	store  *PageStore
 	stats  Stats
-	wear   map[wearKey]int // per-block erase counts
+	chIO   []ChannelCounters // per-channel read traffic
+	wear   map[wearKey]int   // per-block erase counts
 	tFlush time.Duration
 	tTrans time.Duration // full-page transfer
 
@@ -153,6 +180,7 @@ func NewArray(geo Geometry) (*Array, error) {
 	a := &Array{
 		geo:    geo,
 		store:  NewPageStore(geo.PageSize),
+		chIO:   make([]ChannelCounters, geo.Channels),
 		tFlush: params.Duration(params.FlushCycles),
 		tTrans: params.Duration(params.PageTransferCycles),
 	}
@@ -169,8 +197,25 @@ func (a *Array) Geometry() Geometry { return a.geo }
 // Stats returns a snapshot of the traffic counters.
 func (a *Array) Stats() Stats { return a.stats }
 
-// ResetStats zeroes the traffic counters (timing state is preserved).
-func (a *Array) ResetStats() { a.stats = Stats{} }
+// ResetStats zeroes the traffic counters, including the per-channel ones
+// (timing state is preserved).
+func (a *Array) ResetStats() {
+	a.stats = Stats{}
+	for i := range a.chIO {
+		a.chIO[i] = ChannelCounters{}
+	}
+}
+
+// ChannelIO returns a copy of the per-channel read counters, indexed by
+// channel.
+func (a *Array) ChannelIO() []ChannelCounters {
+	return append([]ChannelCounters(nil), a.chIO...)
+}
+
+// AddChannelIO folds externally accumulated per-channel counters (a joined
+// lane's) into the array. Callers must be single-threaded with respect to
+// the array at that point.
+func (a *Array) AddChannelIO(ch int, c ChannelCounters) { a.chIO[ch].Add(c) }
 
 // ResetTime returns all timing resources to idle without touching data.
 func (a *Array) ResetTime() {
@@ -203,6 +248,7 @@ func (a *Array) ReadPage(at sim.Time, p PPA) ([]byte, sim.Time) {
 	a.stats.PageReads++
 	a.stats.BytesFlushed += int64(a.geo.PageSize)
 	a.stats.BytesTransferred += int64(a.geo.PageSize)
+	a.chIO[p.Channel].Reads++
 	return a.store.Read(a.geo.FlatIndex(p)), done
 }
 
@@ -227,6 +273,7 @@ func (a *Array) ReadVector(at sim.Time, p PPA, col, size int) ([]byte, sim.Time,
 	a.stats.VectorReads++
 	a.stats.BytesFlushed += int64(a.geo.PageSize)
 	countVectorFaults(&a.stats, a.geo.PageSize, retries, fatal)
+	countChannelFaults(&a.chIO[p.Channel], retries, fatal)
 	if fatal {
 		return nil, flushDone, fmt.Errorf("flash: ch%d die %d page %d: vector read uncorrectable after %d retries: %w",
 			p.Channel, p.Die, p.Page, retries, ErrUncorrectable)
@@ -249,6 +296,7 @@ func (a *Array) ReadPageTiming(at sim.Time, p PPA) sim.Time {
 	a.stats.PageReads++
 	a.stats.BytesFlushed += int64(a.geo.PageSize)
 	a.stats.BytesTransferred += int64(a.geo.PageSize)
+	a.chIO[p.Channel].Reads++
 	return done
 }
 

@@ -32,6 +32,7 @@ type Lane struct {
 	ch     int
 	scope  sim.LaneScope
 	stats  Stats
+	chIO   ChannelCounters
 	closed bool
 }
 
@@ -87,6 +88,7 @@ func (l *Lane) ReadVectorTiming(at sim.Time, p PPA, col, size int) (sim.Time, er
 	l.stats.VectorReads++
 	l.stats.BytesFlushed += int64(l.a.geo.PageSize)
 	countVectorFaults(&l.stats, l.a.geo.PageSize, retries, fatal)
+	countChannelFaults(&l.chIO, retries, fatal)
 	if fatal {
 		return flushDone, fmt.Errorf("flash: ch%d die %d page %d: vector read uncorrectable after %d retries: %w",
 			l.ch, p.Die, p.Page, retries, ErrUncorrectable)
@@ -109,6 +111,7 @@ func (l *Lane) Close() {
 	}
 	l.closed = true
 	l.a.AddStats(l.stats)
+	l.a.AddChannelIO(l.ch, l.chIO)
 	l.scope.Release(l.a.buses[l.ch])
 	for d := 0; d < l.a.geo.DiesPerChannel; d++ {
 		l.scope.Release(l.a.dies[l.ch].Get(d))

@@ -41,7 +41,7 @@ import (
 // Passing the variable explicitly keeps the data flow auditable.
 var Goroutine = &Analyzer{
 	Name: "goroutine",
-	Doc:  "flags go statements in internal/{sim,serving,engine,evcache,flash,core} without a visible join/cancellation path, and loop-variable captures",
+	Doc:  "flags go statements in internal/{sim,serving,engine,evcache,flash,core,obs} without a visible join/cancellation path, and loop-variable captures",
 	Run:  runGoroutine,
 }
 
@@ -53,7 +53,7 @@ func goroutineScoped(p *Package) bool {
 		return false
 	}
 	switch strings.TrimSuffix(p.Types.Name(), "_test") {
-	case "sim", "serving", "engine", "evcache", "flash", "core":
+	case "sim", "serving", "engine", "evcache", "flash", "core", "obs":
 		return true
 	}
 	return false

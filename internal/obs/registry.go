@@ -1,0 +1,321 @@
+// Package obs is the deterministic observability layer: sim-time span
+// tracing and a typed metrics registry for the serving stack.
+//
+// Everything here observes the simulation, never perturbs it. A device or
+// replay harness with no sink attached pays one nil check; with sinks
+// attached, every recorded quantity is a pure function of simulated state
+// (virtual times, deterministic counters), so traces and metrics are
+// byte-identical across host parallelism, shard counts and reruns of the
+// same seed — the bar the differential and determinism suites pin.
+//
+// Two halves:
+//
+//   - Registry: monotonic counters and fixed-bucket sim-latency histograms
+//     keyed by name + sorted labels, rendered in Prometheus text format
+//     with fully deterministic ordering (sorted series keys, integer
+//     counter values, shortest-round-trip float formatting);
+//   - Tracer (trace.go): per-batch span records joining the serving
+//     timeline (arrival, queue, batch service) with the device's stage
+//     spans, emitted as ordered JSONL.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension. Series identity is the metric name plus
+// the label set sorted by key, so declaration order never leaks into
+// emission order.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// DefaultSimLatencyBuckets are the fixed histogram bounds for simulated
+// latencies: a 1-2-5 ladder from 1µs to 1s. Fixed buckets (rather than
+// adaptive ones) keep histogram state a pure function of the observed
+// values, independent of observation order.
+func DefaultSimLatencyBuckets() []time.Duration {
+	return []time.Duration{
+		1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+		10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+		100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+		1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+		1 * time.Second,
+	}
+}
+
+// Counter is a monotonic int64 series. Add is safe for concurrent use;
+// Set exists for scrape-time mirrors of counters that live elsewhere (the
+// pool/router/flash snapshots an HTTP /metrics scrape folds in) and must
+// only ever be handed monotonically non-decreasing values.
+type Counter struct {
+	name   string
+	labels string // rendered `k="v",...` (may be empty), sorted by key
+	v      atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Set overwrites the counter with an externally accumulated cumulative
+// value (scrape-time collection of counters owned by another subsystem).
+func (c *Counter) Set(n int64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket distribution of simulated durations.
+type Histogram struct {
+	name   string
+	labels string
+
+	mu     sync.Mutex
+	bounds []time.Duration // sorted upper bounds (inclusive, le semantics)
+	counts []int64         // len(bounds)+1; last bucket is +Inf
+	count  int64
+	sum    time.Duration
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= d })
+	h.counts[i]++
+	h.count++
+	h.sum += d
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Bounds returns a copy of the bucket upper bounds (exclusive of +Inf).
+func (h *Histogram) Bounds() []time.Duration {
+	return append([]time.Duration(nil), h.bounds...)
+}
+
+// BucketCounts returns a copy of the per-bucket (non-cumulative) counts;
+// the final element is the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]int64(nil), h.counts...)
+}
+
+// BucketFor returns the bucket interval (lo, hi] that an observation of d
+// falls into; lo is 0 for the first bucket and hi is the zero value for
+// the +Inf bucket (second return false).
+func (h *Histogram) BucketFor(d time.Duration) (lo, hi time.Duration, bounded bool) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= d })
+	if i > 0 {
+		lo = h.bounds[i-1]
+	}
+	if i == len(h.bounds) {
+		return lo, 0, false
+	}
+	return lo, h.bounds[i], true
+}
+
+// Registry is a deterministic metrics registry: get-or-create counters and
+// histograms, rendered in sorted series order. All methods are safe for
+// concurrent use; determinism of the rendered text follows from the values
+// themselves being deterministic, never from call ordering.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// renderLabels renders the label set sorted by key, without braces.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	return sb.String()
+}
+
+// seriesKey builds the full series identity.
+func seriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// Counter returns the counter for name+labels, creating it at zero on
+// first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	rendered := renderLabels(labels)
+	key := seriesKey(name, rendered)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[key]; ok {
+		return c
+	}
+	c := &Counter{name: name, labels: rendered}
+	r.counters[key] = c
+	return c
+}
+
+// Histogram returns the histogram for name+labels with the default
+// sim-latency buckets, creating it empty on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	return r.HistogramBuckets(name, DefaultSimLatencyBuckets(), labels...)
+}
+
+// HistogramBuckets is Histogram with explicit bucket upper bounds (sorted
+// ascending). Bounds are fixed at creation; later calls with different
+// bounds return the existing series unchanged.
+func (r *Registry) HistogramBuckets(name string, bounds []time.Duration, labels ...Label) *Histogram {
+	rendered := renderLabels(labels)
+	key := seriesKey(name, rendered)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[key]; ok {
+		return h
+	}
+	h := &Histogram{
+		name:   name,
+		labels: rendered,
+		bounds: append([]time.Duration(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+	r.hists[key] = h
+	return h
+}
+
+// seconds renders a duration as Prometheus seconds with shortest
+// round-trip formatting — a pure function of the value, so equal simulated
+// durations always render to equal bytes.
+func seconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// WritePrometheus renders every series in Prometheus text exposition
+// format, sorted by series key (counters first within a family ordering
+// that is itself alphabetical). The output is byte-identical for equal
+// registry state regardless of registration or observation order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	_, err := io.WriteString(w, r.RenderPrometheus())
+	return err
+}
+
+// RenderPrometheus returns the Prometheus text rendering.
+func (r *Registry) RenderPrometheus() string {
+	r.mu.Lock()
+	counterKeys := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		counterKeys = append(counterKeys, k)
+	}
+	histKeys := make([]string, 0, len(r.hists))
+	for k := range r.hists {
+		histKeys = append(histKeys, k)
+	}
+	counters := make([]*Counter, 0, len(counterKeys))
+	hists := make([]*Histogram, 0, len(histKeys))
+	sort.Strings(counterKeys)
+	sort.Strings(histKeys)
+	for _, k := range counterKeys {
+		counters = append(counters, r.counters[k])
+	}
+	for _, k := range histKeys {
+		hists = append(hists, r.hists[k])
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	lastFamily := ""
+	for _, c := range counters {
+		if c.name != lastFamily {
+			fmt.Fprintf(&sb, "# TYPE %s counter\n", c.name)
+			lastFamily = c.name
+		}
+		fmt.Fprintf(&sb, "%s %d\n", seriesKey(c.name, c.labels), c.Value())
+	}
+	lastFamily = ""
+	for _, h := range hists {
+		if h.name != lastFamily {
+			fmt.Fprintf(&sb, "# TYPE %s histogram\n", h.name)
+			lastFamily = h.name
+		}
+		h.mu.Lock()
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(&sb, "%s_bucket{%s} %d\n", h.name,
+				joinLabels(h.labels, `le="`+seconds(bound)+`"`), cum)
+		}
+		cum += h.counts[len(h.bounds)]
+		fmt.Fprintf(&sb, "%s_bucket{%s} %d\n", h.name, joinLabels(h.labels, `le="+Inf"`), cum)
+		fmt.Fprintf(&sb, "%s_sum{%s} %s\n", h.name, h.labels, seconds(h.sum))
+		fmt.Fprintf(&sb, "%s_count{%s} %d\n", h.name, h.labels, h.count)
+		h.mu.Unlock()
+	}
+	return sb.String()
+}
+
+// joinLabels appends one rendered label to an already-rendered set.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// Quantiles sorts lat in place and returns the p50/p95/p99/max marks using
+// the nearest-rank convention every report in this repo shares. It is the
+// single quantile implementation: serving replay reports, the HTTP replay
+// client and the observability cross-checks all call it, so a report
+// percentile and a histogram over the same samples can never disagree
+// about the underlying order statistics.
+func Quantiles(lat []time.Duration) (p50, p95, p99, max time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
+	return pct(0.50), pct(0.95), pct(0.99), lat[len(lat)-1]
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterOps(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", L("model", "m"))
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("value = %d, want 4", got)
+	}
+	c.Set(10)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("after Set: %d, want 10", got)
+	}
+	// Same name+labels resolves to the same series.
+	if r.Counter("x_total", L("model", "m")) != c {
+		t.Fatal("get-or-create returned a new counter for an existing series")
+	}
+}
+
+// TestLabelOrderIrrelevant: series identity and rendering sort labels by
+// key, so declaration order can never leak into the output.
+func TestLabelOrderIrrelevant(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("b", "2"), L("a", "1"))
+	b := r.Counter("x_total", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label declaration order split one series into two")
+	}
+	a.Inc()
+	out := r.RenderPrometheus()
+	want := `x_total{a="1",b="2"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("rendering lacks sorted labels %q:\n%s", want, out)
+	}
+}
+
+// TestHistogramBucketEdges pins the le (inclusive upper bound) semantics
+// at the exact bucket boundaries.
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("h_seconds", []time.Duration{
+		time.Microsecond, 10 * time.Microsecond,
+	})
+	h.Observe(time.Microsecond)      // exactly on bound 0 -> bucket 0
+	h.Observe(time.Microsecond + 1)  // just above -> bucket 1
+	h.Observe(10 * time.Microsecond) // exactly on bound 1 -> bucket 1
+	h.Observe(time.Second)           // above last bound -> +Inf bucket
+	counts := h.BucketCounts()
+	want := []int64{1, 2, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", counts, want)
+		}
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != time.Second+12*time.Microsecond+1 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+
+	if lo, hi, ok := h.BucketFor(time.Microsecond); !ok || lo != 0 || hi != time.Microsecond {
+		t.Fatalf("BucketFor(1µs) = (%v, %v, %v)", lo, hi, ok)
+	}
+	if lo, hi, ok := h.BucketFor(2 * time.Microsecond); !ok || lo != time.Microsecond || hi != 10*time.Microsecond {
+		t.Fatalf("BucketFor(2µs) = (%v, %v, %v)", lo, hi, ok)
+	}
+	if lo, _, ok := h.BucketFor(time.Second); ok || lo != 10*time.Microsecond {
+		t.Fatalf("BucketFor(1s) = (%v, _, %v), want +Inf bucket", lo, ok)
+	}
+}
+
+// TestHistogramBoundsFixedAtCreation: a second HistogramBuckets call with
+// different bounds returns the existing series unchanged.
+func TestHistogramBoundsFixedAtCreation(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramBuckets("h_seconds", []time.Duration{time.Millisecond})
+	h2 := r.HistogramBuckets("h_seconds", []time.Duration{time.Second, 2 * time.Second})
+	if h2 != h {
+		t.Fatal("re-declaration created a second series")
+	}
+	if b := h2.Bounds(); len(b) != 1 || b[0] != time.Millisecond {
+		t.Fatalf("bounds changed: %v", b)
+	}
+}
+
+// TestRenderDeterministic: two registries fed the same values in different
+// registration and observation orders render to identical bytes.
+func TestRenderDeterministic(t *testing.T) {
+	build := func(flip bool) *Registry {
+		r := NewRegistry()
+		obs := []time.Duration{time.Millisecond, 3 * time.Microsecond, 40 * time.Millisecond}
+		if flip {
+			r.Counter("z_total").Inc()
+			for i := len(obs) - 1; i >= 0; i-- {
+				r.Histogram("lat_seconds", L("model", "m")).Observe(obs[i])
+			}
+			r.Counter("a_total", L("model", "m")).Add(7)
+		} else {
+			r.Counter("a_total", L("model", "m")).Add(7)
+			for _, d := range obs {
+				r.Histogram("lat_seconds", L("model", "m")).Observe(d)
+			}
+			r.Counter("z_total").Inc()
+		}
+		return r
+	}
+	a, b := build(false).RenderPrometheus(), build(true).RenderPrometheus()
+	if a != b {
+		t.Fatalf("render depends on call order:\n%s\n----\n%s", a, b)
+	}
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{model="m",le="+Inf"} 3`,
+		`lat_seconds_count{model="m"} 3`,
+		`lat_seconds_sum{model="m"} 0.041003`,
+	} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("rendering lacks %q:\n%s", want, a)
+		}
+	}
+	// Series keys are emitted in sorted order.
+	if strings.Index(a, "a_total") > strings.Index(a, "z_total") {
+		t.Fatalf("counter families not sorted:\n%s", a)
+	}
+}
+
+// TestQuantilesNearestRank pins the shared nearest-rank convention.
+func TestQuantilesNearestRank(t *testing.T) {
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(100-i) * time.Millisecond // reversed: 100ms..1ms
+	}
+	p50, p95, p99, max := Quantiles(lat)
+	if p50 != 50*time.Millisecond || p95 != 95*time.Millisecond ||
+		p99 != 99*time.Millisecond || max != 100*time.Millisecond {
+		t.Fatalf("quantiles = %v %v %v %v", p50, p95, p99, max)
+	}
+	if p50, p95, p99, max := Quantiles(nil); p50 != 0 || p95 != 0 || p99 != 0 || max != 0 {
+		t.Fatal("empty input must yield zeros")
+	}
+}
+
+// TestDefaultBucketsSorted: the fixed ladder must be strictly ascending
+// (sort.Search in Observe depends on it).
+func TestDefaultBucketsSorted(t *testing.T) {
+	b := DefaultSimLatencyBuckets()
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bucket %d (%v) <= bucket %d (%v)", i, b[i], i-1, b[i-1])
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// validSpan builds a searched-design span: the bottom MLP overlaps the
+// embedding gather, the top MLP joins both, read-out follows.
+func validSpan() DeviceSpan {
+	const (
+		start = 100 * time.Microsecond
+		send  = 10 * time.Microsecond
+		emb   = 50 * time.Microsecond
+		bot   = 20 * time.Microsecond // shorter than emb: fully hidden
+		top   = 30 * time.Microsecond
+		read  = 5 * time.Microsecond
+	)
+	sendDone := start + send
+	embDone := sendDone + emb
+	return DeviceSpan{
+		Start: start, Done: embDone + top + read, N: 4,
+		Send: StageSpan{start, sendDone},
+		Emb:  StageSpan{sendDone, embDone},
+		Bot:  StageSpan{sendDone, sendDone + bot},
+		Top:  StageSpan{embDone, embDone + top},
+		Read: StageSpan{embDone + top, embDone + top + read},
+	}
+}
+
+func TestDeviceSpanValidate(t *testing.T) {
+	if err := validSpan().Validate(); err != nil {
+		t.Fatalf("valid searched span rejected: %v", err)
+	}
+
+	// Naive design: bottom MLP follows the gather; top joins at bot.To.
+	naive := validSpan()
+	naive.Bot = StageSpan{naive.Emb.To, naive.Emb.To + 20*time.Microsecond}
+	naive.Top = StageSpan{naive.Bot.To, naive.Bot.To + 30*time.Microsecond}
+	naive.Read = StageSpan{naive.Top.To, naive.Top.To + 5*time.Microsecond}
+	naive.Done = naive.Read.To
+	if err := naive.Validate(); err != nil {
+		t.Fatalf("valid naive span rejected: %v", err)
+	}
+
+	// Failed batch: stops at the embedding stage; the rest is empty there.
+	failed := validSpan()
+	failed.Failed = true
+	fail := failed.Emb.To
+	failed.Bot = StageSpan{fail, fail}
+	failed.Top = StageSpan{fail, fail}
+	failed.Read = StageSpan{fail, fail}
+	failed.Done = fail
+	if err := failed.Validate(); err != nil {
+		t.Fatalf("valid failed span rejected: %v", err)
+	}
+
+	for name, mutate := range map[string]func(*DeviceSpan){
+		"send not at start":   func(d *DeviceSpan) { d.Send.From++ },
+		"emb gap after send":  func(d *DeviceSpan) { d.Emb.From++ },
+		"backwards stage":     func(d *DeviceSpan) { d.Top.To = d.Top.From - 1 },
+		"bot floating":        func(d *DeviceSpan) { d.Bot.From += 3 },
+		"top before join":     func(d *DeviceSpan) { d.Top.From--; d.Top.To-- },
+		"read gap":            func(d *DeviceSpan) { d.Read.From++ },
+		"done != read end":    func(d *DeviceSpan) { d.Done++ },
+		"failed with mlp run": func(d *DeviceSpan) { d.Failed = true },
+	} {
+		sp := validSpan()
+		mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Fatalf("%s: invalid span accepted", name)
+		}
+	}
+}
+
+// TestTracerCanonicalOrder: records are emitted sorted by (model, shard,
+// seq) regardless of EndBatch interleaving across shards.
+func TestTracerCanonicalOrder(t *testing.T) {
+	run := func(order []int) string {
+		tr := NewTracer(nil)
+		// Three shards, two batches each, ended in the given interleaving.
+		for _, shard := range order {
+			tr.EndBatch("m", shard, []TraceRequest{{ID: int64(shard), N: 1}},
+				time.Duration(shard)*time.Microsecond, time.Duration(shard+1)*time.Microsecond)
+		}
+		var sb strings.Builder
+		if err := tr.WriteJSONL(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a := run([]int{0, 1, 2, 0, 1, 2})
+	b := run([]int{2, 1, 0, 2, 1, 0})
+	// Same per-shard sequences, different cross-shard interleaving: seq is
+	// per-shard, so the canonical order (and the bytes) must agree.
+	if a != b {
+		t.Fatalf("interleaving leaked into trace bytes:\n%s----\n%s", a, b)
+	}
+	lines := strings.Split(strings.TrimSpace(a), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("%d records, want 6", len(lines))
+	}
+	if !strings.Contains(lines[0], `"schema":1`) {
+		t.Fatalf("first record lacks schema stamp: %s", lines[0])
+	}
+	if !strings.Contains(lines[0], `"shard":0,"seq":0`) || !strings.Contains(lines[5], `"shard":2,"seq":1`) {
+		t.Fatalf("records not in (model, shard, seq) order:\n%s", a)
+	}
+}
+
+// TestTracerClaimsDeviceSpan: a span parked by DeviceSink is claimed by
+// the next EndBatch on the same (model, shard) key, and only that one.
+func TestTracerClaimsDeviceSpan(t *testing.T) {
+	tr := NewTracer(nil)
+	sink := tr.DeviceSink("m", 1)
+	sink(validSpan())
+	tr.EndBatch("m", 0, []TraceRequest{{N: 1}}, 0, time.Microsecond) // other shard
+	tr.EndBatch("m", 1, []TraceRequest{{N: 1}}, 0, time.Microsecond)
+	tr.EndBatch("m", 1, []TraceRequest{{N: 1}}, time.Microsecond, 2*time.Microsecond)
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	for _, rec := range recs {
+		wantSpan := rec.Shard == 1 && rec.Seq == 0
+		if (rec.Device != nil) != wantSpan {
+			t.Fatalf("shard %d seq %d: device span present=%v, want %v",
+				rec.Shard, rec.Seq, rec.Device != nil, wantSpan)
+		}
+	}
+}
+
+// TestEndBatchFeedsRegistry: request counters and latency/queue histograms
+// reflect the batch, and the device span contributes stage observations.
+func TestEndBatchFeedsRegistry(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg)
+	tr.DeviceSink("m", 0)(validSpan())
+	reqs := []TraceRequest{
+		{ID: 1, Arrival: 10 * time.Microsecond, N: 2},
+		{ID: 2, Arrival: 30 * time.Microsecond, N: 1, Failed: true},
+	}
+	tr.EndBatch("m", 0, reqs, 50*time.Microsecond, 250*time.Microsecond)
+
+	if got := reg.Counter("rmssd_requests_total", L("model", "m"), L("shard", "0")).Value(); got != 2 {
+		t.Fatalf("requests_total = %d", got)
+	}
+	if got := reg.Counter("rmssd_request_failures_total", L("model", "m"), L("shard", "0")).Value(); got != 1 {
+		t.Fatalf("failures_total = %d", got)
+	}
+	lat := reg.Histogram("rmssd_request_sim_latency_seconds", L("model", "m"))
+	if lat.Count() != 2 || lat.Sum() != (240+220)*time.Microsecond {
+		t.Fatalf("latency hist count=%d sum=%v", lat.Count(), lat.Sum())
+	}
+	queue := reg.Histogram("rmssd_queue_wait_sim_seconds", L("model", "m"))
+	if queue.Count() != 2 || queue.Sum() != (40+20)*time.Microsecond {
+		t.Fatalf("queue hist count=%d sum=%v", queue.Count(), queue.Sum())
+	}
+	if got := reg.Counter("rmssd_batches_total", L("model", "m"), L("shard", "0")).Value(); got != 1 {
+		t.Fatalf("batches_total = %d", got)
+	}
+	emb := reg.Histogram("rmssd_stage_sim_seconds", L("model", "m"), L("stage", "emb"))
+	if emb.Count() != 1 || emb.Sum() != 50*time.Microsecond {
+		t.Fatalf("emb stage hist count=%d sum=%v", emb.Count(), emb.Sum())
+	}
+}
+
+// TestRecordDeviceSpanCounters: nonzero counter deltas and channel IO are
+// attributed; zero-valued families are never created.
+func TestRecordDeviceSpanCounters(t *testing.T) {
+	reg := NewRegistry()
+	sp := validSpan()
+	sp.Lookups = 320
+	sp.VectorReads = 100
+	sp.Channels = []ChannelIO{{Channel: 2, Reads: 60, Retries: 3}}
+	RecordDeviceSpan(reg, "m", 1, sp)
+
+	if got := reg.Counter("rmssd_device_lookups_total", L("model", "m"), L("shard", "1")).Value(); got != 320 {
+		t.Fatalf("lookups = %d", got)
+	}
+	if got := reg.Counter("rmssd_channel_reads_total",
+		L("model", "m"), L("shard", "1"), L("channel", "2")).Value(); got != 60 {
+		t.Fatalf("channel reads = %d", got)
+	}
+	out := reg.RenderPrometheus()
+	if strings.Contains(out, "rmssd_evcache_hits_total") {
+		t.Fatalf("zero-valued family rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `rmssd_channel_retries_total{channel="2",model="m",shard="1"} 3`) {
+		t.Fatalf("channel retries missing:\n%s", out)
+	}
+}
+
+// TestBreakdown aggregates queue wait per request and stage time per batch.
+func TestBreakdown(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.DeviceSink("a", 0)(validSpan())
+	tr.EndBatch("a", 0, []TraceRequest{
+		{ID: 0, Arrival: 0, N: 1},
+		{ID: 1, Arrival: 5 * time.Microsecond, N: 1, Failed: true},
+	}, 10*time.Microsecond, 200*time.Microsecond)
+	tr.EndBatch("b", 0, []TraceRequest{{ID: 2, N: 1}}, 0, time.Microsecond)
+
+	bd := tr.Breakdown("a")
+	if bd.Batches != 1 || bd.Requests != 2 || bd.Failed != 1 {
+		t.Fatalf("breakdown = %+v", bd)
+	}
+	if bd.Queue != 15*time.Microsecond {
+		t.Fatalf("queue = %v", bd.Queue)
+	}
+	if bd.Emb != 50*time.Microsecond || bd.Bot != 20*time.Microsecond {
+		t.Fatalf("stages = %+v", bd)
+	}
+	all := tr.Breakdown("")
+	if all.Batches != 2 || all.Requests != 3 {
+		t.Fatalf("aggregate = %+v", all)
+	}
+	if models := tr.Models(); len(models) != 2 || models[0] != "a" || models[1] != "b" {
+		t.Fatalf("models = %v", models)
+	}
+}

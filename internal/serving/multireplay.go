@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"rmssd/internal/obs"
 )
 
 // Mixed-model trace replay: drive heterogeneous replicas from one tagged
@@ -56,6 +58,9 @@ type MultiReplayConfig struct {
 	Requests int
 	// Seed drives every model's arrival process (via ModelReplaySeed).
 	Seed uint64
+	// Tracer, when non-nil, is threaded into every per-model replay with
+	// the model name as the trace label (see ReplayConfig.Tracer).
+	Tracer *obs.Tracer
 }
 
 // Validate reports configuration errors.
@@ -173,10 +178,12 @@ func MultiReplay(models []ReplayModel, cfg MultiReplayConfig, src TaggedSource) 
 		m := byName[name]
 		reqs := subseq[name]
 		r, err := Replay(m.Backends, ReplayConfig{
-			Rate:     cfg.Rate,
-			MaxBatch: m.MaxBatch,
-			Requests: len(reqs),
-			Seed:     ModelReplaySeed(cfg.Seed, name),
+			Rate:       cfg.Rate,
+			MaxBatch:   m.MaxBatch,
+			Requests:   len(reqs),
+			Seed:       ModelReplaySeed(cfg.Seed, name),
+			Tracer:     cfg.Tracer,
+			TraceModel: name,
 		}, &sliceSource{reqs: reqs})
 		if err != nil {
 			return MultiReplayResult{}, fmt.Errorf("serving: multi replay model %q: %w", name, err)

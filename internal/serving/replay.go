@@ -5,9 +5,9 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"time"
 
+	"rmssd/internal/obs"
 	"rmssd/internal/sim"
 	"rmssd/internal/tensor"
 )
@@ -44,6 +44,16 @@ type ReplayConfig struct {
 	Requests int
 	// Seed drives the exponential arrival process.
 	Seed uint64
+	// Tracer, when non-nil, records one obs.BatchRecord per device batch
+	// (requests, arrivals, service window) and feeds the tracer's metrics
+	// registry. The caller is responsible for installing the tracer's
+	// DeviceSink on each backend's device under the same (TraceModel,
+	// shard index) key so device stage spans join the records. Tracing
+	// observes the replay; it never changes its results.
+	Tracer *obs.Tracer
+	// TraceModel is the model label on trace records and metrics; empty
+	// means "default".
+	TraceModel string
 }
 
 // Validate reports configuration errors.
@@ -91,6 +101,7 @@ type ReplayResult struct {
 type replayJob struct {
 	req     Request
 	arrival sim.Time
+	id      int64 // global draw index, the trace's inference ID
 }
 
 // Replay streams the source through the backends on a virtual timeline.
@@ -129,7 +140,8 @@ func Replay(backends []Batcher, cfg ReplayConfig, src RequestSource) (ReplayResu
 			u = 1e-12
 		}
 		now += sim.Time(-math.Log(u) / cfg.Rate * 1e9)
-		queues[drawn%len(backends)] = append(queues[drawn%len(backends)], replayJob{req: req, arrival: now})
+		queues[drawn%len(backends)] = append(queues[drawn%len(backends)],
+			replayJob{req: req, arrival: now, id: int64(drawn)})
 		drawn++
 	}
 	if drawn == 0 {
@@ -143,6 +155,10 @@ func Replay(backends []Batcher, cfg ReplayConfig, src RequestSource) (ReplayResu
 	)
 	res.PerShard = make([]int64, len(backends))
 	res.PredCheck = 1469598103934665603 // FNV-1a offset basis
+	traceModel := cfg.TraceModel
+	if traceModel == "" {
+		traceModel = "default"
+	}
 	for sid, jobs := range queues {
 		var free sim.Time
 		i := 0
@@ -167,20 +183,38 @@ func Replay(backends []Batcher, cfg ReplayConfig, src RequestSource) (ReplayResu
 			}
 			complete := start + sim.Time(br.Latency)
 			free = complete
+			var traced []obs.TraceRequest
+			if cfg.Tracer != nil {
+				traced = make([]obs.TraceRequest, 0, j-i)
+			}
 			for k := i; k < j; k++ {
 				// Errored requests still rode the batch: their latency is
 				// real, only their inferences are not served.
 				latencies = append(latencies, time.Duration(complete-jobs[k].arrival))
+				failed := false
 				switch {
 				case k-i < len(br.ReqErrs) && br.ReqErrs[k-i] != nil:
 					res.Failed++
+					failed = true
 				case br.Err != nil:
 					res.Failed++
+					failed = true
 				default:
 					n := jobs[k].req.Count()
 					res.Inferences += n
 					res.PerShard[sid] += int64(n)
 				}
+				if cfg.Tracer != nil {
+					traced = append(traced, obs.TraceRequest{
+						ID:      jobs[k].id,
+						Arrival: time.Duration(jobs[k].arrival),
+						N:       jobs[k].req.Count(),
+						Failed:  failed,
+					})
+				}
+			}
+			if cfg.Tracer != nil {
+				cfg.Tracer.EndBatch(traceModel, sid, traced, time.Duration(start), time.Duration(complete))
 			}
 			res.Batches++
 			i = j
@@ -201,12 +235,9 @@ func Replay(backends []Batcher, cfg ReplayConfig, src RequestSource) (ReplayResu
 	return res, nil
 }
 
-// latencyQuantiles sorts in place and returns the p50/p95/p99/max marks.
+// latencyQuantiles delegates to obs.Quantiles, the tree's single quantile
+// implementation: the replay report and any histogram built over the same
+// samples therefore share one definition of the order statistics.
 func latencyQuantiles(lat []time.Duration) (p50, p95, p99, max time.Duration) {
-	if len(lat) == 0 {
-		return 0, 0, 0, 0
-	}
-	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-	pct := func(p float64) time.Duration { return lat[int(p*float64(len(lat)-1))] }
-	return pct(0.50), pct(0.95), pct(0.99), lat[len(lat)-1]
+	return obs.Quantiles(lat)
 }

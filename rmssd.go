@@ -47,6 +47,7 @@ import (
 	"rmssd/internal/evcache"
 	"rmssd/internal/flash"
 	"rmssd/internal/model"
+	"rmssd/internal/obs"
 	"rmssd/internal/params"
 	"rmssd/internal/serving"
 	"rmssd/internal/tensor"
@@ -328,6 +329,35 @@ var (
 	NewInterleavedSource = serving.NewInterleavedSource
 	ModelReplaySeed      = serving.ModelReplaySeed
 )
+
+// --- observability ---
+
+// Sim-time observability: deterministic stage tracing and metrics. A
+// Tracer collects per-batch records (queue wait, device stage spans,
+// counter deltas) on the simulated timeline and feeds an optional
+// Registry of fixed-bucket histograms and counters; both render
+// byte-identically regardless of host scheduling. Install on a device
+// via Device.SetSpanSink (a nil sink — the default — costs one pointer
+// check per batch) and thread into replays via ReplayConfig.Tracer.
+type (
+	ObsRegistry  = obs.Registry
+	ObsTracer    = obs.Tracer
+	DeviceSpan   = obs.DeviceSpan
+	SpanSink     = obs.SpanSink
+	StageSpan    = obs.StageSpan
+	TraceRequest = obs.TraceRequest
+	BatchRecord  = obs.BatchRecord
+)
+
+// Observability constructors and the pinned trace schema version.
+var (
+	NewObsRegistry = obs.NewRegistry
+	NewObsTracer   = obs.NewTracer
+)
+
+// ObsTraceSchemaVersion identifies the BatchRecord JSONL schema; it is
+// part of the conformance surface (the replay/trace golden pins it).
+const ObsTraceSchemaVersion = obs.TraceSchemaVersion
 
 // --- experiments ---
 
