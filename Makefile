@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build fmt vet lint lint-fixtures test test-simdebug test-golden test-faults test-obs race fuzz-smoke bench bench-perf bench-micro check
+.PHONY: build fmt vet lint lint-fixtures test test-simdebug test-golden test-faults test-obs test-array race fuzz-smoke bench bench-perf bench-micro check
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,15 @@ test-obs:
 	$(GO) test -race -count=1 ./internal/obs/
 	$(GO) test -race -count=1 -run 'TestMetrics|TestReplayReportTraced|TestReplayTracer|TestMountPprof' ./cmd/rmserve/
 
+# Multi-SSD array suite under the race detector: the partition property
+# tests, the one-device/N-device differential layer, span and fault
+# invariants, the rmserve array serving surface, and the replay/array
+# conformance golden.
+test-array:
+	$(GO) test -race -count=1 ./internal/array/
+	$(GO) test -race -count=1 -run 'TestArray' ./cmd/rmserve/
+	$(GO) test -race -count=1 -run 'TestGolden|TestRenderDeterministic' ./internal/conformance/
+
 race:
 	$(GO) test -race ./...
 
@@ -65,6 +74,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzConfigValidate -fuzztime=10s ./internal/model/
 	$(GO) test -run='^$$' -fuzz=FuzzCriteoSource -fuzztime=10s ./internal/serving/
 	$(GO) test -run='^$$' -fuzz=FuzzInferRequest -fuzztime=10s ./cmd/rmserve/
+	$(GO) test -run='^$$' -fuzz=FuzzArrayPartitionConfig -fuzztime=10s ./internal/array/
 
 bench:
 	$(GO) run ./cmd/rmbench -exp all
@@ -83,5 +93,5 @@ bench-micro:
 	$(GO) test -run='^$$' -bench=BenchmarkLookupPoolHotTrace -benchtime=100x -benchmem ./internal/engine/
 	$(GO) test -run='^$$' -bench=BenchmarkEVCacheHit -benchtime=100x -benchmem ./internal/evcache/
 
-check: build fmt vet lint test test-simdebug test-faults test-obs race
+check: build fmt vet lint test test-simdebug test-faults test-obs test-array race
 	@echo "all checks passed"

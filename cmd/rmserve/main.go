@@ -73,12 +73,24 @@ import (
 	"rmssd/internal/serving"
 )
 
+// backendDevice is the compute backend behind one shard: a single simulated
+// device or a multi-device array (sim.Time is a time.Duration alias, so the
+// two expose identical signatures for everything the serving path needs).
+type backendDevice interface {
+	ValidateInputs(denses []rmssd.Vector, sparses [][][]int64) error
+	InferBatch(at time.Duration, denses []rmssd.Vector, sparses [][][]int64) ([]float32, time.Duration, rmssd.Breakdown, error)
+	NBatch() int
+	Inferences() int64
+	SteadyStateQPS(n int) float64
+	Latency(n int) time.Duration
+}
+
 // deviceShard is one independent device replica: its own virtual clock,
 // trace stream and sequence counter. The pool calls ServeBatch from one
 // goroutine; the mutex only fences those calls against stats readers.
 type deviceShard struct {
 	id  int
-	dev *rmssd.Device
+	dev backendDevice
 	gen *rmssd.TraceGenerator
 	cfg rmssd.ModelConfig
 
@@ -156,11 +168,69 @@ func (d *deviceShard) ServeBatch(reqs []serving.Request) serving.BatchResult {
 	return res
 }
 
-// snapshot returns the shard's counters consistently.
+// array returns the shard's backend as a multi-device array, or nil for a
+// plain single-device shard.
+func (d *deviceShard) array() *rmssd.Array {
+	a, _ := d.dev.(*rmssd.Array)
+	return a
+}
+
+// members returns the shard's member devices in index order: the device
+// itself for a plain shard, every array member otherwise. Flash, locality
+// and fault surfaces all live per member.
+func (d *deviceShard) members() []*rmssd.Device {
+	if a := d.array(); a != nil {
+		return a.Devices()
+	}
+	return []*rmssd.Device{d.dev.(*rmssd.Device)}
+}
+
+// snapshot returns the shard's counters consistently; flash traffic is
+// summed over member devices.
 func (d *deviceShard) snapshot() (fs rmssd.FlashStats, inferences int64, now time.Duration) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.dev.Device().Array().Stats(), d.dev.Inferences(), d.now
+	for _, dev := range d.members() {
+		st := dev.Device().Array().Stats()
+		fs.PageReads += st.PageReads
+		fs.VectorReads += st.VectorReads
+		fs.PageWrites += st.PageWrites
+		fs.Erases += st.Erases
+		fs.BytesTransferred += st.BytesTransferred
+		fs.BytesFlushed += st.BytesFlushed
+		fs.ReadFaults += st.ReadFaults
+		fs.ECCRetries += st.ECCRetries
+		fs.Uncorrectable += st.Uncorrectable
+	}
+	return fs, d.dev.Inferences(), d.now
+}
+
+// arrayStats sums the model's array scatter/gather counters across shards;
+// ok reports whether the model is array-backed at all.
+func (m *hostedModel) arrayStats() (total rmssd.ArrayStats, ok bool) {
+	for _, sh := range m.shards {
+		a := sh.array()
+		if a == nil {
+			return rmssd.ArrayStats{}, false
+		}
+		sh.mu.Lock()
+		st := a.Stats()
+		sh.mu.Unlock()
+		total.Devices = st.Devices
+		total.Partition = st.Partition
+		total.Batches += st.Batches
+		total.Inferences += st.Inferences
+		if total.Scattered == nil {
+			total.Scattered = make([]int64, len(st.Scattered))
+		}
+		for d, n := range st.Scattered {
+			total.Scattered[d] += n
+		}
+		total.Partials += st.Partials
+		total.Transfers += st.Transfers
+		total.TransferBytes += st.TransferBytes
+	}
+	return total, true
 }
 
 // hostedModel is one named model on the server: its config, device shards
@@ -194,6 +264,12 @@ type hostOptions struct {
 	// predictions stay byte-identical to an unfaulted server).
 	faultRate float64
 	faultSeed uint64
+	// arrayDevices > 1 backs each shard with a multi-device array: the
+	// model's tables are partitioned across that many member SSDs per
+	// `partition` ("range" or "hash"; empty = range). Predictions stay
+	// byte-identical to a single device hosting the whole model.
+	arrayDevices int
+	partition    string
 }
 
 // newHostedModel builds o.shards independent devices for cfg. When several
@@ -209,17 +285,31 @@ func newHostedModel(name string, cfg rmssd.ModelConfig, o hostOptions) (*hostedM
 	if nshards == 1 {
 		devParallel = 0 // GOMAXPROCS lanes inside the single device
 	}
+	if o.partition != "" && o.arrayDevices <= 1 {
+		return nil, fmt.Errorf("rmserve: model %q: partition %q needs arrayDevices > 1", name, o.partition)
+	}
 	m := &hostedModel{name: name, weight: o.weight, cfg: cfg, queue: o.queue}
 	maxBatch := o.maxBatch
 	for i := 0; i < nshards; i++ {
-		dev, err := rmssd.NewDevice(cfg, rmssd.DeviceOptions{
+		opts := rmssd.DeviceOptions{
 			Parallel:     devParallel,
 			EVCacheBytes: o.evCacheMB << 20,
 			DedupLookups: o.dedup,
 			// Per-shard seed offset mirrors the trace generator's, so shards
 			// draw independent (but reproducible) fault sequences.
-			FaultPlan: rmssd.FaultPlan{Rate: o.faultRate, Seed: o.faultSeed + uint64(i)*0x9e37},
-		})
+			FaultPlan:    rmssd.FaultPlan{Rate: o.faultRate, Seed: o.faultSeed + uint64(i)*0x9e37},
+			ArrayDevices: o.arrayDevices,
+			Partition:    o.partition,
+		}
+		var (
+			dev backendDevice
+			err error
+		)
+		if o.arrayDevices > 1 {
+			dev, err = rmssd.NewArray(cfg, opts)
+		} else {
+			dev, err = rmssd.NewDevice(cfg, opts)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("rmserve: model %q: %w", name, err)
 		}
@@ -245,16 +335,18 @@ func newHostedModel(name string, cfg rmssd.ModelConfig, o hostOptions) (*hostedM
 func (m *hostedModel) localityStats() (lk rmssd.LookupStats, ev rmssd.EVCacheStats, cached bool) {
 	for _, sh := range m.shards {
 		sh.mu.Lock()
-		st := sh.dev.Lookup().Stats()
-		lk.Lookups += st.Lookups
-		lk.BytesPooled += st.BytesPooled
-		lk.DedupHits += st.DedupHits
-		if c := sh.dev.Lookup().EVCache(); c != nil {
-			cached = true
-			cs := c.Stats()
-			ev.Hits += cs.Hits
-			ev.Misses += cs.Misses
-			ev.Evictions += cs.Evictions
+		for _, dev := range sh.members() {
+			st := dev.Lookup().Stats()
+			lk.Lookups += st.Lookups
+			lk.BytesPooled += st.BytesPooled
+			lk.DedupHits += st.DedupHits
+			if c := dev.Lookup().EVCache(); c != nil {
+				cached = true
+				cs := c.Stats()
+				ev.Hits += cs.Hits
+				ev.Misses += cs.Misses
+				ev.Evictions += cs.Evictions
+			}
 		}
 		sh.mu.Unlock()
 	}
@@ -364,6 +456,8 @@ func main() {
 		dedup      = flag.Bool("dedup", false, "merge duplicate (table,row) lookups within a device batch (single-model mode)")
 		faultRate  = flag.Float64("fault-rate", 0, "per-attempt flash ECC failure probability in [0,1) (0 = off; single-model mode)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "seed for deterministic fault injection (single-model mode)")
+		arrayDevs  = flag.Int("array-devices", 0, "member SSDs per shard: >1 partitions each table across a device array (single-model mode)")
+		partition  = flag.String("partition", "", "array partition strategy: 'range' or 'hash' (needs -array-devices > 1; single-model mode)")
 		traceMode  = flag.String("trace", "", "replay a trace through the pool(s) and exit: 'synthetic' or 'criteo'")
 		criteoIn   = flag.String("criteo-in", "", "Criteo-format TSV file for -trace criteo")
 		rate       = flag.Float64("rate", 50000, "replay offered load in requests per simulated second")
@@ -401,6 +495,7 @@ func main() {
 			shards: *shards, seed: *seed, maxBatch: *maxBatch, queue: *queue,
 			evCacheMB: *evCacheMB, dedup: *dedup,
 			faultRate: *faultRate, faultSeed: *faultSeed,
+			arrayDevices: *arrayDevs, partition: *partition,
 		})
 	}
 	if err != nil {
@@ -464,7 +559,7 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	// The top-level fields describe the default model, which keeps the
 	// single-model API shape; `models` lists every hosted name.
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	info := map[string]interface{}{
 		"model":        s.def.cfg.Name,
 		"tables":       s.def.cfg.Tables,
 		"lookups":      s.def.cfg.Lookups,
@@ -477,7 +572,12 @@ func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		"models":       s.reg.Models(),
 		"defaultModel": s.def.name,
 		"hostBudget":   s.router.Budget(),
-	})
+	}
+	if a := s.def.shards[0].array(); a != nil {
+		info["arrayDevices"] = a.Layout().Devices()
+		info["partition"] = string(a.Layout().Strategy())
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleModels lists every hosted model's configuration alongside its live
@@ -729,13 +829,27 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 				qps = float64(inf) / now.Seconds()
 			}
 			observedQPS += qps
-			perShard = append(perShard, map[string]interface{}{
+			entry := map[string]interface{}{
 				"model":      m.name,
 				"shard":      sh.id,
 				"inferences": inf,
 				"simClock":   now.String(),
 				"qps":        qps,
-			})
+			}
+			if a := sh.array(); a != nil {
+				sh.mu.Lock()
+				ast := a.Stats()
+				sh.mu.Unlock()
+				entry["array"] = map[string]interface{}{
+					"devices":       ast.Devices,
+					"partition":     string(ast.Partition),
+					"scattered":     ast.Scattered,
+					"partials":      ast.Partials,
+					"transfers":     ast.Transfers,
+					"transferBytes": ast.TransferBytes,
+				}
+			}
+			perShard = append(perShard, entry)
 		}
 		ps := m.pool.Stats()
 		requests += ps.Requests

@@ -56,6 +56,14 @@ type modelDecl struct {
 	FaultRate float64 `json:"faultRate"`
 	// FaultSeed seeds the fault sequence when FaultRate > 0.
 	FaultSeed uint64 `json:"faultSeed"`
+	// ArrayDevices > 1 backs each of this model's shards with a
+	// multi-device array: the embedding tables are partitioned across that
+	// many member SSDs. 0 or 1 hosts the whole model on one device.
+	ArrayDevices int `json:"arrayDevices"`
+	// Partition selects the array's row partitioning: "range" (contiguous
+	// blocks) or "hash" (modular striping). Empty means "range"; only valid
+	// with ArrayDevices > 1.
+	Partition string `json:"partition"`
 }
 
 // modelsConfig is the top-level shape of the -models file.
@@ -107,6 +115,17 @@ func parseModelsConfig(r io.Reader) (modelsConfig, error) {
 		if d.FaultRate < 0 || d.FaultRate >= 1 {
 			return modelsConfig{}, fmt.Errorf("rmserve: models[%d] (%q): faultRate %v outside [0,1)", i, d.Name, d.FaultRate)
 		}
+		if d.ArrayDevices < 0 || d.ArrayDevices > rmssd.MaxArrayDevices {
+			return modelsConfig{}, fmt.Errorf("rmserve: models[%d] (%q): arrayDevices %d outside [0,%d]", i, d.Name, d.ArrayDevices, rmssd.MaxArrayDevices)
+		}
+		switch d.Partition {
+		case "", string(rmssd.PartitionRange), string(rmssd.PartitionHash):
+		default:
+			return modelsConfig{}, fmt.Errorf("rmserve: models[%d] (%q): unknown partition %q (want range or hash)", i, d.Name, d.Partition)
+		}
+		if d.Partition != "" && d.ArrayDevices <= 1 {
+			return modelsConfig{}, fmt.Errorf("rmserve: models[%d] (%q): partition %q needs arrayDevices > 1", i, d.Name, d.Partition)
+		}
 		if d.Shards == 0 {
 			d.Shards = 1
 		}
@@ -149,6 +168,7 @@ func (mc modelsConfig) build(globalSeed uint64) ([]*hostedModel, error) {
 			shards: d.Shards, seed: seed, maxBatch: d.MaxBatch, queue: d.Queue,
 			weight: d.Weight, evCacheMB: d.EVCacheMB, dedup: d.Dedup,
 			faultRate: d.FaultRate, faultSeed: d.FaultSeed,
+			arrayDevices: d.ArrayDevices, partition: d.Partition,
 		})
 		if err != nil {
 			return nil, err

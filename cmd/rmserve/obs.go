@@ -26,7 +26,17 @@ func (s *server) enableMetrics() {
 	for _, m := range s.models {
 		for _, sh := range m.shards {
 			model, shard := m.name, sh.id
-			sh.dev.SetSpanSink(func(sp obs.DeviceSpan) {
+			if a := sh.array(); a != nil {
+				// Array shards record one span per member device, labeled by
+				// member index, so the flamegraph shows the scatter/gather.
+				for di, dev := range a.Devices() {
+					dev.SetSpanSink(func(sp obs.DeviceSpan) {
+						obs.RecordMemberSpan(s.metrics, model, shard, di, sp)
+					})
+				}
+				continue
+			}
+			sh.members()[0].SetSpanSink(func(sp obs.DeviceSpan) {
 				obs.RecordDeviceSpan(s.metrics, model, shard, sp)
 			})
 		}
@@ -131,7 +141,15 @@ func mountPprof(mux *http.ServeMux) {
 func (s *server) installReplaySinks(t *obs.Tracer) {
 	for _, m := range s.models {
 		for _, sh := range m.shards {
-			sh.dev.SetSpanSink(t.DeviceSink(m.name, sh.id))
+			if a := sh.array(); a != nil {
+				// One sink per member; the array emits the top member's span
+				// last, which the tracer keeps as the batch's device span.
+				for di, dev := range a.Devices() {
+					dev.SetSpanSink(t.ArrayDeviceSink(m.name, sh.id, di))
+				}
+				continue
+			}
+			sh.members()[0].SetSpanSink(t.DeviceSink(m.name, sh.id))
 		}
 	}
 }

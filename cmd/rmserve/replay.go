@@ -168,7 +168,7 @@ func formatReplayResult(sb *strings.Builder, res serving.ReplayResult) {
 // classic replay reports byte-identical.
 func formatLocality(sb *strings.Builder, m *hostedModel) {
 	lk, ev, cached := m.localityStats()
-	if !cached && !m.shards[0].dev.Lookup().Dedup() {
+	if !cached && !m.shards[0].members()[0].Lookup().Dedup() {
 		return
 	}
 	fmt.Fprintf(sb, "locality:     %d/%d lookups deduped", lk.DedupHits, lk.Lookups)
@@ -184,12 +184,28 @@ func formatLocality(sb *strings.Builder, m *hostedModel) {
 	fmt.Fprintf(sb, "\n")
 }
 
+// formatArray appends the model's scatter/gather counters when its shards
+// are backed by multi-device arrays. Array-free models print nothing,
+// keeping classic replay reports byte-identical.
+func formatArray(sb *strings.Builder, m *hostedModel) {
+	st, ok := m.arrayStats()
+	if !ok {
+		return
+	}
+	fmt.Fprintf(sb, "array:        %d devices (%s); scattered", st.Devices, st.Partition)
+	for _, n := range st.Scattered {
+		fmt.Fprintf(sb, " %d", n)
+	}
+	fmt.Fprintf(sb, " lookups; %d partials in %d transfers (%d bytes)\n",
+		st.Partials, st.Transfers, st.TransferBytes)
+}
+
 // formatFaults appends fault-injection counters when the model's devices
 // have a fault plan enabled. With injection off (the default) nothing is
 // printed, keeping faults-off replay reports byte-identical to historical
 // output.
 func formatFaults(sb *strings.Builder, m *hostedModel, res serving.ReplayResult) {
-	if !m.shards[0].dev.Device().Array().FaultPlan().Enabled() {
+	if !m.shards[0].members()[0].Device().Array().FaultPlan().Enabled() {
 		return
 	}
 	var readFaults, retries, uncorrectable int64
@@ -222,6 +238,7 @@ func (s *server) runReplay(rc replayConfig, w io.Writer) error {
 			rc.Mode, s.def.cfg.Name, len(s.def.shards), rc.Rate, rc.ReqBatch, rc.Seed)
 		formatReplayResult(&sb, res)
 		formatLocality(&sb, s.def)
+		formatArray(&sb, s.def)
 		formatFaults(&sb, s.def, res)
 		if rc.Tracer != nil {
 			formatStages(&sb, rc.Tracer, s.def.name)
@@ -241,6 +258,7 @@ func (s *server) runReplay(rc replayConfig, w io.Writer) error {
 				name, m.cfg.Name, len(m.shards), m.weight, serving.ModelReplaySeed(rc.Seed, name))
 			formatReplayResult(&sb, res.PerModel[name])
 			formatLocality(&sb, m)
+			formatArray(&sb, m)
 			formatFaults(&sb, m, res.PerModel[name])
 			if rc.Tracer != nil {
 				formatStages(&sb, rc.Tracer, name)

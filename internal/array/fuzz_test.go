@@ -1,0 +1,85 @@
+package array
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzArrayPartitionConfig throws arbitrary partition specs at Validate/
+// Resolve: any input must either be rejected with an error — overflowing
+// device counts, empty partitions, overlapping or non-covering bounds — or
+// resolve into a layout that satisfies the ownership invariants (every
+// sampled row owned by exactly one device with a Local/Global round-trip,
+// shares summing to the row space). Resolve must never panic and never
+// accept a spec the property layer would fault.
+func FuzzArrayPartitionConfig(f *testing.F) {
+	f.Add("range", 4, int64(1000), []byte{})
+	f.Add("hash", 3, int64(7), []byte{})
+	f.Add("", 1, int64(1), []byte{})
+	f.Add("range", 2, int64(100), boundsBytes(0, 30, 100))
+	f.Add("range", 3, int64(100), boundsBytes(0, 60, 40, 100)) // overlap: must reject
+	f.Add("hash", 2, int64(100), boundsBytes(0, 50, 100))      // hash+bounds: must reject
+	f.Add("range", 65, int64(1<<40), []byte{})                 // overflow: must reject
+	f.Add("modulo", 2, int64(100), []byte{})                   // unknown strategy
+	f.Add("range", 0, int64(100), []byte{})                    // empty partition
+	f.Add("range", 8, int64(7), []byte{})                      // more devices than rows
+
+	f.Fuzz(func(t *testing.T, strat string, devices int, rows int64, boundsRaw []byte) {
+		var bounds []int64
+		for len(boundsRaw) >= 8 {
+			bounds = append(bounds, int64(binary.LittleEndian.Uint64(boundsRaw)))
+			boundsRaw = boundsRaw[8:]
+		}
+		p := Partition{Strategy: Strategy(strat), Devices: devices, Bounds: bounds}
+
+		l, err := p.Resolve(rows)
+		if verr := p.Validate(rows); (verr == nil) != (err == nil) {
+			t.Fatalf("Validate (%v) and Resolve (%v) disagree for %+v over %d rows", verr, err, p, rows)
+		}
+		if err != nil {
+			return
+		}
+		// The spec resolved: the layout must uphold the ownership contract.
+		if l.Devices() != devices || l.Rows() != rows {
+			t.Fatalf("layout echoes %d devices / %d rows for %+v over %d rows",
+				l.Devices(), l.Rows(), p, rows)
+		}
+		var sum int64
+		for d := 0; d < l.Devices(); d++ {
+			share := l.Share(d)
+			if share <= 0 {
+				t.Fatalf("device %d owns %d rows in accepted spec %+v over %d rows", d, share, p, rows)
+			}
+			sum += share
+		}
+		if sum != rows {
+			t.Fatalf("shares sum to %d, want %d (spec %+v)", sum, rows, p)
+		}
+		// Sample the row space (exhaustive when small): one owner each, with
+		// a clean round-trip through the device-local index. The row >= 0
+		// guard stops the sampler when row+step wraps past MaxInt64; rows
+		// outside [0, rows) are not in Owner's domain.
+		step := rows/2048 + 1
+		for row := int64(0); row >= 0 && row < rows; row += step {
+			d := l.Owner(0, row)
+			if d < 0 || d >= l.Devices() {
+				t.Fatalf("owner(%d) = %d outside [0,%d)", row, d, l.Devices())
+			}
+			local := l.Local(0, row)
+			if local < 0 || local >= l.Share(d) {
+				t.Fatalf("local(%d) = %d outside device %d's %d-row share", row, local, d, l.Share(d))
+			}
+			if back := l.Global(d, local); back != row {
+				t.Fatalf("global(%d, %d) = %d, want %d", d, local, back, row)
+			}
+		}
+	})
+}
+
+func boundsBytes(bounds ...int64) []byte {
+	out := make([]byte, 8*len(bounds))
+	for i, b := range bounds {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(b))
+	}
+	return out
+}

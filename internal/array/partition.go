@@ -1,0 +1,202 @@
+// Package array composes N simulated RM-SSDs into one logical device for
+// models whose embedding tables exceed a single SSD: the row space of every
+// table is partitioned across member devices, each batch's sparse lookups
+// are scattered to the owning members, the per-member embedding stages run
+// on independent virtual clocks, and the partial SparseLengthsSum results
+// are gathered on a designated top-MLP member that runs feature interaction
+// and the MLP towers. Array latency is the deterministic max over member
+// timelines plus a modeled inter-device transfer cost
+// (params.ArrayTransferSetup/ArrayTransferBandwidth, both in
+// TimingFingerprint).
+//
+// A one-member array is bit-identical to a plain core.RMSSD: same
+// predictions, same simulated times, same spans. With N > 1 the partial
+// sums merge in fixed device-index order, so predictions are a pure
+// function of (config, inputs) — byte-identical across host parallelism,
+// serving shard counts and reruns, the repo-wide determinism contract.
+package array
+
+import (
+	"fmt"
+	"sort"
+
+	"rmssd/internal/model"
+)
+
+// Strategy names a (table, row) partitioning scheme.
+type Strategy string
+
+const (
+	// StrategyRange assigns each device one contiguous block of rows in
+	// every table (device d owns global rows [bounds[d], bounds[d+1])).
+	// Contiguity keeps a table's hot head — Zipf-skewed traces concentrate
+	// there — on one device.
+	StrategyRange Strategy = "range"
+	// StrategyHash stripes rows across devices by modular key hashing:
+	// device d owns every global row with row % devices == d. The modular
+	// map is chosen over a salted hash so each member's slice stays a
+	// dense stride-N row set that the on-device translator can address
+	// without a dictionary; it spreads hot heads evenly at the price of
+	// touching every device per batch.
+	StrategyHash Strategy = "hash"
+)
+
+// MaxDevices bounds the member count of one array. Far beyond any physical
+// PCIe topology, but small enough that per-device scatter bookkeeping stays
+// trivially sized.
+const MaxDevices = 64
+
+// Partition is the user-facing partition spec carried (as strings/ints)
+// through core.Options, model JSON configs and the rmserve flags.
+type Partition struct {
+	// Strategy selects the scheme; empty means StrategyRange.
+	Strategy Strategy
+	// Devices is the member-device count (>= 1).
+	Devices int
+	// Bounds optionally pins StrategyRange's split points: Devices+1
+	// non-overlapping ascending row bounds with Bounds[0] == 0 and
+	// Bounds[Devices] == RowsPerTable. Nil means an equal split. Invalid
+	// with StrategyHash.
+	Bounds []int64
+}
+
+// Validate checks the spec against a model's per-table row count. It is
+// Resolve without the resolved layout.
+func (p Partition) Validate(rows int64) error {
+	_, err := p.Resolve(rows)
+	return err
+}
+
+// Resolve validates the spec against a model's per-table row count and
+// returns the concrete (table, row) -> (device, local row) mapping.
+func (p Partition) Resolve(rows int64) (Layout, error) {
+	strat := p.Strategy
+	if strat == "" {
+		strat = StrategyRange
+	}
+	switch {
+	case strat != StrategyRange && strat != StrategyHash:
+		return Layout{}, fmt.Errorf("array: unknown partition strategy %q", p.Strategy)
+	case p.Devices <= 0:
+		return Layout{}, fmt.Errorf("array: empty partition: %d devices", p.Devices)
+	case p.Devices > MaxDevices:
+		return Layout{}, fmt.Errorf("array: %d devices exceeds %d", p.Devices, MaxDevices)
+	case rows <= 0:
+		return Layout{}, fmt.Errorf("array: partition over %d rows", rows)
+	case int64(p.Devices) > rows:
+		return Layout{}, fmt.Errorf("array: %d devices overflow the %d-row table (a device would own no rows)", p.Devices, rows)
+	}
+	l := Layout{strategy: strat, devices: p.Devices, rows: rows}
+	if strat == StrategyHash {
+		if p.Bounds != nil {
+			return Layout{}, fmt.Errorf("array: explicit bounds are only valid with the range strategy")
+		}
+		return l, nil
+	}
+	if p.Bounds == nil {
+		// Equal split: device d owns [d*rows/N, (d+1)*rows/N).
+		l.bounds = make([]int64, p.Devices+1)
+		for d := 1; d <= p.Devices; d++ {
+			l.bounds[d] = int64(d) * rows / int64(p.Devices)
+		}
+		l.bounds[p.Devices] = rows
+		return l, nil
+	}
+	if len(p.Bounds) != p.Devices+1 {
+		return Layout{}, fmt.Errorf("array: %d bounds for %d devices (want %d)", len(p.Bounds), p.Devices, p.Devices+1)
+	}
+	if p.Bounds[0] != 0 || p.Bounds[p.Devices] != rows {
+		return Layout{}, fmt.Errorf("array: bounds [%d..%d] do not cover rows [0..%d]", p.Bounds[0], p.Bounds[p.Devices], rows)
+	}
+	for d := 1; d <= p.Devices; d++ {
+		switch {
+		case p.Bounds[d] < p.Bounds[d-1]:
+			return Layout{}, fmt.Errorf("array: bounds %d and %d overlap: %d > %d", d-1, d, p.Bounds[d-1], p.Bounds[d])
+		case p.Bounds[d] == p.Bounds[d-1]:
+			return Layout{}, fmt.Errorf("array: device %d owns no rows (bound %d repeated)", d-1, p.Bounds[d])
+		}
+	}
+	l.bounds = append([]int64(nil), p.Bounds...)
+	return l, nil
+}
+
+// Layout is a validated partition resolved against a model's row count: the
+// pure (table, row) -> (device, local row) mapping every scatter uses. Both
+// strategies slice the row space identically in every table, so each member
+// hosts one uniform row slice of all tables — which is what lets a member
+// be described by an ordinary model.Config (single RowsPerTable plus the
+// RowBase/RowStride content remap).
+type Layout struct {
+	strategy Strategy
+	devices  int
+	rows     int64
+	bounds   []int64 // range strategy only: len devices+1, ascending
+}
+
+// Strategy returns the resolved scheme, Devices the member count, Rows the
+// logical per-table row count.
+func (l Layout) Strategy() Strategy { return l.strategy }
+func (l Layout) Devices() int       { return l.devices }
+func (l Layout) Rows() int64        { return l.rows }
+
+// Owner returns the device owning the global (table, row) key. Callers
+// guarantee 0 <= row < Rows().
+func (l Layout) Owner(table int, row int64) int {
+	if l.strategy == StrategyHash {
+		return int(row % int64(l.devices))
+	}
+	// First bound strictly above row, minus one block.
+	return sort.Search(l.devices, func(d int) bool { return l.bounds[d+1] > row })
+}
+
+// Local translates the global (table, row) key to the owning device's local
+// row index.
+func (l Layout) Local(table int, row int64) int64 {
+	if l.strategy == StrategyHash {
+		return row / int64(l.devices)
+	}
+	return row - l.bounds[l.Owner(table, row)]
+}
+
+// Global translates device d's local row back to the logical model's row:
+// the inverse of (Owner, Local) on d's slice.
+func (l Layout) Global(d int, local int64) int64 {
+	base, stride := l.BaseStride(d)
+	return base + local*stride
+}
+
+// Share returns the number of rows (per table) device d owns.
+func (l Layout) Share(d int) int64 {
+	if l.strategy == StrategyHash {
+		// Rows d, d+N, d+2N, ... below rows: floor(rows/N), plus one when d
+		// falls inside the trailing partial stride. Written without the
+		// rows+N-1 intermediate, which overflows for rows near MaxInt64.
+		share := l.rows / int64(l.devices)
+		if int64(d) < l.rows%int64(l.devices) {
+			share++
+		}
+		return share
+	}
+	return l.bounds[d+1] - l.bounds[d]
+}
+
+// BaseStride returns device d's content remap: its local row r holds the
+// logical model's row base + r*stride.
+func (l Layout) BaseStride(d int) (base, stride int64) {
+	if l.strategy == StrategyHash {
+		return int64(d), int64(l.devices)
+	}
+	return l.bounds[d], 1
+}
+
+// MemberConfig derives the model config member device d hosts: the logical
+// architecture with the row space cut to d's share and the RowBase/
+// RowStride remap installed so the member generates globally-correct
+// embedding bytes for exactly the rows it owns. For a one-device layout the
+// result serves identically to cfg itself (base 0, stride 1).
+func (l Layout) MemberConfig(cfg model.Config, d int) model.Config {
+	mc := cfg
+	mc.RowsPerTable = l.Share(d)
+	mc.RowBase, mc.RowStride = l.BaseStride(d)
+	return mc
+}

@@ -1,0 +1,246 @@
+package array
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rmssd/internal/model"
+)
+
+// randomSpecs yields a deterministic mix of partition specs resolved against
+// randomized row counts: both strategies, device counts from 1 to the cap,
+// and (for range) occasional explicit bounds. Every returned spec is valid.
+func randomSpecs(rng *rand.Rand, n int) []struct {
+	p    Partition
+	rows int64
+} {
+	specs := make([]struct {
+		p    Partition
+		rows int64
+	}, 0, n)
+	for len(specs) < n {
+		rows := 1 + rng.Int63n(10000)
+		devices := 1 + rng.Intn(MaxDevices)
+		if int64(devices) > rows {
+			devices = int(rows)
+		}
+		strat := StrategyRange
+		if rng.Intn(2) == 1 {
+			strat = StrategyHash
+		}
+		p := Partition{Strategy: strat, Devices: devices}
+		if strat == StrategyRange && rng.Intn(3) == 0 && rows >= int64(devices) {
+			// Random explicit bounds: choose devices-1 distinct interior cut
+			// points, so every device owns at least one row.
+			cuts := rng.Perm(int(rows - 1))[:devices-1]
+			bounds := make([]int64, 0, devices+1)
+			bounds = append(bounds, 0)
+			for _, c := range cuts {
+				bounds = append(bounds, int64(c)+1)
+			}
+			bounds = append(bounds, rows)
+			for i := 1; i < len(bounds); i++ {
+				for j := i; j > 1 && bounds[j] < bounds[j-1]; j-- {
+					bounds[j], bounds[j-1] = bounds[j-1], bounds[j]
+				}
+			}
+			p.Bounds = bounds
+		}
+		specs = append(specs, struct {
+			p    Partition
+			rows int64
+		}{p, rows})
+	}
+	return specs
+}
+
+// Property: every (table, row) maps to exactly one device, and the
+// (Owner, Local) pair round-trips through Global. Checked exhaustively for
+// every row of each randomized spec (table index is irrelevant by
+// construction — both strategies slice all tables identically — but we vary
+// it anyway to pin that down).
+func TestLayoutOwnerTotalAndInvertible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for si, s := range randomSpecs(rng, 40) {
+		l, err := s.p.Resolve(s.rows)
+		if err != nil {
+			t.Fatalf("spec %d (%+v over %d rows): %v", si, s.p, s.rows, err)
+		}
+		for row := int64(0); row < s.rows; row++ {
+			table := int(row % 7)
+			d := l.Owner(table, row)
+			if d < 0 || d >= l.Devices() {
+				t.Fatalf("spec %d: owner(%d) = %d outside [0,%d)", si, row, d, l.Devices())
+			}
+			local := l.Local(table, row)
+			if local < 0 || local >= l.Share(d) {
+				t.Fatalf("spec %d: local(%d) = %d outside device %d's %d-row share",
+					si, row, local, d, l.Share(d))
+			}
+			if back := l.Global(d, local); back != row {
+				t.Fatalf("spec %d: global(%d, %d) = %d, want %d", si, d, local, back, row)
+			}
+		}
+	}
+}
+
+// Property: the per-device shares exhaust the row space — they sum to the
+// table's row count with no gaps or overlaps. Combined with the round-trip
+// property above (each device's locals inject into [0, rows)), equal counts
+// force the union to be exactly the row space.
+func TestLayoutSharesExhaustRowSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for si, s := range randomSpecs(rng, 60) {
+		l, err := s.p.Resolve(s.rows)
+		if err != nil {
+			t.Fatalf("spec %d: %v", si, err)
+		}
+		var sum int64
+		for d := 0; d < l.Devices(); d++ {
+			share := l.Share(d)
+			if share <= 0 {
+				t.Fatalf("spec %d: device %d owns %d rows", si, d, share)
+			}
+			sum += share
+		}
+		if sum != s.rows {
+			t.Fatalf("spec %d: shares sum to %d, want %d rows", si, sum, s.rows)
+		}
+	}
+}
+
+// Property: the assignment is a pure function of the spec — two independent
+// Resolve calls agree everywhere, and mutating the caller's bounds slice
+// after Resolve does not perturb the layout.
+func TestLayoutPureFunctionOfSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for si, s := range randomSpecs(rng, 30) {
+		a, err := s.p.Resolve(s.rows)
+		if err != nil {
+			t.Fatalf("spec %d: %v", si, err)
+		}
+		b, err := s.p.Resolve(s.rows)
+		if err != nil {
+			t.Fatalf("spec %d: %v", si, err)
+		}
+		if s.p.Bounds != nil {
+			for i := range s.p.Bounds {
+				s.p.Bounds[i] = -999 // must not alias into the layout
+			}
+		}
+		for i := 0; i < 500; i++ {
+			row := rng.Int63n(s.rows)
+			if a.Owner(0, row) != b.Owner(0, row) || a.Local(0, row) != b.Local(0, row) {
+				t.Fatalf("spec %d row %d: resolves disagree: (%d,%d) vs (%d,%d)", si, row,
+					a.Owner(0, row), a.Local(0, row), b.Owner(0, row), b.Local(0, row))
+			}
+		}
+	}
+}
+
+// MemberConfig must describe exactly the rows a member owns: the share as
+// its row count and a remap that reproduces the global row ids, with the
+// one-device layout degenerating to the identity.
+func TestMemberConfigMatchesLayout(t *testing.T) {
+	cfg := model.RMC1()
+	cfg.RowsPerTable = 1000
+	for _, strat := range []Strategy{StrategyRange, StrategyHash} {
+		for _, devices := range []int{1, 2, 3, 7} {
+			l, err := Partition{Strategy: strat, Devices: devices}.Resolve(cfg.RowsPerTable)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total int64
+			for d := 0; d < devices; d++ {
+				mc := l.MemberConfig(cfg, d)
+				if mc.RowsPerTable != l.Share(d) {
+					t.Fatalf("%s/%d: member %d rows %d != share %d", strat, devices, d, mc.RowsPerTable, l.Share(d))
+				}
+				if err := mc.Validate(); err != nil {
+					t.Fatalf("%s/%d: member %d config: %v", strat, devices, d, err)
+				}
+				for local := int64(0); local < mc.RowsPerTable; local++ {
+					if got, want := mc.GlobalRow(local), l.Global(d, local); got != want {
+						t.Fatalf("%s/%d: member %d row %d remaps to %d, want %d",
+							strat, devices, d, local, got, want)
+					}
+				}
+				total += mc.RowsPerTable
+			}
+			if total != cfg.RowsPerTable {
+				t.Fatalf("%s/%d: members host %d rows, want %d", strat, devices, total, cfg.RowsPerTable)
+			}
+		}
+	}
+	one, err := Partition{Devices: 1}.Resolve(cfg.RowsPerTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := one.MemberConfig(cfg, 0)
+	if mc.RowsPerTable != cfg.RowsPerTable || mc.RowBase != 0 || mc.RowStride != 1 {
+		t.Fatalf("one-device member config not the identity: rows=%d base=%d stride=%d",
+			mc.RowsPerTable, mc.RowBase, mc.RowStride)
+	}
+}
+
+// Validation must reject malformed specs with a diagnostic, never resolve
+// them into a layout with unowned or doubly-owned rows.
+func TestPartitionValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Partition
+		rows int64
+	}{
+		{"unknown strategy", Partition{Strategy: "modulo", Devices: 2}, 100},
+		{"zero devices", Partition{Devices: 0}, 100},
+		{"negative devices", Partition{Devices: -3}, 100},
+		{"too many devices", Partition{Devices: MaxDevices + 1}, 1 << 20},
+		{"zero rows", Partition{Devices: 1}, 0},
+		{"negative rows", Partition{Devices: 1}, -5},
+		{"more devices than rows", Partition{Devices: 8}, 7},
+		{"hash with bounds", Partition{Strategy: StrategyHash, Devices: 2, Bounds: []int64{0, 50, 100}}, 100},
+		{"wrong bound count", Partition{Devices: 2, Bounds: []int64{0, 100}}, 100},
+		{"bounds not from zero", Partition{Devices: 2, Bounds: []int64{1, 50, 100}}, 100},
+		{"bounds not to rows", Partition{Devices: 2, Bounds: []int64{0, 50, 99}}, 100},
+		{"overlapping bounds", Partition{Devices: 3, Bounds: []int64{0, 60, 40, 100}}, 100},
+		{"empty device", Partition{Devices: 3, Bounds: []int64{0, 40, 40, 100}}, 100},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(tc.rows); err == nil {
+				t.Fatalf("spec %+v over %d rows unexpectedly valid", tc.p, tc.rows)
+			}
+		})
+	}
+	// And the happy path stays happy.
+	if err := (Partition{Devices: 2, Bounds: []int64{0, 30, 100}}).Validate(100); err != nil {
+		t.Fatalf("valid explicit bounds rejected: %v", err)
+	}
+}
+
+// Explicit bounds steer ownership: the resolved layout must honour the cut
+// points exactly, not the equal split.
+func TestRangeBoundsHonoured(t *testing.T) {
+	l, err := Partition{Devices: 3, Bounds: []int64{0, 10, 15, 100}}.Resolve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row, want := range map[int64]int{0: 0, 9: 0, 10: 1, 14: 1, 15: 2, 99: 2} {
+		if got := l.Owner(0, row); got != want {
+			t.Errorf("owner(%d) = %d, want %d", row, got, want)
+		}
+	}
+	if l.Share(0) != 10 || l.Share(1) != 5 || l.Share(2) != 85 {
+		t.Errorf("shares = %d %d %d", l.Share(0), l.Share(1), l.Share(2))
+	}
+}
+
+func ExamplePartition_Resolve() {
+	l, err := Partition{Strategy: StrategyHash, Devices: 4}.Resolve(1000)
+	if err != nil {
+		panic(fmt.Sprintf("array: %v", err))
+	}
+	fmt.Println(l.Owner(0, 6), l.Local(0, 6), l.Share(2))
+	// Output: 2 1 250
+}

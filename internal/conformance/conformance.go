@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"rmssd/internal/array"
 	"rmssd/internal/bench"
 	"rmssd/internal/core"
 	"rmssd/internal/flash"
@@ -68,6 +69,7 @@ func Cases() []Case {
 		{Name: "replay/evcache", Render: renderEVCacheReplay},
 		{Name: "replay/faults", Render: renderFaultReplay},
 		{Name: "replay/trace", Render: renderTraceReplay},
+		{Name: "replay/array", Render: renderArrayReplay},
 	}
 	// Static tables: pure functions of the calibration constants (Table II
 	// settings, model zoo, kernel search results, resource totals).
@@ -157,10 +159,17 @@ func renderDeviceInfer() (string, error) {
 	return sb.String(), nil
 }
 
+// inferBackend is the inference surface the replay batcher drives. Both a
+// single core.RMSSD and a multi-device array.Array satisfy it, so the same
+// batcher serves every replay case.
+type inferBackend interface {
+	InferBatch(at time.Duration, denses []tensor.Vector, sparses [][][]int64) ([]float32, time.Duration, core.Breakdown, error)
+}
+
 // deviceBatcher adapts one device to the serving layer for the replay
 // cases: a single-goroutine virtual clock, no locking needed.
 type deviceBatcher struct {
-	dev *core.RMSSD
+	dev inferBackend
 	gen *trace.Generator
 	cfg model.Config
 	now time.Duration
@@ -377,6 +386,66 @@ func renderFaultReplay() (string, error) {
 		fs := dev.Device().Array().Stats()
 		fmt.Fprintf(&sb, "shard %d: readfaults=%d eccretries=%d uncorrectable=%d\n",
 			i, fs.ReadFaults, fs.ECCRetries, fs.Uncorrectable)
+	}
+	return sb.String(), nil
+}
+
+// renderArrayReplay replays the single-model trace on shards backed by
+// two-device hash-partitioned arrays: the rmserve -array-devices -partition
+// path in library form. Beyond the replay profile it pins each shard's
+// scatter/gather counters, so the partition routing, the partial-sum
+// traffic and the modeled inter-device transfer cost (ArrayTransferSetup /
+// ArrayTransferBandwidth — both in the timing fingerprint) are under golden
+// control. The array merges partials in member-index order, so the
+// prediction checksum here is as pinnable as any single-device case.
+func renderArrayReplay() (string, error) {
+	cfg := model.RMC1()
+	cfg.RowsPerTable = cfg.RowsForBudget(tableBudget)
+	const nshards = 2
+	arrs := make([]*array.Array, 0, nshards)
+	backends := make([]serving.Batcher, 0, nshards)
+	for i := 0; i < nshards; i++ {
+		arr, err := array.New(cfg, core.Options{
+			Parallel:     1,
+			ArrayDevices: 2,
+			Partition:    string(array.StrategyHash),
+		})
+		if err != nil {
+			return "", err
+		}
+		gen, err := trace.NewGenerator(trace.Config{
+			Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups,
+			Seed: 5 + uint64(i)*0x9e37,
+		})
+		if err != nil {
+			return "", err
+		}
+		arrs = append(arrs, arr)
+		backends = append(backends, &deviceBatcher{dev: arr, gen: gen, cfg: cfg})
+	}
+	gen, err := trace.NewGenerator(trace.Config{
+		Tables: cfg.Tables, Rows: cfg.RowsPerTable, Lookups: cfg.Lookups, Seed: 5,
+	})
+	if err != nil {
+		return "", err
+	}
+	src, err := serving.NewGeneratorSource(gen, 2, cfg.DenseDim)
+	if err != nil {
+		return "", err
+	}
+	res, err := serving.Replay(backends, serving.ReplayConfig{
+		Rate: 100000, MaxBatch: 8, Requests: 40, Seed: 5,
+	}, src)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("replay RMC1 shards=2 array=2x(hash)\n")
+	sb.WriteString(formatReplay(res))
+	for i, arr := range arrs {
+		st := arr.Stats()
+		fmt.Fprintf(&sb, "shard %d: scattered=%v partials=%d transfers=%d bytes=%d\n",
+			i, st.Scattered, st.Partials, st.Transfers, st.TransferBytes)
 	}
 	return sb.String(), nil
 }

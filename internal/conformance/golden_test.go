@@ -7,12 +7,23 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 
 	"rmssd/internal/params"
 )
 
-var update = flag.Bool("update", false, "regenerate testdata/golden.json from the current build")
+var (
+	update = flag.Bool("update", false, "regenerate testdata/golden.json from the current build")
+	// updateCase scopes -update to the named cases (comma-separated). Every
+	// other entry is preserved from the golden on disk verbatim — so a
+	// per-case regeneration cannot silently move checksums it did not name,
+	// and a following plain run proves the untouched artifacts really are
+	// unchanged. The timing fingerprint is always refreshed to the current
+	// build's.
+	updateCase = flag.String("update-case", "",
+		"with -update, regenerate only the named cases (comma-separated); other entries are preserved from disk")
+)
 
 // goldenFile is the pinned-checksum document.
 type goldenFile struct {
@@ -27,6 +38,55 @@ type goldenFile struct {
 func goldenPath(t *testing.T) string {
 	t.Helper()
 	return filepath.Join("testdata", "golden.json")
+}
+
+func readGolden(path string) (goldenFile, error) {
+	var g goldenFile
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return g, err
+	}
+	if err := json.Unmarshal(buf, &g); err != nil {
+		return g, fmt.Errorf("golden file: %w", err)
+	}
+	return g, nil
+}
+
+// applyCaseFilter rewrites got.Cases so only the -update-case names carry
+// freshly-rendered checksums; every other entry is copied from the golden
+// on disk. Names that match no case, and cases with no disk entry to
+// preserve, are hard errors — a scoped update must be exact about what it
+// touches.
+func applyCaseFilter(t *testing.T, path string, got *goldenFile) {
+	t.Helper()
+	disk, err := readGolden(path)
+	if err != nil {
+		t.Fatalf("-update-case needs an existing golden to preserve the unnamed entries: %v", err)
+	}
+	filter := make(map[string]bool)
+	for _, name := range strings.Split(*updateCase, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			filter[name] = true
+		}
+	}
+	for name := range filter {
+		if _, ok := got.Cases[name]; !ok {
+			t.Fatalf("-update-case %q names no conformance case", name)
+		}
+	}
+	merged := make(map[string]string, len(got.Cases))
+	for name, sum := range got.Cases {
+		if filter[name] {
+			merged[name] = sum
+			continue
+		}
+		prev, ok := disk.Cases[name]
+		if !ok {
+			t.Fatalf("case %s has no golden entry to preserve; add it to -update-case or run a full -update", name)
+		}
+		merged[name] = prev
+	}
+	got.Cases = merged
 }
 
 func renderAll(t *testing.T) map[string]string {
@@ -56,7 +116,13 @@ func TestGolden(t *testing.T) {
 	}
 
 	path := goldenPath(t)
+	if *updateCase != "" && !*update {
+		t.Fatal("-update-case requires -update")
+	}
 	if *update {
+		if *updateCase != "" {
+			applyCaseFilter(t, path, &got)
+		}
 		buf, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
 			t.Fatal(err)

@@ -70,6 +70,18 @@ type Options struct {
 	// die, and surface as ErrReadFault when uncorrectable. With the plan
 	// disabled the timing path is byte-identical to a build without it.
 	FaultPlan flash.FaultPlan
+	// ArrayDevices, when > 1, asks for a multi-device array that
+	// partitions the model's embedding tables across that many member
+	// devices. core.New itself assembles exactly one device and rejects
+	// it — build the array with array.New (rmssd.NewArray), which consumes
+	// these two fields and passes the rest of the Options to every member.
+	// They live here so one construction config flows unchanged through
+	// the serving stack for single devices and arrays alike.
+	ArrayDevices int
+	// Partition names the array's (table, row) partition strategy:
+	// "range" (contiguous row blocks per device) or "hash" (modular row
+	// striping). Empty means "range". Ignored when ArrayDevices <= 1.
+	Partition string
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +149,9 @@ type RMSSD struct {
 // out on the device (RM_create_table) and their extent metadata registered
 // with the EV Translator (RM_open_table).
 func New(cfg model.Config, opts Options) (*RMSSD, error) {
+	if opts.ArrayDevices > 1 {
+		return nil, fmt.Errorf("core: ArrayDevices=%d: a multi-device array must be built with array.New", opts.ArrayDevices)
+	}
 	opts = opts.withDefaults()
 	m, err := model.Build(cfg)
 	if err != nil {
@@ -222,17 +237,31 @@ func (r *RMSSD) inputBytes() int64 {
 	return int64(cfg.Tables)*int64(cfg.Lookups)*8 + int64(cfg.DenseDim)*4
 }
 
+// InputBytes returns the host DMA payload of a batch of n inferences'
+// inputs on a single device: sparse indices (8 bytes each) plus the dense
+// feature vectors.
+func (r *RMSSD) InputBytes(n int) int64 { return r.inputBytes() * int64(n) }
+
 // SendInputs models RM_send_inputs for a batch of n inferences: a handful
 // of MMIO register writes plus one bulk DMA of indices and dense inputs.
 // It returns the completion time.
 func (r *RMSSD) SendInputs(at sim.Time, n int) sim.Time {
+	return r.SendPayload(at, n, r.inputBytes()*int64(n))
+}
+
+// SendPayload is SendInputs with an explicit DMA payload size: the array
+// scatter path (internal/array) ships each member device only the indices
+// it owns (plus the dense features on the top-MLP member), so the register
+// dance is identical but the bulk transfer is smaller. SendInputs is the
+// single-device case where the payload is the full InputBytes(n).
+func (r *RMSSD) SendPayload(at sim.Time, n int, payload int64) sim.Time {
 	r.reg.NumLookups = uint32(r.m.Cfg.Lookups)
 	r.reg.BatchSize = uint32(n)
 	r.reg.ResultReady = false
 	now := r.mmio.WriteReg(at, RegNumLookups, uint64(r.m.Cfg.Lookups))
 	now = r.mmio.WriteReg(now, RegBatchSize, uint64(n))
 	now = r.mmio.WriteReg(now, RegStatus, StatusBusy)
-	return r.mmio.DMA(now, r.inputBytes()*int64(n))
+	return r.mmio.DMA(now, payload)
 }
 
 // ReadOutputs models RM_read_outputs: the host polls the status register
@@ -559,6 +588,34 @@ func (r *RMSSD) servedSpan(at, sendDone, embDone, joined, topDone, readDone sim.
 		Read:  obs.StageSpan{From: topDone, To: readDone},
 	}
 }
+
+// SpanProbe is an opaque counter snapshot for orchestrators that drive a
+// device's stages directly instead of going through InferBatch
+// (internal/array): ProbeSpan before the first stage, EmitSpan after the
+// last, and the span's counter deltas cover exactly that window.
+type SpanProbe struct{ p spanProbe }
+
+// SpanSinkEnabled reports whether a span sink is installed — orchestrators
+// skip probing (and span assembly) entirely when it is not, mirroring
+// InferBatch's nil check.
+func (r *RMSSD) SpanSinkEnabled() bool { return r.spanSink != nil }
+
+// ProbeSpan snapshots the device's deterministic counters.
+func (r *RMSSD) ProbeSpan() SpanProbe { return SpanProbe{r.probeSpan()} }
+
+// EmitSpan fills sp's counter fields with the deltas since probe and hands
+// the span to the installed sink (a no-op without one).
+func (r *RMSSD) EmitSpan(probe SpanProbe, sp obs.DeviceSpan) {
+	if r.spanSink == nil {
+		return
+	}
+	r.emitSpan(probe.p, sp)
+}
+
+// AddServed adds externally orchestrated inferences to the served count.
+// The array credits its top-MLP member, whose pipeline produced the batch's
+// outputs, so per-member /stats accounting stays meaningful.
+func (r *RMSSD) AddServed(n int) { r.inferences += int64(n) }
 
 // Inferences returns the number of inferences served.
 func (r *RMSSD) Inferences() int64 { return r.inferences }

@@ -49,6 +49,42 @@ type Config struct {
 	RowsPerTable int64
 	// Seed drives weight and embedding generation.
 	Seed uint64
+	// RowBase and RowStride remap this config's local row space onto a
+	// logical parent model's global rows: local row r of every table holds
+	// the parent's row RowBase + r*RowStride (RowStride 0 means 1). The
+	// zero values are the identity map. They affect only embedding-content
+	// generation — internal/array derives one remapped config per member
+	// device so each member stores globally-correct vectors for exactly
+	// the row slice its partition assigns it.
+	RowBase   int64
+	RowStride int64
+}
+
+// GlobalRow maps a local row index through the RowBase/RowStride remap to
+// the logical parent model's row. For the zero-value remap it is the
+// identity, so standalone models are unaffected.
+func (c Config) GlobalRow(local int64) int64 {
+	stride := c.RowStride
+	if stride == 0 {
+		stride = 1
+	}
+	return c.RowBase + local*stride
+}
+
+// rowRemapOverflows reports whether the remapped top row
+// RowBase + (RowsPerTable-1)*RowStride exceeds int64, done by division so
+// huge strides cannot wrap around the check itself. Callers guarantee
+// RowBase, RowStride and RowsPerTable are non-negative.
+func (c Config) rowRemapOverflows() bool {
+	stride := c.RowStride
+	if stride == 0 {
+		stride = 1
+	}
+	top := c.RowsPerTable - 1
+	if top <= 0 {
+		return false
+	}
+	return top > (math.MaxInt64-c.RowBase)/stride
 }
 
 // EVSize returns the byte size of one embedding vector (FP32).
@@ -144,6 +180,13 @@ func (c Config) Validate() error {
 	case c.RowsPerTable > c.maxRowsPerTable():
 		return fmt.Errorf("model %s: %d rows per table overflows the %d-table x %d-byte layout",
 			c.Name, c.RowsPerTable, c.Tables, c.EVSize())
+	case c.RowBase < 0:
+		return fmt.Errorf("model %s: row base %d", c.Name, c.RowBase)
+	case c.RowStride < 0:
+		return fmt.Errorf("model %s: row stride %d", c.Name, c.RowStride)
+	case c.rowRemapOverflows():
+		return fmt.Errorf("model %s: row remap base %d stride %d overflows %d rows",
+			c.Name, c.RowBase, c.RowStride, c.RowsPerTable)
 	case len(c.BottomMLP) > MaxLayers:
 		return fmt.Errorf("model %s: %d bottom layers exceeds %d", c.Name, len(c.BottomMLP), MaxLayers)
 	case len(c.TopMLP) > MaxLayers:
@@ -337,8 +380,11 @@ func MustBuild(cfg Config) *Model {
 }
 
 // EmbeddingValue returns element e of the embedding vector at (table, row).
+// The row passes through the config's RowBase/RowStride remap, so a member
+// device of a partitioned array generates the same bytes for its local row
+// that the logical model generates for the global row it hosts.
 func (m *Model) EmbeddingValue(table int, row int64, e int) float32 {
-	return tensor.HashFloat(m.Cfg.Seed^0xe3b, uint64(table), uint64(row), uint64(e))
+	return tensor.HashFloat(m.Cfg.Seed^0xe3b, uint64(table), uint64(m.Cfg.GlobalRow(row)), uint64(e))
 }
 
 // EmbeddingVector materialises the embedding vector at (table, row).

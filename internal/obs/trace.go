@@ -11,9 +11,11 @@ import (
 )
 
 // TraceSchemaVersion is stamped into every BatchRecord. Bump it whenever a
-// field is added, removed or changes meaning; the conformance golden pins
-// the rendered bytes, so a schema change must move the golden deliberately
-// rather than silently.
+// field is removed or changes meaning; the conformance golden pins the
+// rendered bytes, so such a change must move the golden deliberately rather
+// than silently. Purely additive omitempty fields (the array member spans)
+// do not bump: records that never carry them marshal byte-identically to
+// schema-1 output, which the golden suite asserts.
 const TraceSchemaVersion = 1
 
 // StageSpan is one pipeline stage's occupancy on the virtual timeline,
@@ -149,9 +151,21 @@ type TraceRequest struct {
 	Failed  bool          `json:"failed,omitempty"`
 }
 
+// MemberSpan is one array member device's span within a batch record: the
+// member's index inside its shard's array plus the ordinary span fields,
+// inlined.
+type MemberSpan struct {
+	DeviceIndex int `json:"device"`
+	DeviceSpan
+}
+
 // BatchRecord is one JSONL trace line: the serving timeline for a batch
 // (which requests coalesced into it, when it started service and
-// completed) joined with the device's stage spans.
+// completed) joined with the device's stage spans. A shard backed by a
+// multi-device array additionally carries every member's span under Array
+// (sorted by member index); Device then holds the top-MLP member's span,
+// which covers the batch end to end, so single-device consumers keep
+// working unchanged.
 type BatchRecord struct {
 	Schema   int            `json:"schema"`
 	Model    string         `json:"model"`
@@ -161,6 +175,7 @@ type BatchRecord struct {
 	Complete time.Duration  `json:"complete"`
 	Requests []TraceRequest `json:"requests"`
 	Device   *DeviceSpan    `json:"device,omitempty"`
+	Array    []MemberSpan   `json:"array,omitempty"`
 }
 
 type modelShard struct {
@@ -177,19 +192,21 @@ type modelShard struct {
 // per-shard service order — a deterministic order — so WriteJSONL output
 // is byte-identical regardless of host scheduling.
 type Tracer struct {
-	mu      sync.Mutex
-	reg     *Registry
-	pending map[modelShard]*DeviceSpan
-	seq     map[modelShard]int64
-	records []BatchRecord
+	mu           sync.Mutex
+	reg          *Registry
+	pending      map[modelShard]*DeviceSpan
+	pendingArray map[modelShard][]MemberSpan
+	seq          map[modelShard]int64
+	records      []BatchRecord
 }
 
 // NewTracer returns a tracer feeding reg (nil for trace-only collection).
 func NewTracer(reg *Registry) *Tracer {
 	return &Tracer{
-		reg:     reg,
-		pending: make(map[modelShard]*DeviceSpan),
-		seq:     make(map[modelShard]int64),
+		reg:          reg,
+		pending:      make(map[modelShard]*DeviceSpan),
+		pendingArray: make(map[modelShard][]MemberSpan),
+		seq:          make(map[modelShard]int64),
 	}
 }
 
@@ -208,15 +225,34 @@ func (t *Tracer) DeviceSink(model string, shard int) SpanSink {
 	}
 }
 
+// ArrayDeviceSink returns the SpanSink to install on member `device` of
+// the array backing (model, shard). Each emitted span is appended to the
+// batch's member list and also parked as the batch's device span — the
+// array emits its top-MLP member last, so the span EndBatch claims as
+// Device is always the one covering the batch end to end.
+func (t *Tracer) ArrayDeviceSink(model string, shard, device int) SpanSink {
+	key := modelShard{model, shard}
+	return func(sp DeviceSpan) {
+		t.mu.Lock()
+		cp := sp
+		t.pending[key] = &cp
+		t.pendingArray[key] = append(t.pendingArray[key], MemberSpan{DeviceIndex: device, DeviceSpan: sp})
+		t.mu.Unlock()
+	}
+}
+
 // EndBatch closes out one batch on (model, shard): it claims the device
-// span parked by DeviceSink (nil if the batch never reached the device),
-// appends the trace record, and observes the request- and device-level
-// metrics.
+// span parked by DeviceSink (nil if the batch never reached the device)
+// and any array member spans parked by ArrayDeviceSink, appends the trace
+// record, and observes the request- and device-level metrics.
 func (t *Tracer) EndBatch(model string, shard int, reqs []TraceRequest, start, complete time.Duration) {
 	t.mu.Lock()
 	key := modelShard{model, shard}
 	dev := t.pending[key]
 	delete(t.pending, key)
+	members := t.pendingArray[key]
+	delete(t.pendingArray, key)
+	sort.Slice(members, func(i, j int) bool { return members[i].DeviceIndex < members[j].DeviceIndex })
 	seq := t.seq[key]
 	t.seq[key] = seq + 1
 	t.records = append(t.records, BatchRecord{
@@ -228,6 +264,7 @@ func (t *Tracer) EndBatch(model string, shard int, reqs []TraceRequest, start, c
 		Complete: complete,
 		Requests: append([]TraceRequest(nil), reqs...),
 		Device:   dev,
+		Array:    members,
 	})
 	t.mu.Unlock()
 
@@ -249,7 +286,14 @@ func (t *Tracer) EndBatch(model string, shard int, reqs []TraceRequest, start, c
 	if failed > 0 {
 		t.reg.Counter("rmssd_request_failures_total", L("model", model), L("shard", shardLabel)).Add(failed)
 	}
-	if dev != nil {
+	if len(members) > 0 {
+		// Array-backed shard: one record per member, each carrying its
+		// device label; the unlabeled record would double-count the top
+		// member's span.
+		for _, m := range members {
+			RecordMemberSpan(t.reg, model, shard, m.DeviceIndex, m.DeviceSpan)
+		}
+	} else if dev != nil {
 		RecordDeviceSpan(t.reg, model, shard, *dev)
 	}
 }
@@ -259,10 +303,22 @@ func (t *Tracer) EndBatch(model string, shard int, reqs []TraceRequest, start, c
 // tracer calls it from EndBatch, and rmserve's HTTP serving path installs
 // a SpanSink that calls it directly.
 func RecordDeviceSpan(reg *Registry, model string, shard int, sp DeviceSpan) {
-	shardLabel := strconv.Itoa(shard)
-	reg.Counter("rmssd_batches_total", L("model", model), L("shard", shardLabel)).Inc()
+	recordSpan(reg, model, sp, L("model", model), L("shard", strconv.Itoa(shard)))
+}
+
+// RecordMemberSpan is RecordDeviceSpan for one member of an array-backed
+// shard: every family gains a device label, so per-member series stay
+// distinguishable and single-device series stay byte-identical when arrays
+// are off.
+func RecordMemberSpan(reg *Registry, model string, shard, device int, sp DeviceSpan) {
+	recordSpan(reg, model, sp,
+		L("model", model), L("shard", strconv.Itoa(shard)), L("device", strconv.Itoa(device)))
+}
+
+func recordSpan(reg *Registry, model string, sp DeviceSpan, labels ...Label) {
+	reg.Counter("rmssd_batches_total", labels...).Inc()
 	if sp.Failed {
-		reg.Counter("rmssd_batch_failures_total", L("model", model), L("shard", shardLabel)).Inc()
+		reg.Counter("rmssd_batch_failures_total", labels...).Inc()
 	}
 	for _, st := range []struct {
 		name string
@@ -288,22 +344,22 @@ func RecordDeviceSpan(reg *Registry, model string, shard int, sp DeviceSpan) {
 		{"rmssd_flash_bytes_transferred_total", sp.BytesTransferred},
 	} {
 		if c.v != 0 {
-			reg.Counter(c.name, L("model", model), L("shard", shardLabel)).Add(c.v)
+			reg.Counter(c.name, labels...).Add(c.v)
 		}
 	}
 	for _, ch := range sp.Channels {
 		if ch.Reads == 0 && ch.Retries == 0 && ch.Uncorrectable == 0 {
 			continue
 		}
-		labels := []Label{L("model", model), L("shard", shardLabel), L("channel", strconv.Itoa(ch.Channel))}
+		chLabels := append(append([]Label(nil), labels...), L("channel", strconv.Itoa(ch.Channel)))
 		if ch.Reads != 0 {
-			reg.Counter("rmssd_channel_reads_total", labels...).Add(ch.Reads)
+			reg.Counter("rmssd_channel_reads_total", chLabels...).Add(ch.Reads)
 		}
 		if ch.Retries != 0 {
-			reg.Counter("rmssd_channel_retries_total", labels...).Add(ch.Retries)
+			reg.Counter("rmssd_channel_retries_total", chLabels...).Add(ch.Retries)
 		}
 		if ch.Uncorrectable != 0 {
-			reg.Counter("rmssd_channel_uncorrectable_total", labels...).Add(ch.Uncorrectable)
+			reg.Counter("rmssd_channel_uncorrectable_total", chLabels...).Add(ch.Uncorrectable)
 		}
 	}
 }

@@ -345,6 +345,21 @@ const RecSSDFirmwarePageOverhead = 2200 * time.Nanosecond
 // the dynamic FTL's garbage collector charges it per victim block.
 const TErase = 2 * time.Millisecond
 
+// Multi-device array interconnect (internal/array). When one model's
+// embedding tables are partitioned across N member devices, each non-top
+// member ships its per-(inference, table) partial SLS sums to the
+// designated top-MLP device at gather time. The hop is priced like a DMA:
+// a fixed descriptor/doorbell setup plus bytes over the peer link.
+const (
+	// ArrayTransferSetup is the fixed cost of one member->top gather hop
+	// (peer DMA descriptor plus doorbell through the host's PCIe switch).
+	ArrayTransferSetup = 2 * time.Microsecond
+	// ArrayTransferBandwidth is the inter-device transfer bandwidth in
+	// bytes/second. Host-bounced peer-to-peer over the same PCIe fabric as
+	// the host DMA path, so the same order of magnitude as DMABandwidth.
+	ArrayTransferBandwidth = 8e9
+)
+
 // TimingFingerprint hashes every calibration constant that feeds the
 // simulated timelines into one FNV-1a value. The golden conformance suite
 // (internal/conformance) records it next to its pinned checksums: when a
@@ -390,12 +405,15 @@ func TimingFingerprint() uint64 {
 		// NVMe block path and baselines.
 		uint64(NVMeCmdCost), uint64(NVMeCompletionCost),
 		uint64(RecSSDFirmwarePageOverhead), uint64(TErase),
+		// Multi-device array interconnect.
+		uint64(ArrayTransferSetup),
 	} {
 		mix(v)
 	}
 	for _, f := range []float64{
 		FlushFraction, TransferFraction, DMABandwidth,
 		CPUFLOPS, CPUPeakFLOPS, DefaultLocalityK,
+		ArrayTransferBandwidth,
 	} {
 		mixF(f)
 	}

@@ -40,6 +40,7 @@ package rmssd
 import (
 	"fmt"
 
+	"rmssd/internal/array"
 	"rmssd/internal/baseline"
 	"rmssd/internal/bench"
 	"rmssd/internal/core"
@@ -179,6 +180,51 @@ var (
 	XCVU9P   = params.XCVU9P
 	XC7A200T = params.XC7A200T
 )
+
+// --- multi-device arrays ---
+
+// Array is a multi-device RM-SSD: one logical model's embedding tables
+// partitioned across member devices, with lookups scattered to owners and
+// partial sums gathered on a designated top-MLP member over a modeled
+// inter-device link. A one-member array is bit-identical to Device;
+// build with DeviceOptions{ArrayDevices: N, Partition: "range"|"hash"}.
+type Array = array.Array
+
+// ArrayPartition is a partition spec (strategy + device count + optional
+// explicit range bounds), ArrayLayout its validated resolution against a
+// model's row space, and ArrayStats the scatter/gather counter snapshot.
+type (
+	ArrayPartition = array.Partition
+	ArrayLayout    = array.Layout
+	ArrayStats     = array.Stats
+)
+
+// ArrayStrategy names a partitioning scheme.
+type ArrayStrategy = array.Strategy
+
+// Partition strategies: contiguous row blocks per device, or modular row
+// striping.
+const (
+	PartitionRange = array.StrategyRange
+	PartitionHash  = array.StrategyHash
+)
+
+// MaxArrayDevices bounds the member count of one array.
+const MaxArrayDevices = array.MaxDevices
+
+// NewArray builds a multi-device array from the same options as NewDevice;
+// opts.ArrayDevices and opts.Partition select the layout and the remaining
+// options apply to every member device.
+func NewArray(cfg ModelConfig, opts DeviceOptions) (*Array, error) {
+	return array.New(cfg, opts)
+}
+
+// MustNewArray is NewArray, panicking on error.
+var MustNewArray = array.MustNew
+
+// ArrayTransferCost prices one member->top gather hop of the given byte
+// count on the modeled inter-device link.
+var ArrayTransferCost = array.TransferCost
 
 // --- baselines ---
 
@@ -343,6 +389,7 @@ type (
 	ObsRegistry  = obs.Registry
 	ObsTracer    = obs.Tracer
 	DeviceSpan   = obs.DeviceSpan
+	MemberSpan   = obs.MemberSpan
 	SpanSink     = obs.SpanSink
 	StageSpan    = obs.StageSpan
 	TraceRequest = obs.TraceRequest
